@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the gradient-aggregation hot path: the per-update cost
+//! of the ParameterServer under each aggregation algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fleet_core::{AdaSgd, Aggregator, DynSgd, FedAvg, ParameterServer, WorkerUpdate};
+use fleet_data::LabelDistribution;
+use fleet_ml::Gradient;
+
+const MODEL_SIZE: usize = 10_000;
+
+fn update(staleness: u64) -> WorkerUpdate {
+    WorkerUpdate::new(
+        Gradient::from_vec(vec![0.01; MODEL_SIZE]),
+        staleness,
+        LabelDistribution::from_labels(&[0, 1, 2, 3, 4], 10),
+        100,
+        7,
+    )
+}
+
+fn bench_submit<A: Aggregator + 'static>(c: &mut Criterion, name: &str, make: impl Fn() -> A) {
+    c.bench_with_input(
+        BenchmarkId::new("parameter_server_submit", name),
+        &MODEL_SIZE,
+        |b, &size| {
+            let mut server = ParameterServer::new(vec![0.0; size], make(), 0.01, 1);
+            let mut staleness = 0u64;
+            b.iter(|| {
+                staleness = (staleness + 1) % 20;
+                black_box(server.submit(update(staleness)))
+            });
+        },
+    );
+}
+
+fn aggregation_benches(c: &mut Criterion) {
+    bench_submit(c, "AdaSGD", || AdaSgd::new(10, 99.7));
+    bench_submit(c, "DynSGD", DynSgd::new);
+    bench_submit(c, "FedAvg", FedAvg::new);
+
+    c.bench_function("adasgd_scaling_factor_only", |b| {
+        let mut ada = AdaSgd::new(10, 99.7);
+        for i in 0..64 {
+            ada.record(&update(i % 15));
+        }
+        let u = update(30);
+        b.iter(|| black_box(ada.scaling_factor(&u)));
+    });
+}
+
+criterion_group!(benches, aggregation_benches);
+criterion_main!(benches);

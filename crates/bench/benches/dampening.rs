@@ -1,0 +1,36 @@
+//! Ablation bench for the dampening functions of Fig. 5: exponential
+//! (AdaSGD), inverse (DynSGD) and none (FedAvg), plus the τ_thres percentile
+//! estimation cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fleet_core::{DampeningPolicy, StalenessTracker};
+
+fn dampening_benches(c: &mut Criterion) {
+    let policies = [
+        ("exponential", DampeningPolicy::exponential_for(12)),
+        ("inverse", DampeningPolicy::Inverse),
+        ("none", DampeningPolicy::None),
+    ];
+    for (name, policy) in policies {
+        c.bench_with_input(BenchmarkId::new("dampening_factor", name), &policy, |b, p| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for tau in 0..64u64 {
+                    acc += p.factor(black_box(tau));
+                }
+                black_box(acc)
+            });
+        });
+    }
+
+    c.bench_function("staleness_tracker_percentile_10k", |b| {
+        let mut tracker = StalenessTracker::without_bootstrap();
+        for i in 0..10_000u64 {
+            tracker.record(i % 200);
+        }
+        b.iter(|| black_box(tracker.percentile(99.7)));
+    });
+}
+
+criterion_group!(benches, dampening_benches);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the ML substrate kernels (matrix multiply, CNN
+//! forward/backward, gradient arithmetic) that dominate worker-side cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fleet_ml::models::{small_cnn, table1_mnist_cnn};
+use fleet_ml::tensor::Tensor;
+use fleet_ml::Gradient;
+
+fn ml_benches(c: &mut Criterion) {
+    c.bench_function("matmul_64x64", |b| {
+        let a = Tensor::full(&[64, 64], 0.5);
+        let m = Tensor::full(&[64, 64], 0.25);
+        b.iter(|| black_box(a.matmul(&m)));
+    });
+
+    c.bench_function("small_cnn_gradient_batch32", |b| {
+        let mut model = small_cnn(1, 8, 10, 0);
+        let x = Tensor::full(&[32, 1, 8, 8], 0.3);
+        let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+        b.iter(|| black_box(model.compute_gradient(&x, &y).unwrap()));
+    });
+
+    c.bench_function("table1_mnist_cnn_forward_batch4", |b| {
+        let mut model = table1_mnist_cnn(0);
+        let x = Tensor::full(&[4, 1, 28, 28], 0.3);
+        b.iter(|| black_box(model.forward(&x).unwrap()));
+    });
+
+    c.bench_function("gradient_add_scaled_100k", |b| {
+        let mut acc = Gradient::zeros(100_000);
+        let g = Gradient::from_vec(vec![0.1; 100_000]);
+        b.iter(|| {
+            acc.add_scaled(&g, 0.5);
+            black_box(acc.as_slice()[0])
+        });
+    });
+
+    c.bench_function("gradient_clip_100k", |b| {
+        let g = Gradient::from_vec(vec![0.1; 100_000]);
+        b.iter(|| {
+            let mut copy = g.clone();
+            black_box(copy.clip_l2(1.0))
+        });
+    });
+}
+
+criterion_group!(benches, ml_benches);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs every experiment harness in sequence, writing CSV results under the
+//! workspace `results/` directory. Pass `--quick` for a fast smoke run.
+fn main() {
+    fleet_bench::experiments::run_all(fleet_bench::Scale::from_args());
+}

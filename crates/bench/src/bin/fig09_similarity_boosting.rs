@@ -1,0 +1,5 @@
+//! Regenerates the corresponding table/figure of the paper. Pass `--quick`
+//! for a fast smoke-test configuration.
+fn main() {
+    fleet_bench::experiments::fig09_similarity_boosting::run(fleet_bench::Scale::from_args());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the corresponding table/figure of the paper. Pass `--quick`
+//! for a fast smoke-test configuration.
+fn main() {
+    fleet_bench::experiments::table02_caloree_transfer::run(fleet_bench::Scale::from_args());
+}

@@ -1,0 +1,80 @@
+//! Shared world-building helpers for the experiment harnesses.
+
+use fleet_data::partition::{iid_partition, non_iid_shards, UserPartition};
+use fleet_data::synthetic::{generate, SyntheticSpec};
+use fleet_data::Dataset;
+use fleet_device::DeviceProfile;
+use fleet_ml::models::mlp_classifier;
+use fleet_ml::Sequential;
+
+/// Feature dimensionality of the vector-encoded synthetic image stand-ins.
+pub const FEATURE_DIM: usize = 32;
+
+/// A federated classification world: train/test datasets plus a user
+/// partition.
+#[derive(Debug)]
+pub struct World {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// Example indices per user (into the training split).
+    pub users: UserPartition,
+}
+
+/// Builds a world with the given class count and partitioning scheme.
+pub fn world(num_classes: usize, examples: usize, num_users: usize, non_iid: bool, seed: u64) -> World {
+    let data = generate(&SyntheticSpec::vector(num_classes, FEATURE_DIM, examples), seed);
+    let (train, test) = data.split(0.2);
+    let users = if non_iid {
+        non_iid_shards(&train, num_users, 2, seed + 1)
+    } else {
+        iid_partition(&train, num_users, seed + 1)
+    };
+    World { train, test, users }
+}
+
+/// The MNIST-stand-in world used by Figs. 8, 9, 15 (non-IID, 10 classes).
+pub fn mnist_non_iid(examples: usize, num_users: usize, seed: u64) -> World {
+    world(10, examples, num_users, true, seed)
+}
+
+/// A many-class IID world (E-MNIST / CIFAR-100 stand-ins for Fig. 10) with
+/// better-separated clusters so that a laptop-scale run reaches meaningful
+/// accuracy within a few thousand steps.
+pub fn many_class_iid(num_classes: usize, examples: usize, num_users: usize, seed: u64) -> World {
+    let spec = SyntheticSpec {
+        num_classes,
+        feature_shape: vec![FEATURE_DIM],
+        num_examples: examples,
+        cluster_std: 0.25,
+        cluster_spread: 1.5,
+    };
+    let data = generate(&spec, seed);
+    let (train, test) = data.split(0.2);
+    let users = iid_partition(&train, num_users, seed + 1);
+    World { train, test, users }
+}
+
+/// A fresh model matching the worlds produced by [`world`].
+pub fn model(num_classes: usize, seed: u64) -> Sequential {
+    mlp_classifier(FEATURE_DIM, &[32], num_classes, seed)
+}
+
+/// Training-device profiles used to bootstrap the profilers: perturbed copies
+/// of the catalogue (the paper uses 15 AWS devices disjoint from the test
+/// set; we perturb per-sample costs by ±10 % to model that disjointness).
+pub fn profiler_training_profiles() -> Vec<DeviceProfile> {
+    fleet_device::profile::catalogue()
+        .into_iter()
+        .take(15)
+        .enumerate()
+        .map(|(i, mut p)| {
+            let factor = 0.9 + 0.02 * (i % 11) as f32;
+            p.name = format!("{} (train)", p.name);
+            p.base_secs_per_sample *= factor;
+            p.base_energy_pct_per_sample *= factor;
+            p
+        })
+        .collect()
+}

@@ -1,0 +1,69 @@
+//! Figure 3: gradients from weak workers (mini-batch size 1) can cancel the
+//! benefit of strong workers (mini-batch size 128) in synchronous distributed
+//! SGD — the motivation for lower-bounding the mini-batch size.
+
+use crate::experiments::common;
+use crate::{ExperimentWriter, Scale};
+use fleet_data::sampling::MiniBatchSampler;
+use fleet_ml::metrics::accuracy;
+use fleet_ml::Gradient;
+
+/// One worker configuration: how many workers and which batch size each uses.
+#[derive(Debug, Clone, Copy)]
+struct Cohort {
+    strong: usize,
+    weak: usize,
+}
+
+/// Runs the four cohorts of Fig. 3 and reports accuracy over training steps.
+pub fn run(scale: Scale) {
+    let mut out = ExperimentWriter::new("fig03_weak_workers");
+    out.comment("Figure 3: weak workers (batch=1) vs strong workers (batch=128), synchronous SGD");
+    let steps = scale.pick(120, 1200);
+    let eval_every = scale.pick(30, 100);
+    let strong_batch = 128;
+    let weak_batch = 1;
+    let lr = 0.05;
+
+    let world = common::world(10, scale.pick(1200, 6000), 16, false, 11);
+    let eval_indices: Vec<usize> = (0..world.test.len().min(1000)).collect();
+    let (eval_x, eval_y) = world.test.batch(&eval_indices);
+    let all_train: Vec<usize> = (0..world.train.len()).collect();
+
+    let cohorts = [
+        ("1 strong", Cohort { strong: 1, weak: 0 }),
+        ("10 strong", Cohort { strong: 10, weak: 0 }),
+        ("10 strong + 2 weak", Cohort { strong: 10, weak: 2 }),
+        ("10 strong + 4 weak", Cohort { strong: 10, weak: 4 }),
+    ];
+
+    out.row("cohort,step,accuracy");
+    for (name, cohort) in cohorts {
+        let mut model = common::model(10, 3);
+        let mut sampler = MiniBatchSampler::new(7);
+        for step in 1..=steps {
+            // One synchronous round: every worker contributes one gradient,
+            // applied with equal weight (the paper's unweighted aggregation).
+            let mut aggregate = Gradient::zeros(model.parameter_count());
+            let total_workers = cohort.strong + cohort.weak;
+            for w in 0..total_workers {
+                let batch = if w < cohort.strong { strong_batch } else { weak_batch };
+                let indices = sampler.sample(&all_train, batch);
+                let (x, y) = world.train.batch(&indices);
+                let (_, gradient) = model
+                    .compute_gradient(&x, &y)
+                    .expect("training batch matches the architecture");
+                aggregate.add_scaled(&gradient, 1.0 / total_workers as f32);
+            }
+            model
+                .apply_gradient(&aggregate, lr)
+                .expect("aggregate matches the architecture");
+
+            if step % eval_every == 0 || step == steps {
+                let acc = accuracy(&model.predict(&eval_x).expect("eval batch"), &eval_y);
+                out.row(format!("{name},{step},{acc:.4}"));
+            }
+        }
+    }
+    out.finish();
+}

@@ -1,0 +1,39 @@
+//! Figure 4: computation time and energy grow linearly with the mini-batch
+//! size, with a device-specific slope that drifts as the device heats up
+//! (sweep batch sizes up, then let the device cool and sweep down).
+
+use crate::{ExperimentWriter, Scale};
+use fleet_device::profile::by_name;
+use fleet_device::Device;
+
+/// Sweeps mini-batch sizes up and down on three devices, recording latency,
+/// energy and temperature.
+pub fn run(scale: Scale) {
+    let mut out = ExperimentWriter::new("fig04_device_linearity");
+    out.comment("Figure 4: latency/energy vs mini-batch size, up then down sweeps");
+    out.row("device,phase,batch_size,computation_seconds,energy_pct,temperature_celsius");
+
+    let max_batch = scale.pick(800, 3200);
+    let step = scale.pick(200, 200);
+    for name in ["Galaxy S7", "Xperia E3", "Honor 10"] {
+        let mut device = Device::new(by_name(name).expect("catalogue device"), 4);
+        let up: Vec<usize> = (1..=max_batch / step).map(|i| i * step).collect();
+        for &batch in &up {
+            let exec = device.execute_task(batch);
+            out.row(format!(
+                "{name},up,{batch},{:.4},{:.6},{:.2}",
+                exec.computation_seconds, exec.energy_pct, exec.start_temperature
+            ));
+        }
+        // Cool-down pause between the sweeps (as in the paper).
+        device.idle(1800.0);
+        for &batch in up.iter().rev() {
+            let exec = device.execute_task(batch);
+            out.row(format!(
+                "{name},down,{batch},{:.4},{:.6},{:.2}",
+                exec.computation_seconds, exec.energy_pct, exec.start_temperature
+            ));
+        }
+    }
+    out.finish();
+}

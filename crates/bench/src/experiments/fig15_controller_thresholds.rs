@@ -1,0 +1,122 @@
+//! Figure 15: threshold-based pruning of learning tasks — how many of the
+//! least useful gradient computations can the controller drop (by mini-batch
+//! size or by label similarity) before prediction quality suffers.
+
+use crate::experiments::common;
+use crate::{ExperimentWriter, Scale};
+use fleet_core::{ParameterServer, Ssgd, WorkerUpdate};
+use fleet_data::sampling::MiniBatchSampler;
+use fleet_data::{GlobalLabelDistribution, LabelDistribution};
+use fleet_ml::metrics::accuracy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One candidate learning task (pre-generated so every threshold setting
+/// prunes from the same pool, as in the paper's controlled comparison).
+#[derive(Debug, Clone)]
+struct Candidate {
+    user: usize,
+    batch_indices: Vec<usize>,
+    batch_size: usize,
+    similarity: f32,
+}
+
+/// Runs the controller-threshold sweep.
+pub fn run(scale: Scale) {
+    let mut out = ExperimentWriter::new("fig15_controller_thresholds");
+    out.comment("Figure 15: pruning learning tasks by mini-batch size (a) or similarity (b)");
+    let total_tasks = scale.pick(250, 1000);
+    let world = common::mnist_non_iid(scale.pick(2000, 6000), 100, 19);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sampler = MiniBatchSampler::new(8);
+
+    // Pre-generate the task pool: batch sizes ~ N(100, 33) as produced by
+    // I-Prof (Fig. 12d), similarity measured against the running global
+    // label distribution of the sequential task stream.
+    let mut global = GlobalLabelDistribution::new(world.train.num_classes());
+    let mut candidates = Vec::with_capacity(total_tasks);
+    for _ in 0..total_tasks {
+        let user = rng.gen_range(0..world.users.len());
+        let batch_size = sample_gaussian(&mut rng, 100.0, 33.0).round().max(1.0) as usize;
+        let batch_indices = sampler.sample(&world.users[user], batch_size);
+        let labels: Vec<usize> = batch_indices.iter().map(|&i| world.train.label(i)).collect();
+        let ld = LabelDistribution::from_labels(&labels, world.train.num_classes());
+        let similarity = global.similarity(&ld);
+        global.record_labels(&labels);
+        candidates.push(Candidate {
+            user,
+            batch_indices,
+            batch_size,
+            similarity,
+        });
+    }
+
+    let eval_indices: Vec<usize> = (0..world.test.len().min(1000)).collect();
+    let (eval_x, eval_y) = world.test.batch(&eval_indices);
+
+    out.row("pruning,threshold_percentile,tasks_executed,final_accuracy");
+    for threshold in [0usize, 5, 10, 20, 40, 60, 80] {
+        for mode in ["size", "similarity"] {
+            if threshold == 0 && mode == "similarity" {
+                continue; // threshold 0 is the common SSGD baseline, report once
+            }
+            let retained: Vec<&Candidate> = match mode {
+                "size" => {
+                    let cut = percentile_value(
+                        &candidates.iter().map(|c| c.batch_size as f32).collect::<Vec<_>>(),
+                        threshold as f32,
+                    );
+                    candidates.iter().filter(|c| c.batch_size as f32 >= cut).collect()
+                }
+                _ => {
+                    let cut = percentile_value(
+                        &candidates.iter().map(|c| c.similarity).collect::<Vec<_>>(),
+                        100.0 - threshold as f32,
+                    );
+                    candidates.iter().filter(|c| c.similarity <= cut).collect()
+                }
+            };
+
+            // Train sequentially (staleness-free, as in Fig. 15's SSGD setup).
+            let mut model = common::model(world.train.num_classes(), 21);
+            let mut server = ParameterServer::new(model.parameters(), Ssgd::new(), 0.05, 1);
+            for c in &retained {
+                let (x, y) = world.train.batch(&c.batch_indices);
+                model
+                    .set_parameters(server.parameters())
+                    .expect("parameters match");
+                let (_, gradient) = model.compute_gradient(&x, &y).expect("batch matches");
+                server.submit(WorkerUpdate::new(
+                    gradient,
+                    0,
+                    LabelDistribution::from_labels(&y, world.train.num_classes()),
+                    y.len(),
+                    c.user as u64,
+                ));
+            }
+            model
+                .set_parameters(server.parameters())
+                .expect("parameters match");
+            let acc = accuracy(&model.predict(&eval_x).expect("eval"), &eval_y);
+            let label = if threshold == 0 { "none (SSGD)" } else { mode };
+            out.row(format!("{label},{threshold},{},{acc:.4}", retained.len()));
+        }
+    }
+    out.finish();
+}
+
+fn sample_gaussian(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn percentile_value(values: &[f32], percentile: f32) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (percentile / 100.0 * (sorted.len() - 1) as f32).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}

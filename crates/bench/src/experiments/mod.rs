@@ -1,0 +1,39 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod common;
+pub mod energy_budget;
+pub mod fig03_weak_workers;
+pub mod fig04_device_linearity;
+pub mod fig06_online_vs_standard;
+pub mod fig07_staleness_distribution;
+pub mod fig08_staleness_impact;
+pub mod fig09_similarity_boosting;
+pub mod fig10_iid_data;
+pub mod fig11_differential_privacy;
+pub mod fig12_iprof_latency;
+pub mod fig13_iprof_energy;
+pub mod fig14_resource_allocation;
+pub mod fig15_controller_thresholds;
+pub mod table01_models;
+pub mod table02_caloree_transfer;
+
+use crate::Scale;
+
+/// Runs every experiment in sequence (the `all_experiments` binary).
+pub fn run_all(scale: Scale) {
+    table01_models::run(scale);
+    fig03_weak_workers::run(scale);
+    fig04_device_linearity::run(scale);
+    fig06_online_vs_standard::run(scale);
+    fig07_staleness_distribution::run(scale);
+    fig08_staleness_impact::run(scale);
+    fig09_similarity_boosting::run(scale);
+    fig10_iid_data::run(scale);
+    fig11_differential_privacy::run(scale);
+    fig12_iprof_latency::run(scale);
+    fig13_iprof_energy::run(scale);
+    table02_caloree_transfer::run(scale);
+    fig14_resource_allocation::run(scale);
+    fig15_controller_thresholds::run(scale);
+    energy_budget::run(scale);
+}

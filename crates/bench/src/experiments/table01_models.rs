@@ -1,0 +1,19 @@
+//! Table 1: the CNN topologies used by the image-classification experiments.
+
+use crate::{ExperimentWriter, Scale};
+use fleet_ml::models::table1_summaries;
+
+/// Prints the Table 1 model summaries (dataset, input shape, layer count,
+/// parameter count).
+pub fn run(_scale: Scale) {
+    let mut out = ExperimentWriter::new("table01_models");
+    out.comment("Table 1: CNN topologies (faithful rebuilds in fleet-ml::models)");
+    out.row("dataset,input_shape,layers,parameters");
+    for s in table1_summaries() {
+        out.row(format!(
+            "{},{}x{}x{},{},{}",
+            s.dataset, s.input_shape[0], s.input_shape[1], s.input_shape[2], s.layers, s.parameters
+        ));
+    }
+    out.finish();
+}

@@ -1,0 +1,94 @@
+//! Writing experiment results to the `results/` directory in a uniform,
+//! diff-friendly CSV-like format.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Writes one experiment's output both to stdout and to a file under the
+/// results directory.
+#[derive(Debug)]
+pub struct ExperimentWriter {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl ExperimentWriter {
+    /// Creates a writer for `results/<name>.csv` relative to the workspace
+    /// root (or the current directory when run elsewhere).
+    pub fn new(name: &str) -> Self {
+        let dir = workspace_results_dir();
+        Self {
+            path: dir.join(format!("{name}.csv")),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Adds a header or data row (comma-separated values supplied by caller).
+    pub fn row(&mut self, line: impl Into<String>) {
+        let line = line.into();
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    /// Adds a comment line (prefixed with `#`).
+    pub fn comment(&mut self, line: impl AsRef<str>) {
+        let line = format!("# {}", line.as_ref());
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    /// Flushes the collected rows to disk. Errors are reported to stderr but
+    /// do not abort the experiment.
+    pub fn finish(self) {
+        if let Some(parent) = self.path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        match fs::File::create(&self.path) {
+            Ok(mut f) => {
+                for line in &self.lines {
+                    let _ = writeln!(f, "{line}");
+                }
+                eprintln!("[results written to {}]", self.path.display());
+            }
+            Err(e) => eprintln!("could not write {}: {e}", self.path.display()),
+        }
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_collects_rows() {
+        let mut w = ExperimentWriter::new("unit_test_output");
+        w.comment("a comment");
+        w.row("x,y");
+        w.row("1,2");
+        assert_eq!(w.lines.len(), 3);
+        w.finish();
+        let path = workspace_results_dir().join("unit_test_output.csv");
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("# a comment"));
+        assert!(content.contains("1,2"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn results_dir_points_at_workspace_root() {
+        let dir = workspace_results_dir();
+        assert!(dir.ends_with("results"));
+    }
+}

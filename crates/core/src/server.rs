@@ -1,0 +1,211 @@
+//! The asynchronous parameter server applying weighted worker gradients
+//! (Eq. 3 of the paper).
+
+use crate::aggregator::Aggregator;
+use crate::update::WorkerUpdate;
+use fleet_ml::Gradient;
+
+/// Result of submitting one worker update to the [`ParameterServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmitOutcome {
+    /// The weight `min(1, Λ(τ)·1/sim)` that was attached to the gradient.
+    pub scaling_factor: f64,
+    /// Whether this submission triggered a model update (the K-th gradient of
+    /// the current aggregation round).
+    pub applied: bool,
+    /// The server's logical clock after the submission.
+    pub clock: u64,
+}
+
+/// A parameter server holding the flat model parameters, a logical clock and
+/// an aggregation buffer of `K` gradients per update (§2.3: `K` can be 1 for
+/// maximum update frequency, or larger / time-window based).
+#[derive(Debug)]
+pub struct ParameterServer<A: Aggregator> {
+    parameters: Vec<f32>,
+    aggregator: A,
+    learning_rate: f32,
+    aggregation_k: usize,
+    pending: Vec<Gradient>,
+    clock: u64,
+    updates_applied: u64,
+    updates_received: u64,
+}
+
+impl<A: Aggregator> ParameterServer<A> {
+    /// Creates a server over an initial flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not positive or `aggregation_k` is zero.
+    pub fn new(initial_parameters: Vec<f32>, aggregator: A, learning_rate: f32, aggregation_k: usize) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(aggregation_k > 0, "aggregation parameter K must be positive");
+        Self {
+            parameters: initial_parameters,
+            aggregator,
+            learning_rate,
+            aggregation_k,
+            pending: Vec::new(),
+            clock: 0,
+            updates_applied: 0,
+            updates_received: 0,
+        }
+    }
+
+    /// The current flat model parameters (what a worker pulls in step 4 of
+    /// Fig. 2).
+    pub fn parameters(&self) -> &[f32] {
+        &self.parameters
+    }
+
+    /// The server's logical clock `t`: the number of model updates so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of gradients received (applied or pending).
+    pub fn updates_received(&self) -> u64 {
+        self.updates_received
+    }
+
+    /// Number of gradients that have been folded into the model.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// The configured learning rate γ.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Access to the aggregator (e.g. to inspect `τ_thres`).
+    pub fn aggregator(&self) -> &A {
+        &self.aggregator
+    }
+
+    /// Submits one worker update. The gradient is scaled by the aggregator's
+    /// weight and buffered; once `K` gradients have accumulated the model is
+    /// updated and the logical clock advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length differs from the parameter length.
+    pub fn submit(&mut self, update: WorkerUpdate) -> SubmitOutcome {
+        assert_eq!(
+            update.gradient.len(),
+            self.parameters.len(),
+            "gradient length {} does not match parameter length {}",
+            update.gradient.len(),
+            self.parameters.len()
+        );
+        let scaling = self.aggregator.scaling_factor(&update);
+        self.aggregator.record(&update);
+        self.updates_received += 1;
+
+        self.pending.push(update.gradient.scaled(scaling as f32));
+        let applied = if self.pending.len() >= self.aggregation_k {
+            self.apply_pending();
+            true
+        } else {
+            false
+        };
+        SubmitOutcome {
+            scaling_factor: scaling,
+            applied,
+            clock: self.clock,
+        }
+    }
+
+    fn apply_pending(&mut self) {
+        for gradient in &self.pending {
+            for (p, g) in self.parameters.iter_mut().zip(gradient.as_slice()) {
+                *p -= self.learning_rate * g;
+            }
+            self.updates_applied += 1;
+        }
+        self.pending.clear();
+        self.clock += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::{AdaSgd, DynSgd, FedAvg};
+    use fleet_data::LabelDistribution;
+
+    fn update(gradient: Vec<f32>, staleness: u64) -> WorkerUpdate {
+        WorkerUpdate::new(
+            Gradient::from_vec(gradient),
+            staleness,
+            LabelDistribution::uniform(4),
+            10,
+            0,
+        )
+    }
+
+    #[test]
+    fn k1_applies_immediately() {
+        let mut server = ParameterServer::new(vec![1.0, 1.0], FedAvg::new(), 0.5, 1);
+        let outcome = server.submit(update(vec![1.0, -1.0], 0));
+        assert!(outcome.applied);
+        assert_eq!(outcome.clock, 1);
+        assert_eq!(server.parameters(), &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn k3_buffers_until_full() {
+        let mut server = ParameterServer::new(vec![0.0], FedAvg::new(), 1.0, 3);
+        assert!(!server.submit(update(vec![1.0], 0)).applied);
+        assert!(!server.submit(update(vec![1.0], 0)).applied);
+        assert_eq!(server.clock(), 0);
+        assert_eq!(server.parameters(), &[0.0]);
+        let third = server.submit(update(vec![1.0], 0));
+        assert!(third.applied);
+        assert_eq!(server.clock(), 1);
+        assert_eq!(server.parameters(), &[-3.0]);
+        assert_eq!(server.updates_applied(), 3);
+        assert_eq!(server.updates_received(), 3);
+    }
+
+    #[test]
+    fn stale_gradients_are_dampened_by_dynsgd() {
+        let mut server = ParameterServer::new(vec![0.0], DynSgd::new(), 1.0, 1);
+        server.submit(update(vec![1.0], 9)); // weight 0.1
+        assert!((server.parameters()[0] + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adasgd_server_end_to_end() {
+        let mut server = ParameterServer::new(vec![0.0, 0.0], AdaSgd::new(4, 99.7), 0.1, 1);
+        for i in 0..50 {
+            let outcome = server.submit(update(vec![0.5, -0.5], i % 5));
+            assert!(outcome.applied);
+            assert!(outcome.scaling_factor > 0.0 && outcome.scaling_factor <= 1.0);
+        }
+        assert_eq!(server.clock(), 50);
+        // The parameters moved in the gradient-descent direction.
+        assert!(server.parameters()[0] < 0.0);
+        assert!(server.parameters()[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match parameter length")]
+    fn mismatched_gradient_length_panics() {
+        let mut server = ParameterServer::new(vec![0.0, 0.0], FedAvg::new(), 0.1, 1);
+        server.submit(update(vec![1.0], 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn non_positive_learning_rate_panics() {
+        let _ = ParameterServer::new(vec![0.0], FedAvg::new(), 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregation parameter K must be positive")]
+    fn zero_k_panics() {
+        let _ = ParameterServer::new(vec![0.0], FedAvg::new(), 0.1, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The unit of work a FLeet worker sends back to the server.
+
+use fleet_data::LabelDistribution;
+use fleet_ml::Gradient;
+use serde::{Deserialize, Serialize};
+
+/// A gradient received from a worker, together with the metadata the
+/// aggregation algorithms need (step 5 of Fig. 2 in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerUpdate {
+    /// The flat gradient computed on the worker's local mini-batch.
+    pub gradient: Gradient,
+    /// Staleness `τ = t − t_i`: the number of model updates that happened
+    /// between the worker pulling the model and pushing this gradient.
+    pub staleness: u64,
+    /// Label distribution of the mini-batch the gradient was computed on
+    /// (only label *indices* are revealed to the server, §2.3).
+    pub label_distribution: LabelDistribution,
+    /// Number of samples in the mini-batch.
+    pub num_samples: usize,
+    /// Identifier of the worker that produced the update.
+    pub worker_id: u64,
+}
+
+impl WorkerUpdate {
+    /// Creates an update.
+    pub fn new(
+        gradient: Gradient,
+        staleness: u64,
+        label_distribution: LabelDistribution,
+        num_samples: usize,
+        worker_id: u64,
+    ) -> Self {
+        Self {
+            gradient,
+            staleness,
+            label_distribution,
+            num_samples,
+            worker_id,
+        }
+    }
+
+    /// A fresh (staleness 0) update — convenient for synchronous baselines
+    /// and tests.
+    pub fn fresh(gradient: Gradient, label_distribution: LabelDistribution, num_samples: usize) -> Self {
+        Self::new(gradient, 0, label_distribution, num_samples, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_populate_fields() {
+        let g = Gradient::from_vec(vec![1.0, 2.0]);
+        let ld = LabelDistribution::uniform(4);
+        let u = WorkerUpdate::new(g.clone(), 7, ld.clone(), 32, 99);
+        assert_eq!(u.staleness, 7);
+        assert_eq!(u.worker_id, 99);
+        assert_eq!(u.num_samples, 32);
+        assert_eq!(u.gradient, g);
+
+        let f = WorkerUpdate::fresh(g, ld, 16);
+        assert_eq!(f.staleness, 0);
+        assert_eq!(f.worker_id, 0);
+    }
+}

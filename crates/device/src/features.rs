@@ -1,0 +1,109 @@
+//! Device state observable through the stock Android API.
+//!
+//! I-Prof's design constraint (§2.2 of the paper) is to use only measurements
+//! available without root access: available memory, total memory, temperature
+//! and the sum of the maximum CPU frequencies, plus the energy consumed per
+//! non-idle CPU second for the energy predictor.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the device state sent with every learning-task request
+/// (step 1 of the protocol in Fig. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFeatures {
+    /// Memory currently available, in MB.
+    pub available_memory_mb: f32,
+    /// Total device memory, in MB.
+    pub total_memory_mb: f32,
+    /// Battery/SoC temperature in degrees Celsius.
+    pub temperature_celsius: f32,
+    /// Sum of the maximum frequency over all CPU cores, in GHz.
+    pub sum_max_freq_ghz: f32,
+    /// Energy consumed per non-idle CPU second, as a fraction of battery
+    /// capacity per second (the extra feature used by the energy predictor).
+    pub energy_per_cpu_second: f32,
+}
+
+impl DeviceFeatures {
+    /// Feature vector used by the computation-time predictor:
+    /// `[1, available_memory_gb, total_memory_gb, temperature/100, sum_max_freq_ghz, 1/sum_max_freq_ghz]`.
+    ///
+    /// The leading 1 is the intercept; the reciprocal-frequency feature lets a
+    /// linear model capture the inverse relation between clock speed and the
+    /// per-sample computation time.
+    pub fn latency_features(&self) -> Vec<f32> {
+        vec![
+            1.0,
+            self.available_memory_mb / 1024.0,
+            self.total_memory_mb / 1024.0,
+            self.temperature_celsius / 100.0,
+            self.sum_max_freq_ghz,
+            1.0 / self.sum_max_freq_ghz.max(0.1),
+        ]
+    }
+
+    /// Feature vector used by the energy predictor: the latency features plus
+    /// the energy-per-CPU-second feature (scaled to a comparable magnitude).
+    pub fn energy_features(&self) -> Vec<f32> {
+        let mut f = self.latency_features();
+        f.push(self.energy_per_cpu_second * 1000.0);
+        f
+    }
+
+    /// Number of entries in [`DeviceFeatures::latency_features`].
+    pub const LATENCY_DIM: usize = 6;
+    /// Number of entries in [`DeviceFeatures::energy_features`].
+    pub const ENERGY_DIM: usize = 7;
+}
+
+impl Default for DeviceFeatures {
+    fn default() -> Self {
+        Self {
+            available_memory_mb: 2048.0,
+            total_memory_mb: 4096.0,
+            temperature_celsius: 30.0,
+            sum_max_freq_ghz: 10.0,
+            energy_per_cpu_second: 2e-5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_feature_dimension() {
+        let f = DeviceFeatures::default();
+        assert_eq!(f.latency_features().len(), DeviceFeatures::LATENCY_DIM);
+        assert_eq!(f.latency_features()[0], 1.0);
+    }
+
+    #[test]
+    fn energy_features_extend_latency_features() {
+        let f = DeviceFeatures::default();
+        let lat = f.latency_features();
+        let en = f.energy_features();
+        assert_eq!(en.len(), DeviceFeatures::ENERGY_DIM);
+        assert_eq!(&en[..lat.len()], lat.as_slice());
+    }
+
+    #[test]
+    fn reciprocal_frequency_is_guarded() {
+        let f = DeviceFeatures {
+            sum_max_freq_ghz: 0.0,
+            ..DeviceFeatures::default()
+        };
+        assert!(f.latency_features()[5].is_finite());
+    }
+
+    #[test]
+    fn hotter_device_changes_features() {
+        let cold = DeviceFeatures::default();
+        let hot = DeviceFeatures {
+            temperature_celsius: 45.0,
+            ..cold
+        };
+        assert_ne!(cold.latency_features(), hot.latency_features());
+    }
+}

@@ -1,0 +1,33 @@
+//! # fleet-device
+//!
+//! A parametric simulator of the mobile devices the FLeet paper evaluates on
+//! (40 commercial Android phones plus a Raspberry Pi). See DESIGN.md for the
+//! substitution rationale: the paper's own measurements (Fig. 4) show that a
+//! learning task's computation time and energy grow *linearly* with the
+//! mini-batch size, with a slope that differs per device and drifts with
+//! temperature — exactly the structure this simulator reproduces.
+//!
+//! The crate provides:
+//!
+//! * [`profile::DeviceProfile`] and a [`profile::catalogue`] of named device
+//!   models spanning the heterogeneity reported in the paper,
+//! * [`features::DeviceFeatures`] — the stock-Android observable state that
+//!   I-Prof receives with every worker request,
+//! * [`thermal::ThermalModel`] — temperature rise under load / cool-down,
+//! * [`device::Device`] — a stateful simulated handset executing learning
+//!   tasks and reporting latency and energy,
+//! * [`allocation`] — FLeet's big-core-only allocation policy (§2.4),
+//! * [`caloree`] — the CALOREE baseline resource manager (§3.4, Table 2, Fig. 14),
+//! * [`network`] — 3G/4G network latency models used for the staleness study (§3.1).
+
+pub mod allocation;
+pub mod caloree;
+pub mod device;
+pub mod features;
+pub mod network;
+pub mod profile;
+pub mod thermal;
+
+pub use device::{Device, TaskExecution};
+pub use features::DeviceFeatures;
+pub use profile::DeviceProfile;

@@ -1,0 +1,111 @@
+//! Activation layers.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::{MlError, Result};
+
+/// Rectified Linear Unit: `max(0, x)` applied element-wise.
+///
+/// # Example
+///
+/// ```
+/// use fleet_ml::layers::Relu;
+/// use fleet_ml::layer::Layer;
+/// use fleet_ml::tensor::Tensor;
+///
+/// # fn main() -> Result<(), fleet_ml::MlError> {
+/// let mut relu = Relu::new();
+/// let out = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]))?;
+/// assert_eq!(out.data(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a new ReLU activation layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| {
+            MlError::InvalidArgument("Relu::backward called before forward".to_string())
+        })?;
+        if mask.shape() != grad_output.shape() {
+            return Err(MlError::ShapeMismatch {
+                expected: mask.shape().to_vec(),
+                actual: grad_output.shape().to_vec(),
+                context: "Relu::backward".to_string(),
+            });
+        }
+        Ok(grad_output.mul(mask))
+    }
+
+    fn parameters(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn gradients(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_gradients(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let out = relu
+            .forward(&Tensor::from_vec(vec![-2.0, -0.1, 0.0, 0.5, 3.0], &[1, 5]))
+            .unwrap();
+        assert_eq!(out.data(), &[0.0, 0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        relu.forward(&Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]))
+            .unwrap();
+        let grad = relu
+            .backward(&Tensor::from_vec(vec![5.0, 5.0], &[1, 2]))
+            .unwrap();
+        assert_eq!(grad.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let relu = Relu::new();
+        assert_eq!(relu.parameter_count(), 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! 2-D convolution layer.
+//!
+//! Implements the convolutional blocks of the paper's Table 1 models with a
+//! straightforward (non-im2col) loop nest: the mini-batches used by FLeet
+//! workers are small, so clarity wins over raw throughput here.
+
+use crate::init::Initializer;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::{MlError, Result};
+
+/// A 2-D convolution over `[batch, in_channels, height, width]` inputs with
+/// stride support and no padding ("valid" convolution), as in the paper's
+/// Table 1 topologies.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weights with shape `[out_channels, in_channels, kernel, kernel]`.
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        init: Initializer,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weights = init.init(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            seed,
+        );
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weights,
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weights: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input spatial size, or `None` if the input
+    /// is smaller than the kernel.
+    pub fn output_size(&self, input: usize) -> Option<usize> {
+        if input < self.kernel {
+            None
+        } else {
+            Some((input - self.kernel) / self.stride + 1)
+        }
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        let shape = input.shape();
+        if shape.len() != 4 || shape[1] != self.in_channels {
+            return Err(MlError::ShapeMismatch {
+                expected: vec![0, self.in_channels, 0, 0],
+                actual: shape.to_vec(),
+                context: "Conv2d::forward".to_string(),
+            });
+        }
+        let (h, w) = (shape[2], shape[3]);
+        let oh = self.output_size(h).ok_or_else(|| {
+            MlError::InvalidArgument(format!(
+                "input height {h} smaller than kernel {}",
+                self.kernel
+            ))
+        })?;
+        let ow = self.output_size(w).ok_or_else(|| {
+            MlError::InvalidArgument(format!(
+                "input width {w} smaller than kernel {}",
+                self.kernel
+            ))
+        })?;
+        Ok((shape[0], oh, ow))
+    }
+
+    #[inline]
+    fn w_index(&self, oc: usize, ic: usize, kh: usize, kw: usize) -> usize {
+        ((oc * self.in_channels + ic) * self.kernel + kh) * self.kernel + kw
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (batch, oh, ow) = self.check_input(input)?;
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let mut out = vec![0.0f32; batch * self.out_channels * oh * ow];
+        let in_data = input.data();
+        let w_data = self.weights.data();
+        for b in 0..batch {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.bias.data()[oc];
+                        for ic in 0..self.in_channels {
+                            for ky in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                for kx in 0..self.kernel {
+                                    let ix = ox * self.stride + kx;
+                                    let in_idx = ((b * self.in_channels + ic) * h + iy) * w + ix;
+                                    acc += in_data[in_idx] * w_data[self.w_index(oc, ic, ky, kx)];
+                                }
+                            }
+                        }
+                        out[((b * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(Tensor::from_vec(out, &[batch, self.out_channels, oh, ow]))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| {
+                MlError::InvalidArgument("Conv2d::backward called before forward".to_string())
+            })?
+            .clone();
+        let (batch, oh, ow) = self.check_input(&input)?;
+        let expected = vec![batch, self.out_channels, oh, ow];
+        if grad_output.shape() != expected.as_slice() {
+            return Err(MlError::ShapeMismatch {
+                expected,
+                actual: grad_output.shape().to_vec(),
+                context: "Conv2d::backward".to_string(),
+            });
+        }
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let mut grad_input = vec![0.0f32; input.len()];
+        let in_data = input.data();
+        let go = grad_output.data();
+        let w_data = self.weights.data();
+        let gw = self.grad_weights.data_mut();
+        let gb = self.grad_bias.data_mut();
+        for b in 0..batch {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((b * self.out_channels + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                for kx in 0..self.kernel {
+                                    let ix = ox * self.stride + kx;
+                                    let in_idx = ((b * self.in_channels + ic) * h + iy) * w + ix;
+                                    let widx =
+                                        ((oc * self.in_channels + ic) * self.kernel + ky)
+                                            * self.kernel
+                                            + kx;
+                                    gw[widx] += g * in_data[in_idx];
+                                    grad_input[in_idx] += g * w_data[widx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(grad_input, input.shape()))
+    }
+
+    fn parameters(&self) -> Vec<&Tensor> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn gradients(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weights, &self.grad_bias]
+    }
+
+    fn zero_gradients(&mut self) {
+        self.grad_weights = Tensor::zeros(&[
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ]);
+        self.grad_bias = Tensor::zeros(&[self.out_channels]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_output_shape() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, Initializer::Xavier, 0);
+        let out = conv.forward(&Tensor::zeros(&[2, 1, 8, 8])).unwrap();
+        assert_eq!(out.shape(), &[2, 2, 6, 6]);
+    }
+
+    #[test]
+    fn forward_with_stride() {
+        let mut conv = Conv2d::new(1, 1, 2, 2, Initializer::Xavier, 0);
+        let out = conv.forward(&Tensor::zeros(&[1, 1, 6, 6])).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn identity_kernel_extracts_pixels() {
+        // A 1x1 kernel with weight 1.0 must reproduce the input.
+        let mut conv = Conv2d::new(1, 1, 1, 1, Initializer::Zeros, 0);
+        conv.weights = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let input = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 2x2 all-ones kernel over a 2x2 input sums the input.
+        let mut conv = Conv2d::new(1, 1, 2, 1, Initializer::Zeros, 0);
+        conv.weights = Tensor::ones(&[1, 1, 2, 2]);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.data(), &[10.0]);
+    }
+
+    #[test]
+    fn input_smaller_than_kernel_errors() {
+        let mut conv = Conv2d::new(1, 1, 5, 1, Initializer::Xavier, 0);
+        assert!(conv.forward(&Tensor::zeros(&[1, 1, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn wrong_channel_count_errors() {
+        let mut conv = Conv2d::new(3, 1, 2, 1, Initializer::Xavier, 0);
+        assert!(conv.forward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, Initializer::Xavier, 5);
+        let input = Tensor::from_vec(
+            vec![0.2, -0.5, 0.1, 0.7, 0.3, -0.2, 0.9, 0.4, -0.6],
+            &[1, 1, 3, 3],
+        );
+        let eps = 1e-2f32;
+        conv.zero_gradients();
+        let out = conv.forward(&input).unwrap();
+        conv.backward(&Tensor::ones(out.shape())).unwrap();
+        let analytic = conv.gradients()[0].data()[0];
+
+        let original = conv.weights.data()[0];
+        conv.weights.data_mut()[0] = original + eps;
+        let plus = conv.forward(&input).unwrap().sum();
+        conv.weights.data_mut()[0] = original - eps;
+        let minus = conv.forward(&input).unwrap().sum();
+        conv.weights.data_mut()[0] = original;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn backward_shapes_grad_input_like_input() {
+        let mut conv = Conv2d::new(2, 3, 2, 1, Initializer::Xavier, 1);
+        let input = Tensor::zeros(&[2, 2, 5, 5]);
+        let out = conv.forward(&input).unwrap();
+        let grad_in = conv.backward(&Tensor::ones(out.shape())).unwrap();
+        assert_eq!(grad_in.shape(), input.shape());
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let conv = Conv2d::new(3, 16, 3, 1, Initializer::Xavier, 0);
+        assert_eq!(conv.parameter_count(), 16 * 3 * 3 * 3 + 16);
+    }
+}

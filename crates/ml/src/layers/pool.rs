@@ -1,0 +1,182 @@
+//! Max-pooling layer.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::{MlError, Result};
+
+/// 2-D max-pooling over `[batch, channels, height, width]` inputs.
+///
+/// The paper's Table 1 uses pooling windows of 2x2, 3x3 and 4x4 with matching
+/// strides; this layer supports any window/stride combination.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cached_input_shape: Option<Vec<usize>>,
+    /// For each output element, the flat index of the input element that won.
+    cached_argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square `window` and the given `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        assert!(stride > 0, "pool stride must be positive");
+        Self {
+            window,
+            stride,
+            cached_input_shape: None,
+            cached_argmax: Vec::new(),
+        }
+    }
+
+    /// Output spatial size for an input spatial size, or `None` if the input
+    /// is smaller than the pooling window.
+    pub fn output_size(&self, input: usize) -> Option<usize> {
+        if input < self.window {
+            None
+        } else {
+            Some((input - self.window) / self.stride + 1)
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() != 4 {
+            return Err(MlError::ShapeMismatch {
+                expected: vec![0, 0, 0, 0],
+                actual: shape.to_vec(),
+                context: "MaxPool2d::forward".to_string(),
+            });
+        }
+        let (batch, channels, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = self.output_size(h).ok_or_else(|| {
+            MlError::InvalidArgument(format!("input height {h} smaller than window {}", self.window))
+        })?;
+        let ow = self.output_size(w).ok_or_else(|| {
+            MlError::InvalidArgument(format!("input width {w} smaller than window {}", self.window))
+        })?;
+        let data = input.data();
+        let mut out = vec![f32::NEG_INFINITY; batch * channels * oh * ow];
+        let mut argmax = vec![0usize; out.len()];
+        for b in 0..batch {
+            for c in 0..channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let out_idx = ((b * channels + c) * oh + oy) * ow + ox;
+                        for ky in 0..self.window {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..self.window {
+                                let ix = ox * self.stride + kx;
+                                let in_idx = ((b * channels + c) * h + iy) * w + ix;
+                                if data[in_idx] > out[out_idx] {
+                                    out[out_idx] = data[in_idx];
+                                    argmax[out_idx] = in_idx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = Some(shape.to_vec());
+        self.cached_argmax = argmax;
+        Ok(Tensor::from_vec(out, &[batch, channels, oh, ow]))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input_shape = self.cached_input_shape.as_ref().ok_or_else(|| {
+            MlError::InvalidArgument("MaxPool2d::backward called before forward".to_string())
+        })?;
+        if grad_output.len() != self.cached_argmax.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: vec![self.cached_argmax.len()],
+                actual: vec![grad_output.len()],
+                context: "MaxPool2d::backward".to_string(),
+            });
+        }
+        let mut grad_input = vec![0.0f32; input_shape.iter().product()];
+        for (out_idx, &in_idx) in self.cached_argmax.iter().enumerate() {
+            grad_input[in_idx] += grad_output.data()[out_idx];
+        }
+        Ok(Tensor::from_vec(grad_input, input_shape))
+    }
+
+    fn parameters(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn gradients(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_gradients(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_max() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        pool.forward(&input).unwrap();
+        let grad = pool
+            .backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]))
+            .unwrap();
+        assert_eq!(grad.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn non_4d_input_errors() {
+        let mut pool = MaxPool2d::new(2, 2);
+        assert!(pool.forward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+
+    #[test]
+    fn too_small_input_errors() {
+        let mut pool = MaxPool2d::new(3, 3);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn negative_values_handled() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let input = Tensor::from_vec(vec![-5.0, -2.0, -8.0, -1.0], &[1, 1, 2, 2]);
+        let out = pool.forward(&input).unwrap();
+        assert_eq!(out.data(), &[-1.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut pool = MaxPool2d::new(2, 2);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+}

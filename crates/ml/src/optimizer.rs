@@ -1,0 +1,134 @@
+//! Plain stochastic-gradient-descent optimiser with an optional learning-rate
+//! schedule, used for the synchronous (SSGD) baseline and local training in
+//! examples/tests.
+
+use crate::gradient::Gradient;
+use crate::model::Sequential;
+use crate::Result;
+
+/// Learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// `lr / (1 + decay * step)`.
+    InverseTime {
+        /// Decay constant applied per step.
+        decay: f32,
+    },
+}
+
+/// Mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    base_lr: f32,
+    schedule: LrSchedule,
+    step: u64,
+}
+
+impl Sgd {
+    /// Creates an optimiser with a constant learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Self {
+            base_lr: learning_rate,
+            schedule: LrSchedule::Constant,
+            step: 0,
+        }
+    }
+
+    /// Creates an optimiser with an inverse-time decay schedule.
+    pub fn with_inverse_time_decay(learning_rate: f32, decay: f32) -> Self {
+        Self {
+            base_lr: learning_rate,
+            schedule: LrSchedule::InverseTime { decay },
+            step: 0,
+        }
+    }
+
+    /// Learning rate that will be used by the next [`Sgd::step`] call.
+    pub fn current_lr(&self) -> f32 {
+        match self.schedule {
+            LrSchedule::Constant => self.base_lr,
+            LrSchedule::InverseTime { decay } => self.base_lr / (1.0 + decay * self.step as f32),
+        }
+    }
+
+    /// Number of steps applied so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one gradient to the model and advances the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::MlError::ParameterCountMismatch`] from the model.
+    pub fn step(&mut self, model: &mut Sequential, gradient: &Gradient) -> Result<()> {
+        let lr = self.current_lr();
+        model.apply_gradient(gradient, lr)?;
+        self.step += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+    use crate::layers::Dense;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn constant_lr_does_not_change() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.current_lr(), 0.1);
+        let mut model =
+            Sequential::new().with_layer(Box::new(Dense::new(2, 2, Initializer::Xavier, 0)));
+        let g = Gradient::zeros(model.parameter_count());
+        opt.step(&mut model, &g).unwrap();
+        assert_eq!(opt.current_lr(), 0.1);
+        assert_eq!(opt.steps_taken(), 1);
+    }
+
+    #[test]
+    fn inverse_time_decay_decreases() {
+        let mut opt = Sgd::with_inverse_time_decay(1.0, 1.0);
+        let mut model =
+            Sequential::new().with_layer(Box::new(Dense::new(2, 2, Initializer::Xavier, 0)));
+        let g = Gradient::zeros(model.parameter_count());
+        let lr0 = opt.current_lr();
+        opt.step(&mut model, &g).unwrap();
+        let lr1 = opt.current_lr();
+        opt.step(&mut model, &g).unwrap();
+        let lr2 = opt.current_lr();
+        assert!(lr0 > lr1 && lr1 > lr2);
+        assert!((lr1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_moves_parameters_opposite_to_gradient() {
+        let mut model =
+            Sequential::new().with_layer(Box::new(Dense::new(1, 1, Initializer::Zeros, 0)));
+        let mut opt = Sgd::new(0.5);
+        let g = Gradient::from_vec(vec![1.0, 2.0]);
+        opt.step(&mut model, &g).unwrap();
+        let params = model.parameters();
+        assert_eq!(params, vec![-0.5, -1.0]);
+    }
+
+    #[test]
+    fn training_loop_converges_with_sgd() {
+        let mut model =
+            Sequential::new().with_layer(Box::new(Dense::new(2, 2, Initializer::Xavier, 7)));
+        let mut opt = Sgd::new(0.2);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let y = vec![0, 1];
+        let mut last = f32::MAX;
+        for _ in 0..100 {
+            let (loss, grad) = model.compute_gradient(&x, &y).unwrap();
+            opt.step(&mut model, &grad).unwrap();
+            last = loss;
+        }
+        assert!(last < 0.1, "loss should approach zero, got {last}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Service Level Objectives for learning tasks.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-task budget a learning task should not exceed: a computation-time
+/// target and/or an energy target. The paper's experiments use 3 seconds and
+/// 0.075 % of the battery respectively (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Computation-time objective in seconds, if any.
+    pub computation_seconds: Option<f32>,
+    /// Energy objective as a percentage of battery capacity, if any.
+    pub energy_pct: Option<f32>,
+}
+
+impl Slo {
+    /// An SLO constraining only the computation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    pub fn latency(seconds: f32) -> Self {
+        assert!(seconds > 0.0, "latency SLO must be positive");
+        Self {
+            computation_seconds: Some(seconds),
+            energy_pct: None,
+        }
+    }
+
+    /// An SLO constraining only the energy consumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not positive.
+    pub fn energy(pct: f32) -> Self {
+        assert!(pct > 0.0, "energy SLO must be positive");
+        Self {
+            computation_seconds: None,
+            energy_pct: Some(pct),
+        }
+    }
+
+    /// An SLO constraining both dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not positive.
+    pub fn both(seconds: f32, pct: f32) -> Self {
+        assert!(seconds > 0.0 && pct > 0.0, "SLO values must be positive");
+        Self {
+            computation_seconds: Some(seconds),
+            energy_pct: Some(pct),
+        }
+    }
+
+    /// The paper's latency SLO of 3 seconds (§3.3).
+    pub fn paper_latency_default() -> Self {
+        Self::latency(3.0)
+    }
+
+    /// The paper's energy SLO of 0.075 % battery drop (§3.3).
+    pub fn paper_energy_default() -> Self {
+        Self::energy(0.075)
+    }
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Self::paper_latency_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let l = Slo::latency(3.0);
+        assert_eq!(l.computation_seconds, Some(3.0));
+        assert_eq!(l.energy_pct, None);
+        let e = Slo::energy(0.075);
+        assert_eq!(e.computation_seconds, None);
+        assert_eq!(e.energy_pct, Some(0.075));
+        let b = Slo::both(2.0, 0.05);
+        assert!(b.computation_seconds.is_some() && b.energy_pct.is_some());
+    }
+
+    #[test]
+    fn paper_defaults_match_section_3_3() {
+        assert_eq!(Slo::paper_latency_default().computation_seconds, Some(3.0));
+        assert_eq!(Slo::paper_energy_default().energy_pct, Some(0.075));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency SLO must be positive")]
+    fn non_positive_latency_panics() {
+        Slo::latency(0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The controller of Fig. 2: decides whether a learning task is worth
+//! executing before any energy is spent on it (§2.4, §3.5).
+
+use crate::protocol::RejectionReason;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds the controller enforces before handing out a learning task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ControllerThresholds {
+    /// Minimum mini-batch size worth computing (Fig. 3 motivates this: tiny
+    /// batches from weak devices add noise that can cancel the benefit of the
+    /// strong ones). `0` disables the check.
+    pub min_batch_size: usize,
+    /// Maximum similarity (Bhattacharyya coefficient with the global label
+    /// distribution) a task may have. Tasks that are *more* similar than this
+    /// carry little new information and are pruned. `None` disables the check.
+    pub max_similarity: Option<f32>,
+}
+
+/// The controller: applies [`ControllerThresholds`] and keeps acceptance
+/// statistics (used by the A/B-style threshold tuning described in §2.4).
+#[derive(Debug, Clone, Default)]
+pub struct Controller {
+    thresholds: ControllerThresholds,
+    accepted: u64,
+    rejected_size: u64,
+    rejected_similarity: u64,
+}
+
+impl Controller {
+    /// Creates a controller with the given thresholds.
+    pub fn new(thresholds: ControllerThresholds) -> Self {
+        Self {
+            thresholds,
+            ..Self::default()
+        }
+    }
+
+    /// A controller that accepts everything (thresholds disabled).
+    pub fn permissive() -> Self {
+        Self::new(ControllerThresholds::default())
+    }
+
+    /// The active thresholds.
+    pub fn thresholds(&self) -> ControllerThresholds {
+        self.thresholds
+    }
+
+    /// Replaces the thresholds (the A/B procedure of §2.4 raises them
+    /// gradually).
+    pub fn set_thresholds(&mut self, thresholds: ControllerThresholds) {
+        self.thresholds = thresholds;
+    }
+
+    /// Decides whether a task with the proposed mini-batch size and
+    /// similarity should run. Returns `Ok(())` to accept or the rejection
+    /// reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectionReason`] when a threshold is violated.
+    pub fn admit(&mut self, batch_size: usize, similarity: f32) -> Result<(), RejectionReason> {
+        if self.thresholds.min_batch_size > 0 && batch_size < self.thresholds.min_batch_size {
+            self.rejected_size += 1;
+            return Err(RejectionReason::BatchTooSmall {
+                proposed: batch_size,
+                minimum: self.thresholds.min_batch_size,
+            });
+        }
+        if let Some(max_sim) = self.thresholds.max_similarity {
+            if similarity > max_sim {
+                self.rejected_similarity += 1;
+                return Err(RejectionReason::TooSimilar);
+            }
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Number of accepted tasks.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of tasks rejected because the batch was too small.
+    pub fn rejected_for_size(&self) -> u64 {
+        self.rejected_size
+    }
+
+    /// Number of tasks rejected because the data was too similar.
+    pub fn rejected_for_similarity(&self) -> u64 {
+        self.rejected_similarity
+    }
+
+    /// Total number of rejected tasks.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_size + self.rejected_similarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissive_controller_accepts_everything() {
+        let mut c = Controller::permissive();
+        assert!(c.admit(1, 1.0).is_ok());
+        assert!(c.admit(0, 0.0).is_ok());
+        assert_eq!(c.accepted(), 2);
+        assert_eq!(c.rejected(), 0);
+    }
+
+    #[test]
+    fn size_threshold_rejects_small_batches() {
+        let mut c = Controller::new(ControllerThresholds {
+            min_batch_size: 10,
+            max_similarity: None,
+        });
+        assert_eq!(
+            c.admit(5, 0.5),
+            Err(RejectionReason::BatchTooSmall {
+                proposed: 5,
+                minimum: 10
+            })
+        );
+        assert!(c.admit(10, 0.5).is_ok());
+        assert_eq!(c.rejected_for_size(), 1);
+    }
+
+    #[test]
+    fn similarity_threshold_rejects_redundant_tasks() {
+        let mut c = Controller::new(ControllerThresholds {
+            min_batch_size: 0,
+            max_similarity: Some(0.9),
+        });
+        assert_eq!(c.admit(100, 0.95), Err(RejectionReason::TooSimilar));
+        assert!(c.admit(100, 0.85).is_ok());
+        assert_eq!(c.rejected_for_similarity(), 1);
+    }
+
+    #[test]
+    fn thresholds_can_be_tightened_at_runtime() {
+        let mut c = Controller::permissive();
+        assert!(c.admit(3, 1.0).is_ok());
+        c.set_thresholds(ControllerThresholds {
+            min_batch_size: 5,
+            max_similarity: Some(0.5),
+        });
+        assert!(c.admit(3, 0.4).is_err());
+        assert!(c.admit(6, 0.6).is_err());
+        assert!(c.admit(6, 0.4).is_ok());
+        assert_eq!(c.accepted(), 2);
+        assert_eq!(c.rejected(), 2);
+    }
+}

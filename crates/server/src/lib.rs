@@ -1,0 +1,33 @@
+//! # fleet-server
+//!
+//! The FLeet middleware itself (Fig. 2 of the paper): the server that owns the
+//! global model, the controller that accepts or rejects learning tasks, the
+//! worker runtime that executes them on (simulated) mobile devices, the wire
+//! protocol connecting the two sides, and the asynchronous simulation engine
+//! used by every experiment.
+//!
+//! The protocol follows the five steps of the paper:
+//!
+//! 1. the worker sends a [`protocol::TaskRequest`] with its device features
+//!    and local label information,
+//! 2. I-Prof bounds the workload (mini-batch size) from the device features,
+//! 3. AdaSGD computes the similarity of the request with past learning tasks,
+//! 4. the [`controller::Controller`] accepts or rejects the task; accepted
+//!    tasks receive a [`protocol::TaskAssignment`] with the current model and
+//!    the mini-batch size,
+//! 5. the worker computes the gradient and returns a [`protocol::TaskResult`],
+//!    which the server folds into the model with AdaSGD's weight.
+
+pub mod controller;
+pub mod online;
+pub mod protocol;
+pub mod server;
+pub mod simulation;
+pub mod staleness_model;
+pub mod wire;
+pub mod worker;
+
+pub use controller::{Controller, ControllerThresholds};
+pub use server::{FleetServer, FleetServerConfig};
+pub use simulation::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
+pub use worker::Worker;

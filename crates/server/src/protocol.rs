@@ -1,0 +1,122 @@
+//! Messages exchanged between FLeet workers and the server (Fig. 2).
+
+use fleet_data::LabelDistribution;
+use fleet_device::DeviceFeatures;
+use fleet_ml::Gradient;
+use serde::{Deserialize, Serialize};
+
+/// Step 1: a worker asks for a learning task, sending its device state and
+/// the label information of its locally collected data (only label indices
+/// and counts — never the raw data, §2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// The worker's identifier.
+    pub worker_id: u64,
+    /// The device model name (key for I-Prof's personalised models).
+    pub device_model: String,
+    /// Observable device state.
+    pub device_features: DeviceFeatures,
+    /// Label distribution of the worker's local data.
+    pub label_distribution: LabelDistribution,
+    /// Number of locally available samples.
+    pub available_samples: usize,
+}
+
+/// Steps 2–4: the server's answer to a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskResponse {
+    /// The task was accepted; the worker should compute a gradient.
+    Assignment(TaskAssignment),
+    /// The task was rejected by the controller.
+    Rejected(RejectionReason),
+}
+
+/// The learning task handed to the worker: the current model and the workload
+/// bound chosen by I-Prof.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// Flat model parameters the gradient must be computed against.
+    pub model_parameters: Vec<f32>,
+    /// The server's logical clock at the time the model was handed out.
+    pub model_version: u64,
+    /// The mini-batch size the worker should process.
+    pub mini_batch_size: usize,
+}
+
+/// Why the controller refused to hand out a learning task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectionReason {
+    /// The mini-batch size I-Prof proposed is below the controller's
+    /// size threshold (the gradient would be too noisy to help, Fig. 3).
+    BatchTooSmall {
+        /// The proposed size.
+        proposed: usize,
+        /// The minimum the controller accepts.
+        minimum: usize,
+    },
+    /// The worker's data is too similar to what the model has already seen
+    /// (low expected utility).
+    TooSimilar,
+}
+
+/// Step 5: the worker's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// The worker that produced the result.
+    pub worker_id: u64,
+    /// The model version the gradient was computed on.
+    pub model_version: u64,
+    /// The gradient itself.
+    pub gradient: Gradient,
+    /// Label distribution of the mini-batch actually used.
+    pub label_distribution: LabelDistribution,
+    /// Number of samples in the mini-batch actually used.
+    pub num_samples: usize,
+    /// Measured computation time on the device, in seconds (fed back to
+    /// I-Prof).
+    pub computation_seconds: f32,
+    /// Measured energy, in percent of battery (fed back to I-Prof).
+    pub energy_pct: f32,
+}
+
+/// The server's acknowledgement of a result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResultAck {
+    /// The staleness the server attributed to the gradient.
+    pub staleness: u64,
+    /// The weight AdaSGD applied to it.
+    pub scaling_factor: f64,
+    /// Whether the model advanced as a result.
+    pub model_updated: bool,
+    /// The server's logical clock after processing the result.
+    pub clock: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_reasons_are_comparable() {
+        let a = RejectionReason::BatchTooSmall {
+            proposed: 3,
+            minimum: 10,
+        };
+        let b = RejectionReason::TooSimilar;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn task_response_variants() {
+        let assignment = TaskAssignment {
+            model_parameters: vec![0.0; 4],
+            model_version: 7,
+            mini_batch_size: 100,
+        };
+        let resp = TaskResponse::Assignment(assignment.clone());
+        match resp {
+            TaskResponse::Assignment(a) => assert_eq!(a, assignment),
+            TaskResponse::Rejected(_) => panic!("expected assignment"),
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Controlled-staleness asynchronous training simulation (§3.2).
+//!
+//! The paper evaluates AdaSGD against DynSGD/FedAvg/SSGD by *controlling* the
+//! staleness of worker updates: each gradient applied at global step `t` with
+//! staleness `τ` was computed against the model as it was at step `t − τ`,
+//! where `τ` is drawn from a Gaussian (D1 = N(6,2), D2 = N(12,4)) or forced
+//! for specific classes (the long-tail experiment of Fig. 9). The simulation
+//! keeps a bounded history of past model versions so the gradient can be
+//! computed against exactly the right snapshot.
+
+use fleet_core::{Aggregator, ParameterServer, WorkerUpdate};
+use fleet_data::partition::UserPartition;
+use fleet_data::sampling::MiniBatchSampler;
+use fleet_data::{Dataset, LabelDistribution};
+use fleet_dp::GaussianMechanism;
+use fleet_ml::metrics::{accuracy, class_accuracy};
+use fleet_ml::Sequential;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Distribution the per-update staleness is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StalenessDistribution {
+    /// No staleness (the synchronous SSGD baseline).
+    None,
+    /// A fixed staleness for every update.
+    Constant(u64),
+    /// Gaussian staleness (rounded and clamped at zero), the paper's D1/D2.
+    Gaussian {
+        /// Mean staleness μ.
+        mean: f64,
+        /// Standard deviation σ.
+        std: f64,
+    },
+}
+
+impl StalenessDistribution {
+    /// The paper's D1 = N(6, 2).
+    pub fn d1() -> Self {
+        StalenessDistribution::Gaussian { mean: 6.0, std: 2.0 }
+    }
+
+    /// The paper's D2 = N(12, 4).
+    pub fn d2() -> Self {
+        StalenessDistribution::Gaussian { mean: 12.0, std: 4.0 }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            StalenessDistribution::None => 0,
+            StalenessDistribution::Constant(v) => v,
+            StalenessDistribution::Gaussian { mean, std } => {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mean + std * z).round().max(0.0) as u64
+            }
+        }
+    }
+}
+
+/// Configuration of one asynchronous training run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Number of global model updates (steps).
+    pub steps: usize,
+    /// Learning rate γ.
+    pub learning_rate: f32,
+    /// Mini-batch size per learning task (the paper uses 100).
+    pub batch_size: usize,
+    /// Aggregation parameter K (gradients per model update).
+    pub aggregation_k: usize,
+    /// Staleness distribution of worker updates.
+    pub staleness: StalenessDistribution,
+    /// Forces the staleness of every task whose mini-batch contains the given
+    /// class to the given value (the Fig. 9 long-tail straggler setup).
+    pub class_straggler: Option<(usize, u64)>,
+    /// Differential-privacy noise: `(clip_norm, noise_multiplier)`; `None`
+    /// disables the Gaussian mechanism.
+    pub dp: Option<(f32, f32)>,
+    /// Evaluate the model on the test set every this many steps.
+    pub eval_every: usize,
+    /// Number of test examples used per evaluation (caps evaluation cost).
+    pub eval_examples: usize,
+    /// Track the accuracy of this class separately (Fig. 9a).
+    pub track_class: Option<usize>,
+    /// RNG seed for user selection, mini-batch sampling and staleness.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            steps: 500,
+            learning_rate: 5e-2,
+            batch_size: 100,
+            aggregation_k: 1,
+            staleness: StalenessDistribution::d1(),
+            class_straggler: None,
+            dp: None,
+            eval_every: 50,
+            eval_examples: 512,
+            track_class: None,
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluation point of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalPoint {
+    /// Global step at which the evaluation happened.
+    pub step: usize,
+    /// Top-1 accuracy on the (capped) test set.
+    pub accuracy: f32,
+    /// Accuracy restricted to the tracked class, if configured.
+    pub class_accuracy: Option<f32>,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingHistory {
+    /// Name of the aggregation algorithm that produced this history.
+    pub algorithm: &'static str,
+    /// Evaluation points, in step order.
+    pub evals: Vec<EvalPoint>,
+    /// The weight attached to every applied gradient, in submission order.
+    pub scaling_factors: Vec<f64>,
+}
+
+impl TrainingHistory {
+    /// The last recorded accuracy (0.0 when no evaluation happened).
+    pub fn final_accuracy(&self) -> f32 {
+        self.evals.last().map(|e| e.accuracy).unwrap_or(0.0)
+    }
+
+    /// The first step at which the accuracy reached `target`, if any.
+    pub fn steps_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.evals
+            .iter()
+            .find(|e| e.accuracy >= target)
+            .map(|e| e.step)
+    }
+
+    /// The best accuracy observed during the run.
+    pub fn best_accuracy(&self) -> f32 {
+        self.evals.iter().map(|e| e.accuracy).fold(0.0, f32::max)
+    }
+}
+
+/// The asynchronous training simulation engine.
+#[derive(Debug)]
+pub struct AsyncSimulation<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    users: &'a UserPartition,
+    config: SimulationConfig,
+}
+
+impl<'a> AsyncSimulation<'a> {
+    /// Creates a simulation over a train/test split and a user partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition is empty or the config has zero steps.
+    pub fn new(
+        train: &'a Dataset,
+        test: &'a Dataset,
+        users: &'a UserPartition,
+        config: SimulationConfig,
+    ) -> Self {
+        assert!(!users.is_empty(), "user partition must not be empty");
+        assert!(config.steps > 0, "steps must be positive");
+        Self {
+            train,
+            test,
+            users,
+            config,
+        }
+    }
+
+    /// Runs the simulation with the given aggregator, starting from `model`'s
+    /// current parameters. The model is left holding the final parameters.
+    pub fn run<A: Aggregator>(&self, model: &mut Sequential, aggregator: A) -> TrainingHistory {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sampler = MiniBatchSampler::new(cfg.seed.wrapping_add(1));
+        let mut dp = cfg
+            .dp
+            .map(|(clip, sigma)| GaussianMechanism::new(clip, sigma, cfg.seed.wrapping_add(2)));
+
+        let algorithm = aggregator.name();
+        let mut server = ParameterServer::new(
+            model.parameters(),
+            aggregator,
+            cfg.learning_rate,
+            cfg.aggregation_k,
+        );
+
+        // Bounded history of past parameter snapshots; index 0 is the oldest.
+        let max_history = self.max_history();
+        let mut history: VecDeque<Vec<f32>> = VecDeque::with_capacity(max_history);
+        history.push_back(server.parameters().to_vec());
+
+        let mut result = TrainingHistory {
+            algorithm,
+            ..TrainingHistory::default()
+        };
+
+        // Pre-build the evaluation batch.
+        let eval_indices: Vec<usize> =
+            (0..self.test.len().min(cfg.eval_examples.max(1))).collect();
+        let (eval_inputs, eval_labels) = self.test.batch(&eval_indices);
+
+        for step in 0..cfg.steps {
+            for _ in 0..cfg.aggregation_k {
+                // Pick a user with local data.
+                let user = loop {
+                    let candidate = rng.gen_range(0..self.users.len());
+                    if !self.users[candidate].is_empty() {
+                        break candidate;
+                    }
+                };
+                let batch_indices = sampler.sample(&self.users[user], cfg.batch_size);
+                let (inputs, labels) = self.train.batch(&batch_indices);
+
+                // Staleness: sampled, then possibly overridden for straggler classes.
+                let mut staleness = cfg.staleness.sample(&mut rng);
+                if let Some((class, forced)) = cfg.class_straggler {
+                    if labels.contains(&class) {
+                        staleness = forced;
+                    }
+                }
+                let clock = server.clock();
+                staleness = staleness.min(clock).min(history.len() as u64 - 1);
+
+                // Compute the gradient against the model as it was τ steps ago.
+                let snapshot_index = history.len() - 1 - staleness as usize;
+                model
+                    .set_parameters(&history[snapshot_index])
+                    .expect("history snapshots always match the architecture");
+                let (_, mut gradient) = model
+                    .compute_gradient(&inputs, &labels)
+                    .expect("training batches always match the architecture");
+                if let Some(mechanism) = dp.as_mut() {
+                    mechanism.privatize(gradient.as_mut_slice(), labels.len());
+                }
+
+                let update = WorkerUpdate::new(
+                    gradient,
+                    staleness,
+                    LabelDistribution::from_labels(&labels, self.train.num_classes()),
+                    labels.len(),
+                    user as u64,
+                );
+                let outcome = server.submit(update);
+                result.scaling_factors.push(outcome.scaling_factor);
+            }
+
+            history.push_back(server.parameters().to_vec());
+            if history.len() > max_history {
+                history.pop_front();
+            }
+
+            if (step + 1) % cfg.eval_every == 0 || step + 1 == cfg.steps {
+                model
+                    .set_parameters(server.parameters())
+                    .expect("server parameters always match the architecture");
+                let predictions = model
+                    .predict(&eval_inputs)
+                    .expect("evaluation batch always matches the architecture");
+                result.evals.push(EvalPoint {
+                    step: step + 1,
+                    accuracy: accuracy(&predictions, &eval_labels),
+                    class_accuracy: cfg
+                        .track_class
+                        .and_then(|c| class_accuracy(&predictions, &eval_labels, c)),
+                });
+            }
+        }
+
+        model
+            .set_parameters(server.parameters())
+            .expect("server parameters always match the architecture");
+        result
+    }
+
+    fn max_history(&self) -> usize {
+        let from_distribution = match self.config.staleness {
+            StalenessDistribution::None => 1,
+            StalenessDistribution::Constant(v) => v as usize + 1,
+            StalenessDistribution::Gaussian { mean, std } => (mean + 6.0 * std).ceil() as usize + 1,
+        };
+        let from_straggler = self
+            .config
+            .class_straggler
+            .map(|(_, s)| s as usize + 1)
+            .unwrap_or(1);
+        from_distribution.max(from_straggler).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_core::{AdaSgd, DynSgd, FedAvg, Ssgd};
+    use fleet_data::partition::{iid_partition, non_iid_shards};
+    use fleet_data::synthetic::{generate, SyntheticSpec};
+    use fleet_ml::models::mlp_classifier;
+
+    fn world() -> (Dataset, Dataset, UserPartition) {
+        let data = generate(&SyntheticSpec::vector(5, 8, 600), 3);
+        let (train, test) = data.split(0.2);
+        let users = non_iid_shards(&train, 12, 2, 1);
+        (train, test, users)
+    }
+
+    fn fast_config(staleness: StalenessDistribution) -> SimulationConfig {
+        SimulationConfig {
+            steps: 150,
+            learning_rate: 0.1,
+            batch_size: 20,
+            eval_every: 50,
+            eval_examples: 120,
+            staleness,
+            seed: 9,
+            ..SimulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn ssgd_learns_on_iid_data() {
+        let data = generate(&SyntheticSpec::vector(4, 6, 400), 1);
+        let (train, test) = data.split(0.25);
+        let users = iid_partition(&train, 8, 0);
+        let sim = AsyncSimulation::new(&train, &test, &users, fast_config(StalenessDistribution::None));
+        let mut model = mlp_classifier(6, &[16], 4, 0);
+        let history = sim.run(&mut model, Ssgd::new());
+        assert_eq!(history.algorithm, "SSGD");
+        assert!(history.final_accuracy() > 0.5, "accuracy {}", history.final_accuracy());
+        assert!(history.scaling_factors.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn staleness_aware_beats_unaware_under_heavy_staleness() {
+        let (train, test, users) = world();
+        let cfg = fast_config(StalenessDistribution::Gaussian { mean: 10.0, std: 3.0 });
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+
+        let mut ada_model = mlp_classifier(8, &[16], 5, 7);
+        let ada = sim.run(&mut ada_model, AdaSgd::new(5, 99.7));
+        let mut fed_model = mlp_classifier(8, &[16], 5, 7);
+        let fed = sim.run(&mut fed_model, FedAvg::new());
+        assert!(
+            ada.final_accuracy() >= fed.final_accuracy(),
+            "AdaSGD {} should be at least as good as FedAvg {}",
+            ada.final_accuracy(),
+            fed.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn histories_record_expected_number_of_points() {
+        let (train, test, users) = world();
+        let sim = AsyncSimulation::new(&train, &test, &users, fast_config(StalenessDistribution::d1()));
+        let mut model = mlp_classifier(8, &[16], 5, 1);
+        let history = sim.run(&mut model, DynSgd::new());
+        assert_eq!(history.evals.len(), 3);
+        assert_eq!(history.scaling_factors.len(), 150);
+        assert!(history.best_accuracy() >= history.evals[0].accuracy);
+    }
+
+    #[test]
+    fn class_straggler_overrides_staleness() {
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::Constant(2));
+        cfg.class_straggler = Some((0, 30));
+        cfg.track_class = Some(0);
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let mut model = mlp_classifier(8, &[16], 5, 2);
+        let history = sim.run(&mut model, AdaSgd::new(5, 99.7));
+        // Scaling factors of straggler updates are well below the constant-2
+        // dampening of the others, so the distribution must be bimodal.
+        let min = history
+            .scaling_factors
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = history.scaling_factors.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 0.3 && max > 0.3, "min {min}, max {max}");
+        assert!(history.evals.iter().any(|e| e.class_accuracy.is_some()));
+    }
+
+    #[test]
+    fn dp_noise_slows_convergence() {
+        let data = generate(&SyntheticSpec::vector(4, 6, 400), 5);
+        let (train, test) = data.split(0.25);
+        let users = iid_partition(&train, 8, 0);
+        let mut clean_cfg = fast_config(StalenessDistribution::Constant(3));
+        clean_cfg.steps = 200;
+        let mut noisy_cfg = clean_cfg.clone();
+        // Heavy noise (σ = 60 on a clip of 1.0 over batches of 20) keeps the
+        // noisy run close to chance level while the clean run converges.
+        noisy_cfg.dp = Some((1.0, 60.0));
+
+        let sim_clean = AsyncSimulation::new(&train, &test, &users, clean_cfg);
+        let sim_noisy = AsyncSimulation::new(&train, &test, &users, noisy_cfg);
+        let mut m1 = mlp_classifier(6, &[16], 4, 3);
+        let mut m2 = mlp_classifier(6, &[16], 4, 3);
+        let clean = sim_clean.run(&mut m1, AdaSgd::new(4, 99.7));
+        let noisy = sim_noisy.run(&mut m2, AdaSgd::new(4, 99.7));
+        assert!(
+            clean.final_accuracy() > noisy.final_accuracy() + 0.05,
+            "clean {} vs noisy {}",
+            clean.final_accuracy(),
+            noisy.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn staleness_distribution_samples_are_sane() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = StalenessDistribution::d2();
+        let samples: Vec<u64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 12.0).abs() < 1.0, "mean {mean}");
+        assert_eq!(StalenessDistribution::None.sample(&mut rng), 0);
+        assert_eq!(StalenessDistribution::Constant(7).sample(&mut rng), 7);
+    }
+}

@@ -1,0 +1,328 @@
+//! Binary wire encoding of the worker/server protocol.
+//!
+//! The paper's implementation streams Kryo+Gzip-encoded objects between the
+//! Android worker and the HTTP server. Here we provide an explicit,
+//! dependency-free binary codec built on [`bytes`]: length-prefixed fields,
+//! little-endian scalars, f32 slices packed raw. The format is versioned with
+//! a one-byte tag so it can evolve.
+
+use crate::protocol::{TaskRequest, TaskResult};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fleet_data::LabelDistribution;
+use fleet_device::DeviceFeatures;
+use fleet_ml::Gradient;
+use std::error::Error;
+use std::fmt;
+
+/// Current wire-format version.
+const WIRE_VERSION: u8 = 1;
+
+/// Errors produced while decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message was complete.
+    UnexpectedEof,
+    /// The version byte is not understood.
+    UnsupportedVersion(u8),
+    /// A length field exceeds sane bounds.
+    LengthOutOfBounds(usize),
+    /// A string field is not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of wire message"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::LengthOutOfBounds(len) => write!(f, "length field {len} out of bounds"),
+            WireError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+const MAX_FIELD_LEN: usize = 64 * 1024 * 1024;
+
+fn put_f32_slice(buf: &mut BytesMut, values: &[f32]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, WireError> {
+    let len = get_len(buf)?;
+    if buf.remaining() < len * 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
+    let len = get_len(buf)?;
+    if buf.remaining() < len {
+        return Err(WireError::UnexpectedEof);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+}
+
+fn get_len(buf: &mut Bytes) -> Result<usize, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_FIELD_LEN {
+        return Err(WireError::LengthOutOfBounds(len));
+    }
+    Ok(len)
+}
+
+fn need(buf: &Bytes, bytes: usize) -> Result<(), WireError> {
+    if buf.remaining() < bytes {
+        Err(WireError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a [`TaskRequest`] into a byte buffer.
+pub fn encode_request(request: &TaskRequest) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u64_le(request.worker_id);
+    put_str(&mut buf, &request.device_model);
+    let f = &request.device_features;
+    for v in [
+        f.available_memory_mb,
+        f.total_memory_mb,
+        f.temperature_celsius,
+        f.sum_max_freq_ghz,
+        f.energy_per_cpu_second,
+    ] {
+        buf.put_f32_le(v);
+    }
+    put_f32_slice(&mut buf, request.label_distribution.as_slice());
+    buf.put_u64_le(request.available_samples as u64);
+    buf.freeze()
+}
+
+/// Decodes a [`TaskRequest`] from bytes produced by [`encode_request`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when the buffer is truncated, has an unknown
+/// version, or contains malformed fields.
+pub fn decode_request(mut buf: Bytes) -> Result<TaskRequest, WireError> {
+    need(&buf, 1)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    need(&buf, 8)?;
+    let worker_id = buf.get_u64_le();
+    let device_model = get_string(&mut buf)?;
+    need(&buf, 5 * 4)?;
+    let device_features = DeviceFeatures {
+        available_memory_mb: buf.get_f32_le(),
+        total_memory_mb: buf.get_f32_le(),
+        temperature_celsius: buf.get_f32_le(),
+        sum_max_freq_ghz: buf.get_f32_le(),
+        energy_per_cpu_second: buf.get_f32_le(),
+    };
+    let probabilities = get_f32_vec(&mut buf)?;
+    if probabilities.is_empty() {
+        return Err(WireError::LengthOutOfBounds(0));
+    }
+    // Reconstruct the distribution from its probability vector by scaling to
+    // counts (sufficient precision for similarity computation).
+    let counts: Vec<u64> = probabilities
+        .iter()
+        .map(|p| (p * 1_000_000.0).round().max(0.0) as u64)
+        .collect();
+    let label_distribution = LabelDistribution::from_counts(&counts);
+    need(&buf, 8)?;
+    let available_samples = buf.get_u64_le() as usize;
+    Ok(TaskRequest {
+        worker_id,
+        device_model,
+        device_features,
+        label_distribution,
+        available_samples,
+    })
+}
+
+/// Encodes a [`TaskResult`] into a byte buffer.
+pub fn encode_result(result: &TaskResult) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u64_le(result.worker_id);
+    buf.put_u64_le(result.model_version);
+    put_f32_slice(&mut buf, result.gradient.as_slice());
+    put_f32_slice(&mut buf, result.label_distribution.as_slice());
+    buf.put_u64_le(result.num_samples as u64);
+    buf.put_f32_le(result.computation_seconds);
+    buf.put_f32_le(result.energy_pct);
+    buf.freeze()
+}
+
+/// Decodes a [`TaskResult`] from bytes produced by [`encode_result`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when the buffer is truncated, has an unknown
+/// version, or contains malformed fields.
+pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
+    need(&buf, 1)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    need(&buf, 16)?;
+    let worker_id = buf.get_u64_le();
+    let model_version = buf.get_u64_le();
+    let gradient = Gradient::from_vec(get_f32_vec(&mut buf)?);
+    let probabilities = get_f32_vec(&mut buf)?;
+    if probabilities.is_empty() {
+        return Err(WireError::LengthOutOfBounds(0));
+    }
+    let counts: Vec<u64> = probabilities
+        .iter()
+        .map(|p| (p * 1_000_000.0).round().max(0.0) as u64)
+        .collect();
+    let label_distribution = LabelDistribution::from_counts(&counts);
+    need(&buf, 8 + 4 + 4)?;
+    let num_samples = buf.get_u64_le() as usize;
+    let computation_seconds = buf.get_f32_le();
+    let energy_pct = buf.get_f32_le();
+    Ok(TaskResult {
+        worker_id,
+        model_version,
+        gradient,
+        label_distribution,
+        num_samples,
+        computation_seconds,
+        energy_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_request() -> TaskRequest {
+        TaskRequest {
+            worker_id: 42,
+            device_model: "Galaxy S7".to_string(),
+            device_features: DeviceFeatures::default(),
+            label_distribution: LabelDistribution::from_labels(&[0, 1, 1, 3], 5),
+            available_samples: 220,
+        }
+    }
+
+    fn sample_result() -> TaskResult {
+        TaskResult {
+            worker_id: 42,
+            model_version: 17,
+            gradient: Gradient::from_vec(vec![0.25, -0.5, 1.0]),
+            label_distribution: LabelDistribution::from_labels(&[2, 2, 4], 5),
+            num_samples: 3,
+            computation_seconds: 2.75,
+            energy_pct: 0.06,
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let original = sample_request();
+        let decoded = decode_request(encode_request(&original)).unwrap();
+        assert_eq!(decoded.worker_id, original.worker_id);
+        assert_eq!(decoded.device_model, original.device_model);
+        assert_eq!(decoded.available_samples, original.available_samples);
+        for (a, b) in decoded
+            .label_distribution
+            .as_slice()
+            .iter()
+            .zip(original.label_distribution.as_slice())
+        {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let original = sample_result();
+        let decoded = decode_result(encode_result(&original)).unwrap();
+        assert_eq!(decoded.gradient, original.gradient);
+        assert_eq!(decoded.model_version, original.model_version);
+        assert_eq!(decoded.num_samples, original.num_samples);
+        assert!((decoded.computation_seconds - original.computation_seconds).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let encoded = encode_request(&sample_request());
+        for cut in [0usize, 1, 5, 10, encoded.len() - 1] {
+            let partial = encoded.slice(0..cut);
+            assert!(decode_request(partial).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(99);
+        raw.put_u64_le(0);
+        assert_eq!(
+            decode_request(raw.freeze()),
+            Err(WireError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(WIRE_VERSION);
+        raw.put_u64_le(1); // worker id
+        raw.put_u32_le(u32::MAX); // absurd string length
+        assert!(matches!(
+            decode_request(raw.freeze()),
+            Err(WireError::LengthOutOfBounds(_)) | Err(WireError::UnexpectedEof)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_result_roundtrip(gradient in proptest::collection::vec(-10.0f32..10.0, 1..128),
+                                 version in 0u64..10_000,
+                                 samples in 1usize..10_000) {
+            let original = TaskResult {
+                worker_id: 7,
+                model_version: version,
+                gradient: Gradient::from_vec(gradient),
+                label_distribution: LabelDistribution::uniform(8),
+                num_samples: samples,
+                computation_seconds: 1.5,
+                energy_pct: 0.01,
+            };
+            let decoded = decode_result(encode_result(&original)).unwrap();
+            prop_assert_eq!(decoded.gradient, original.gradient);
+            prop_assert_eq!(decoded.model_version, original.model_version);
+            prop_assert_eq!(decoded.num_samples, original.num_samples);
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_request(Bytes::from(raw.clone()));
+            let _ = decode_result(Bytes::from(raw));
+        }
+    }
+}

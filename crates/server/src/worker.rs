@@ -1,0 +1,228 @@
+//! The FLeet worker runtime: executes learning tasks on a (simulated) mobile
+//! device against locally collected data.
+
+use crate::protocol::{TaskAssignment, TaskRequest, TaskResult};
+use fleet_data::sampling::MiniBatchSampler;
+use fleet_data::{Dataset, LabelDistribution};
+use fleet_device::Device;
+use fleet_ml::{MlError, Sequential};
+use std::sync::Arc;
+
+/// A worker: one user's device, local data, and model replica.
+///
+/// The worker never ships its raw data anywhere — it only reveals label
+/// indices/counts with its requests and flat gradients with its results
+/// (the privacy contract of §2.1).
+#[derive(Debug)]
+pub struct Worker {
+    id: u64,
+    device: Device,
+    dataset: Arc<Dataset>,
+    local_indices: Vec<usize>,
+    sampler: MiniBatchSampler,
+    model: Sequential,
+}
+
+impl Worker {
+    /// Creates a worker.
+    ///
+    /// `model` must have the same architecture as the server's global model;
+    /// its parameters are overwritten by every assignment.
+    pub fn new(
+        id: u64,
+        device: Device,
+        dataset: Arc<Dataset>,
+        local_indices: Vec<usize>,
+        model: Sequential,
+        seed: u64,
+    ) -> Self {
+        Self {
+            id,
+            device,
+            dataset,
+            local_indices,
+            sampler: MiniBatchSampler::new(seed),
+            model,
+        }
+    }
+
+    /// The worker's identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The simulated device the worker runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the device (e.g. to let it idle or recharge).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Number of locally available samples.
+    pub fn available_samples(&self) -> usize {
+        self.local_indices.len()
+    }
+
+    /// Label distribution of the worker's full local dataset.
+    pub fn local_label_distribution(&self) -> LabelDistribution {
+        let labels: Vec<usize> = self
+            .local_indices
+            .iter()
+            .map(|&i| self.dataset.label(i))
+            .collect();
+        LabelDistribution::from_labels(&labels, self.dataset.num_classes())
+    }
+
+    /// Builds the learning-task request (step 1 of Fig. 2).
+    pub fn request(&mut self) -> TaskRequest {
+        TaskRequest {
+            worker_id: self.id,
+            device_model: self.device.profile().name.clone(),
+            device_features: self.device.features(),
+            label_distribution: self.local_label_distribution(),
+            available_samples: self.local_indices.len(),
+        }
+    }
+
+    /// Executes an assignment (step 5): samples a mini-batch of the requested
+    /// size, computes the gradient against the assigned model parameters, and
+    /// simulates the computation on the device to obtain latency and energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MlError`] when the assigned parameters do not match the
+    /// worker's model architecture or the local data is unusable.
+    pub fn execute(&mut self, assignment: &TaskAssignment) -> Result<TaskResult, MlError> {
+        if self.local_indices.is_empty() {
+            return Err(MlError::InvalidArgument(
+                "worker has no local data".to_string(),
+            ));
+        }
+        self.model.set_parameters(&assignment.model_parameters)?;
+        let batch_indices = self
+            .sampler
+            .sample(&self.local_indices, assignment.mini_batch_size.max(1));
+        let (inputs, labels) = self.dataset.batch(&batch_indices);
+        let (_, gradient) = self.model.compute_gradient(&inputs, &labels)?;
+        let execution = self.device.execute_task(batch_indices.len());
+        Ok(TaskResult {
+            worker_id: self.id,
+            model_version: assignment.model_version,
+            gradient,
+            label_distribution: LabelDistribution::from_labels(&labels, self.dataset.num_classes()),
+            num_samples: batch_indices.len(),
+            computation_seconds: execution.computation_seconds,
+            energy_pct: execution.energy_pct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet_data::synthetic::{generate, SyntheticSpec};
+    use fleet_device::profile::by_name;
+    use fleet_ml::models::mlp_classifier;
+
+    fn worker() -> Worker {
+        let dataset = Arc::new(generate(&SyntheticSpec::vector(4, 6, 80), 1));
+        let indices: Vec<usize> = (0..40).collect();
+        let model = mlp_classifier(6, &[8], 4, 0);
+        Worker::new(
+            7,
+            Device::new(by_name("Galaxy S7").unwrap(), 3),
+            dataset,
+            indices,
+            model,
+            11,
+        )
+    }
+
+    fn assignment(worker: &Worker, batch: usize) -> TaskAssignment {
+        // Build a compatible parameter vector from a fresh replica.
+        let replica = mlp_classifier(6, &[8], 4, 5);
+        let _ = worker;
+        TaskAssignment {
+            model_parameters: replica.parameters(),
+            model_version: 3,
+            mini_batch_size: batch,
+        }
+    }
+
+    #[test]
+    fn request_carries_label_distribution_and_device_state() {
+        let mut w = worker();
+        let req = w.request();
+        assert_eq!(req.worker_id, 7);
+        assert_eq!(req.device_model, "Galaxy S7");
+        assert_eq!(req.available_samples, 40);
+        let sum: f32 = req.label_distribution.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn execute_produces_gradient_and_costs() {
+        let mut w = worker();
+        let a = assignment(&w, 16);
+        let result = w.execute(&a).unwrap();
+        assert_eq!(result.worker_id, 7);
+        assert_eq!(result.model_version, 3);
+        assert_eq!(result.num_samples, 16);
+        assert!(result.gradient.l2_norm() > 0.0);
+        assert!(result.computation_seconds > 0.0);
+        assert!(result.energy_pct > 0.0);
+    }
+
+    #[test]
+    fn execute_caps_batch_at_available_data_without_failing() {
+        let mut w = worker();
+        let a = assignment(&w, 1000);
+        let result = w.execute(&a).unwrap();
+        assert_eq!(result.num_samples, 1000); // sampled with replacement
+    }
+
+    #[test]
+    fn execute_rejects_mismatched_parameters() {
+        let mut w = worker();
+        let a = TaskAssignment {
+            model_parameters: vec![0.0; 3],
+            model_version: 0,
+            mini_batch_size: 8,
+        };
+        assert!(w.execute(&a).is_err());
+    }
+
+    #[test]
+    fn worker_with_no_data_errors() {
+        let dataset = Arc::new(generate(&SyntheticSpec::vector(4, 6, 10), 1));
+        let model = mlp_classifier(6, &[8], 4, 0);
+        let mut w = Worker::new(
+            1,
+            Device::new(by_name("Pixel").unwrap(), 1),
+            dataset,
+            Vec::new(),
+            model,
+            1,
+        );
+        let a = TaskAssignment {
+            model_parameters: mlp_classifier(6, &[8], 4, 0).parameters(),
+            model_version: 0,
+            mini_batch_size: 8,
+        };
+        assert!(w.execute(&a).is_err());
+    }
+
+    #[test]
+    fn repeated_tasks_drain_battery() {
+        let mut w = worker();
+        let a = assignment(&w, 64);
+        for _ in 0..5 {
+            w.execute(&a).unwrap();
+        }
+        assert!(w.device().battery_pct() < 100.0);
+        assert_eq!(w.device().tasks_executed(), 5);
+    }
+}

@@ -1,0 +1,12 @@
+//! Helper crate holding the runnable examples of the FLeet reproduction.
+//!
+//! The interesting code lives in the example binaries next to this file:
+//!
+//! * `quickstart.rs` — minimal Online FL round-trip through the middleware.
+//! * `online_news_recommender.rs` — the paper's motivating scenario (§1, Fig. 1/6):
+//!   a temporal recommendation workload trained online vs once per day.
+//! * `staleness_awareness.rs` — AdaSGD vs DynSGD vs FedAvg under controlled staleness.
+//! * `profiler_slo.rs` — I-Prof vs MAUI predicting per-device mini-batch sizes.
+//! * `dp_training.rs` — differentially private Online FL.
+//!
+//! Run any of them with `cargo run -p fleet-examples --example <name>`.

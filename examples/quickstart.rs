@@ -1,0 +1,90 @@
+//! Quickstart: a minimal Online FL deployment with the FLeet middleware.
+//!
+//! Builds a small federated world (non-IID synthetic data spread over a few
+//! simulated phones), runs the full request → profile → control → learn →
+//! aggregate protocol for a handful of rounds and prints how the global model
+//! improves.
+//!
+//! Run with: `cargo run -p fleet-examples --example quickstart`
+
+use fleet_data::partition::non_iid_shards;
+use fleet_data::synthetic::{generate, SyntheticSpec};
+use fleet_device::profile::catalogue;
+use fleet_device::Device;
+use fleet_ml::metrics::accuracy;
+use fleet_ml::models::mlp_classifier;
+use fleet_server::protocol::TaskResponse;
+use fleet_server::{FleetServer, FleetServerConfig, Worker};
+use std::sync::Arc;
+
+fn main() {
+    // 1. The data: a 10-class classification task, split non-IID over 8 users.
+    let dataset = Arc::new(generate(&SyntheticSpec::vector(10, 32, 2000), 7));
+    let users = non_iid_shards(&dataset, 8, 2, 1);
+
+    // 2. The global model and the FLeet server that owns it.
+    let model = mlp_classifier(32, &[32], 10, 0);
+    let mut server = FleetServer::new(
+        model.parameters(),
+        FleetServerConfig {
+            num_classes: 10,
+            learning_rate: 0.05,
+            ..FleetServerConfig::default()
+        },
+    );
+
+    // 3. The workers: one simulated phone per user.
+    let phones = catalogue();
+    let mut workers: Vec<Worker> = users
+        .into_iter()
+        .enumerate()
+        .map(|(i, indices)| {
+            Worker::new(
+                i as u64,
+                Device::new(phones[i % phones.len()].clone(), i as u64),
+                Arc::clone(&dataset),
+                indices,
+                mlp_classifier(32, &[32], 10, 0),
+                42 + i as u64,
+            )
+        })
+        .collect();
+
+    // Evaluation helper over the whole dataset.
+    let all: Vec<usize> = (0..dataset.len()).collect();
+    let (eval_x, eval_y) = dataset.batch(&all);
+    let mut eval_model = mlp_classifier(32, &[32], 10, 0);
+
+    println!("round, model_updates, accuracy");
+    for round in 0..20 {
+        for worker in workers.iter_mut() {
+            // Step 1: the worker asks for a task.
+            let request = worker.request();
+            // Steps 2-4: I-Prof bounds the batch, the controller admits the task.
+            match server.handle_request(&request) {
+                TaskResponse::Assignment(mut assignment) => {
+                    // Keep the example fast: cap the workload.
+                    assignment.mini_batch_size = assignment.mini_batch_size.min(64);
+                    // Step 5: compute the gradient on-device and send it back.
+                    let result = worker.execute(&assignment).expect("compatible model");
+                    server.handle_result(result);
+                }
+                TaskResponse::Rejected(reason) => {
+                    println!("  worker {} rejected: {:?}", worker.id(), reason);
+                }
+            }
+        }
+        eval_model
+            .set_parameters(server.parameters())
+            .expect("same architecture");
+        let acc = accuracy(&eval_model.predict(&eval_x).expect("eval"), &eval_y);
+        println!("{round}, {}, {acc:.3}", server.clock());
+    }
+
+    println!(
+        "\nDone: {} model updates, {} tasks accepted, {} rejected.",
+        server.clock(),
+        server.controller().accepted(),
+        server.controller().rejected()
+    );
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the workspace-level integration tests (see `tests/`).
+
+use fleet_data::partition::{non_iid_shards, UserPartition};
+use fleet_data::synthetic::{generate, SyntheticSpec};
+use fleet_data::Dataset;
+use fleet_ml::models::mlp_classifier;
+use fleet_ml::Sequential;
+
+/// Builds a small non-IID federated classification world used by several
+/// integration tests: 10 classes, 32 features, `examples` examples split over
+/// `users` users.
+pub fn small_world(examples: usize, users: usize, seed: u64) -> (Dataset, Dataset, UserPartition) {
+    let data = generate(&SyntheticSpec::vector(10, 32, examples), seed);
+    let (train, test) = data.split(0.2);
+    let partition = non_iid_shards(&train, users, 2, seed + 1);
+    (train, test, partition)
+}
+
+/// A model matching [`small_world`] datasets.
+pub fn small_model(seed: u64) -> Sequential {
+    mlp_classifier(32, &[32], 10, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_consistent_shapes() {
+        let (train, test, users) = small_world(500, 10, 1);
+        assert_eq!(train.num_classes(), 10);
+        assert_eq!(train.feature_len(), 32);
+        assert!(test.len() > 0);
+        assert_eq!(users.len(), 10);
+        let model = small_model(0);
+        assert!(model.parameter_count() > 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end integration test of the FLeet middleware: workers and server
+//! exchanging protocol messages (including a pass through the binary wire
+//! codec), the controller admitting tasks, I-Prof bounding workloads, and
+//! AdaSGD folding the gradients into a model that actually improves.
+
+use fleet_device::profile::catalogue;
+use fleet_device::Device;
+use fleet_ml::metrics::accuracy;
+use fleet_server::protocol::TaskResponse;
+use fleet_server::wire::{decode_request, decode_result, encode_request, encode_result};
+use fleet_server::{FleetServer, FleetServerConfig, Worker};
+use fleet_tests::{small_model, small_world};
+use std::sync::Arc;
+
+#[test]
+fn full_protocol_round_trips_improve_the_model() {
+    let (train, test, users) = small_world(1200, 8, 3);
+    let train = Arc::new(train);
+    let mut server = FleetServer::new(
+        small_model(0).parameters(),
+        FleetServerConfig {
+            num_classes: 10,
+            learning_rate: 0.05,
+            ..FleetServerConfig::default()
+        },
+    );
+    let phones = catalogue();
+    let mut workers: Vec<Worker> = users
+        .into_iter()
+        .enumerate()
+        .map(|(i, indices)| {
+            Worker::new(
+                i as u64,
+                Device::new(phones[i % phones.len()].clone(), i as u64),
+                Arc::clone(&train),
+                indices,
+                small_model(0),
+                1000 + i as u64,
+            )
+        })
+        .collect();
+
+    let eval_indices: Vec<usize> = (0..test.len()).collect();
+    let (eval_x, eval_y) = test.batch(&eval_indices);
+    let mut eval_model = small_model(0);
+    eval_model.set_parameters(server.parameters()).unwrap();
+    let before = accuracy(&eval_model.predict(&eval_x).unwrap(), &eval_y);
+
+    let mut accepted = 0;
+    for _ in 0..25 {
+        for worker in workers.iter_mut() {
+            // Ship the request through the wire codec, as a real deployment would.
+            let request = decode_request(encode_request(&worker.request())).expect("wire request");
+            match server.handle_request(&request) {
+                TaskResponse::Assignment(mut assignment) => {
+                    assignment.mini_batch_size = assignment.mini_batch_size.min(32);
+                    let result = worker.execute(&assignment).expect("compatible model");
+                    let result = decode_result(encode_result(&result)).expect("wire result");
+                    let ack = server.handle_result(result);
+                    assert!(ack.scaling_factor > 0.0 && ack.scaling_factor <= 1.0);
+                    accepted += 1;
+                }
+                TaskResponse::Rejected(reason) => panic!("unexpected rejection: {reason:?}"),
+            }
+        }
+    }
+    assert_eq!(server.clock(), accepted);
+
+    eval_model.set_parameters(server.parameters()).unwrap();
+    let after = accuracy(&eval_model.predict(&eval_x).unwrap(), &eval_y);
+    assert!(
+        after > before + 0.15,
+        "global model should improve: {before:.3} -> {after:.3}"
+    );
+}
+
+#[test]
+fn battery_drain_stays_small_per_task() {
+    // §3.1: each learning task should cost a tiny fraction of the battery.
+    let (train, _, users) = small_world(600, 4, 9);
+    let train = Arc::new(train);
+    let mut worker = Worker::new(
+        0,
+        Device::new(catalogue()[0].clone(), 5),
+        Arc::clone(&train),
+        users[0].clone(),
+        small_model(0),
+        1,
+    );
+    let mut server = FleetServer::new(
+        small_model(0).parameters(),
+        FleetServerConfig {
+            num_classes: 10,
+            ..FleetServerConfig::default()
+        },
+    );
+    let request = worker.request();
+    if let TaskResponse::Assignment(mut assignment) = server.handle_request(&request) {
+        assignment.mini_batch_size = assignment.mini_batch_size.min(100);
+        let result = worker.execute(&assignment).unwrap();
+        assert!(
+            result.energy_pct < 1.0,
+            "one task should cost far less than 1% battery, got {}",
+            result.energy_pct
+        );
+    } else {
+        panic!("task should have been admitted");
+    }
+}

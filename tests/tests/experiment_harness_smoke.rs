@@ -1,0 +1,18 @@
+//! Smoke tests of the experiment harnesses: the cheap ones run end-to-end at
+//! Quick scale and leave their CSV output under `results/`.
+
+use fleet_bench::{experiments, Scale};
+
+#[test]
+fn table01_and_device_experiments_run() {
+    experiments::table01_models::run(Scale::Quick);
+    experiments::fig04_device_linearity::run(Scale::Quick);
+    experiments::fig07_staleness_distribution::run(Scale::Quick);
+    experiments::energy_budget::run(Scale::Quick);
+}
+
+#[test]
+fn caloree_and_allocation_experiments_run() {
+    experiments::table02_caloree_transfer::run(Scale::Quick);
+    experiments::fig14_resource_allocation::run(Scale::Quick);
+}

@@ -1,0 +1,84 @@
+//! Cross-crate integration tests of the staleness-aware learning algorithms
+//! under the asynchronous simulation engine (the §3.2 experiments at test
+//! scale).
+
+use fleet_core::{AdaSgd, DynSgd, FedAvg, Ssgd};
+use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
+use fleet_tests::{small_model, small_world};
+
+fn run_with(
+    staleness: StalenessDistribution,
+    steps: usize,
+    run: impl FnOnce(&AsyncSimulation) -> TrainingHistory,
+) -> TrainingHistory {
+    let (train, test, users) = small_world(2000, 40, 11);
+    let config = SimulationConfig {
+        steps,
+        learning_rate: 0.05,
+        batch_size: 40,
+        staleness,
+        eval_every: steps / 4,
+        eval_examples: 400,
+        seed: 21,
+        ..SimulationConfig::default()
+    };
+    let sim = AsyncSimulation::new(&train, &test, &users, config);
+    run(&sim)
+}
+
+#[test]
+fn synchronous_baseline_converges() {
+    let history = run_with(StalenessDistribution::None, 500, |sim| {
+        sim.run(&mut small_model(1), Ssgd::new())
+    });
+    assert!(
+        history.best_accuracy() > 0.45,
+        "SSGD should converge, got {}",
+        history.best_accuracy()
+    );
+}
+
+#[test]
+fn staleness_hurts_but_dampening_helps() {
+    let heavy = StalenessDistribution::Gaussian { mean: 12.0, std: 4.0 };
+    let steps = 500;
+    let ssgd = run_with(StalenessDistribution::None, steps, |sim| {
+        sim.run(&mut small_model(1), Ssgd::new())
+    });
+    let ada = run_with(heavy, steps, |sim| {
+        sim.run(&mut small_model(1), AdaSgd::new(10, 99.7))
+    });
+    let fed = run_with(heavy, steps, |sim| {
+        sim.run(&mut small_model(1), FedAvg::new())
+    });
+
+    // The ideal staleness-free run is the upper bound.
+    assert!(ssgd.best_accuracy() >= ada.best_accuracy() - 0.05);
+    // The staleness-aware algorithm should not be (meaningfully) worse than
+    // the unaware one.
+    assert!(
+        ada.best_accuracy() >= fed.best_accuracy() - 0.05,
+        "AdaSGD {} vs FedAvg {}",
+        ada.best_accuracy(),
+        fed.best_accuracy()
+    );
+}
+
+#[test]
+fn adasgd_and_dynsgd_dampen_stale_updates_differently() {
+    let heavy = StalenessDistribution::Constant(24);
+    let ada = run_with(heavy, 200, |sim| {
+        sim.run(&mut small_model(2), AdaSgd::new(10, 99.7))
+    });
+    let dyn_ = run_with(heavy, 200, |sim| {
+        sim.run(&mut small_model(2), DynSgd::new())
+    });
+    // With constant staleness 24, DynSGD's weight is exactly 1/25 once the
+    // run is past its warm-up (staleness is clamped to the clock early on);
+    // AdaSGD's exponential dampening plus boosting gives a different profile.
+    let dyn_late = *dyn_.scaling_factors.last().unwrap();
+    assert!((dyn_late - 1.0 / 25.0).abs() < 1e-9, "got {dyn_late}");
+    let ada_late = *ada.scaling_factors.last().unwrap();
+    assert!(ada_late > 0.0 && ada_late <= 1.0);
+    assert!((ada_late - dyn_late).abs() > 1e-6);
+}
