@@ -12,15 +12,19 @@ fn dampening_benches(c: &mut Criterion) {
         ("none", DampeningPolicy::None),
     ];
     for (name, policy) in policies {
-        c.bench_with_input(BenchmarkId::new("dampening_factor", name), &policy, |b, p| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for tau in 0..64u64 {
-                    acc += p.factor(black_box(tau));
-                }
-                black_box(acc)
-            });
-        });
+        c.bench_with_input(
+            BenchmarkId::new("dampening_factor", name),
+            &policy,
+            |b, p| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for tau in 0..64u64 {
+                        acc += p.factor(black_box(tau));
+                    }
+                    black_box(acc)
+                });
+            },
+        );
     }
 
     c.bench_function("staleness_tracker_percentile_10k", |b| {

@@ -1,16 +1,113 @@
 //! Micro-benchmarks of the ML substrate kernels (matrix multiply, CNN
 //! forward/backward, gradient arithmetic) that dominate worker-side cost.
+//!
+//! Run via `scripts/ci.sh` (or set `FLEET_BENCH_JSON=BENCH_kernels.json`) to
+//! get a machine-readable record of the perf trajectory. The key pairs:
+//!
+//! * `matmul_256_blocked` vs `matmul_256_naive` — the blocked/parallel kernel
+//!   against the seed kernel on the acceptance-size 256x256x256 product.
+//! * `matmul_64_dense_*` and `matmul_64_onehot_*` — the sparsity-branch
+//!   question: the seed kernel's `a == 0.0` skip only wins on one-hot rows,
+//!   which is why the dense path dropped it.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fleet_ml::kernels;
 use fleet_ml::models::{small_cnn, table1_mnist_cnn};
 use fleet_ml::tensor::Tensor;
 use fleet_ml::Gradient;
 
-fn ml_benches(c: &mut Criterion) {
+fn pattern(len: usize, scale: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 2654435761usize) as f32 / usize::MAX as f32 - 0.5) * scale)
+        .collect()
+}
+
+/// One-hot rows: the best case for the seed kernel's sparsity skip.
+fn one_hot(rows: usize, cols: usize) -> Vec<f32> {
+    let mut data = vec![0.0; rows * cols];
+    for r in 0..rows {
+        data[r * cols + (r * 7) % cols] = 1.0;
+    }
+    data
+}
+
+fn matmul_benches(c: &mut Criterion) {
+    let a256 = pattern(256 * 256, 2.0);
+    let b256 = pattern(256 * 256, 2.0);
+    let mut out256 = vec![0.0f32; 256 * 256];
+
+    c.bench_function("matmul_256_blocked", |b| {
+        b.iter(|| {
+            kernels::matmul(&a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+    c.bench_function("matmul_256_naive", |b| {
+        b.iter(|| {
+            kernels::matmul_naive(&a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+    c.bench_function("matmul_tn_256", |b| {
+        b.iter(|| {
+            out256.fill(0.0);
+            kernels::matmul_tn_acc(&a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+    c.bench_function("matmul_nt_256", |b| {
+        b.iter(|| {
+            kernels::matmul_nt(&a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+
+    // Sparsity-branch justification: dense vs one-hot inputs on both kernels.
+    let dense64 = pattern(64 * 64, 1.0);
+    let onehot64 = one_hot(64, 64);
+    let w64 = pattern(64 * 64, 1.0);
+    let mut out64 = vec![0.0f32; 64 * 64];
+    c.bench_function("matmul_64_dense_blocked", |b| {
+        b.iter(|| {
+            kernels::matmul(&dense64, &w64, &mut out64, 64, 64, 64);
+            black_box(out64[0])
+        });
+    });
+    c.bench_function("matmul_64_dense_naive_with_skip", |b| {
+        b.iter(|| {
+            kernels::matmul_naive(&dense64, &w64, &mut out64, 64, 64, 64);
+            black_box(out64[0])
+        });
+    });
+    c.bench_function("matmul_64_onehot_blocked", |b| {
+        b.iter(|| {
+            kernels::matmul(&onehot64, &w64, &mut out64, 64, 64, 64);
+            black_box(out64[0])
+        });
+    });
+    c.bench_function("matmul_64_onehot_naive_with_skip", |b| {
+        b.iter(|| {
+            kernels::matmul_naive(&onehot64, &w64, &mut out64, 64, 64, 64);
+            black_box(out64[0])
+        });
+    });
+}
+
+fn layer_benches(c: &mut Criterion) {
     c.bench_function("matmul_64x64", |b| {
         let a = Tensor::full(&[64, 64], 0.5);
         let m = Tensor::full(&[64, 64], 0.25);
         b.iter(|| black_box(a.matmul(&m)));
+    });
+
+    c.bench_function("matmul_into_64x64_no_alloc", |b| {
+        let a = Tensor::full(&[64, 64], 0.5);
+        let m = Tensor::full(&[64, 64], 0.25);
+        let mut out = Tensor::zeros(&[64, 64]);
+        b.iter(|| {
+            a.matmul_into(&m, &mut out);
+            black_box(out.data()[0])
+        });
     });
 
     c.bench_function("small_cnn_gradient_batch32", |b| {
@@ -24,6 +121,13 @@ fn ml_benches(c: &mut Criterion) {
         let mut model = table1_mnist_cnn(0);
         let x = Tensor::full(&[4, 1, 28, 28], 0.3);
         b.iter(|| black_box(model.forward(&x).unwrap()));
+    });
+
+    c.bench_function("dense_mlp_gradient_batch100", |b| {
+        let mut model = fleet_ml::models::mlp_classifier(64, &[64, 32], 10, 0);
+        let x = Tensor::full(&[100, 64], 0.2);
+        let y: Vec<usize> = (0..100).map(|i| i % 10).collect();
+        b.iter(|| black_box(model.compute_gradient(&x, &y).unwrap()));
     });
 
     c.bench_function("gradient_add_scaled_100k", |b| {
@@ -44,5 +148,5 @@ fn ml_benches(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, ml_benches);
+criterion_group!(benches, matmul_benches, layer_benches);
 criterion_main!(benches);

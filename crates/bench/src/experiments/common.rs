@@ -23,8 +23,17 @@ pub struct World {
 }
 
 /// Builds a world with the given class count and partitioning scheme.
-pub fn world(num_classes: usize, examples: usize, num_users: usize, non_iid: bool, seed: u64) -> World {
-    let data = generate(&SyntheticSpec::vector(num_classes, FEATURE_DIM, examples), seed);
+pub fn world(
+    num_classes: usize,
+    examples: usize,
+    num_users: usize,
+    non_iid: bool,
+    seed: u64,
+) -> World {
+    let data = generate(
+        &SyntheticSpec::vector(num_classes, FEATURE_DIM, examples),
+        seed,
+    );
     let (train, test) = data.split(0.2);
     let users = if non_iid {
         non_iid_shards(&train, num_users, 2, seed + 1)

@@ -50,7 +50,10 @@ pub fn run(scale: Scale) {
 
     out.row("statistic,daily_energy_mwh,pct_of_11wh_battery");
     out.row(format!("mean,{mean:.2},{:.4}", mean / battery * 100.0));
-    out.row(format!("median,{median:.2},{:.4}", median / battery * 100.0));
+    out.row(format!(
+        "median,{median:.2},{:.4}",
+        median / battery * 100.0
+    ));
     out.row(format!("p99,{p99:.2},{:.4}", p99 / battery * 100.0));
     out.row(format!("max,{max:.2},{:.4}", max / battery * 100.0));
     out.comment("paper: mean 4 mWh, median 3.3, p99 13.4, max 44 => 0.036% of battery per day");

@@ -32,9 +32,27 @@ pub fn run(scale: Scale) {
 
     let cohorts = [
         ("1 strong", Cohort { strong: 1, weak: 0 }),
-        ("10 strong", Cohort { strong: 10, weak: 0 }),
-        ("10 strong + 2 weak", Cohort { strong: 10, weak: 2 }),
-        ("10 strong + 4 weak", Cohort { strong: 10, weak: 4 }),
+        (
+            "10 strong",
+            Cohort {
+                strong: 10,
+                weak: 0,
+            },
+        ),
+        (
+            "10 strong + 2 weak",
+            Cohort {
+                strong: 10,
+                weak: 2,
+            },
+        ),
+        (
+            "10 strong + 4 weak",
+            Cohort {
+                strong: 10,
+                weak: 4,
+            },
+        ),
     ];
 
     out.row("cohort,step,accuracy");
@@ -47,7 +65,11 @@ pub fn run(scale: Scale) {
             let mut aggregate = Gradient::zeros(model.parameter_count());
             let total_workers = cohort.strong + cohort.weak;
             for w in 0..total_workers {
-                let batch = if w < cohort.strong { strong_batch } else { weak_batch };
+                let batch = if w < cohort.strong {
+                    strong_batch
+                } else {
+                    weak_batch
+                };
                 let indices = sampler.sample(&all_train, batch);
                 let (x, y) = world.train.batch(&indices);
                 let (_, gradient) = model

@@ -27,7 +27,12 @@ fn run_one<A: Aggregator>(
     staleness: StalenessDistribution,
     aggregator: A,
 ) -> TrainingHistory {
-    let sim = AsyncSimulation::new(&world.train, &world.test, &world.users, config(scale, staleness, 5));
+    let sim = AsyncSimulation::new(
+        &world.train,
+        &world.test,
+        &world.users,
+        config(scale, staleness, 5),
+    );
     let mut model = common::model(world.train.num_classes(), 1);
     sim.run(&mut model, aggregator)
 }
@@ -45,7 +50,12 @@ pub fn run(scale: Scale) {
         ),
         (
             "AdaSGD (mu=6)".to_string(),
-            run_one(&world, scale, StalenessDistribution::d1(), AdaSgd::new(10, 99.7)),
+            run_one(
+                &world,
+                scale,
+                StalenessDistribution::d1(),
+                AdaSgd::new(10, 99.7),
+            ),
         ),
         (
             "DynSGD (mu=6)".to_string(),
@@ -53,7 +63,12 @@ pub fn run(scale: Scale) {
         ),
         (
             "AdaSGD (mu=12)".to_string(),
-            run_one(&world, scale, StalenessDistribution::d2(), AdaSgd::new(10, 99.7)),
+            run_one(
+                &world,
+                scale,
+                StalenessDistribution::d2(),
+                AdaSgd::new(10, 99.7),
+            ),
         ),
         (
             "DynSGD (mu=12)".to_string(),

@@ -45,7 +45,11 @@ pub fn run(scale: Scale) {
     let runs = vec![
         (
             "AdaSGD".to_string(),
-            run_one(&world, scale, AdaSgd::new(10, 99.7).with_fixed_tau_thres(12)),
+            run_one(
+                &world,
+                scale,
+                AdaSgd::new(10, 99.7).with_fixed_tau_thres(12),
+            ),
         ),
         (
             "AdaSGD (no boost)".to_string(),
@@ -58,7 +62,10 @@ pub fn run(scale: Scale) {
             ),
         ),
         ("DynSGD".to_string(), run_one(&world, scale, DynSgd::new())),
-        ("SSGD (ideal)".to_string(), run_one(&world, scale, Ssgd::new())),
+        (
+            "SSGD (ideal)".to_string(),
+            run_one(&world, scale, Ssgd::new()),
+        ),
     ];
 
     out.row("algorithm,step,class0_accuracy,overall_accuracy");

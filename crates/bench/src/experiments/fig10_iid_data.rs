@@ -40,16 +40,36 @@ pub fn run(scale: Scale) {
     for (name, classes, examples) in datasets {
         let world = common::many_class_iid(classes, examples, 100, 91);
         let runs = vec![
-            ("SSGD (ideal)", run_one(&world, scale, StalenessDistribution::None, Ssgd::new())),
-            ("AdaSGD", run_one(&world, scale, StalenessDistribution::d2(), AdaSgd::new(classes, 99.7))),
-            ("DynSGD", run_one(&world, scale, StalenessDistribution::d2(), DynSgd::new())),
-            ("FedAvg", run_one(&world, scale, StalenessDistribution::d2(), FedAvg::new())),
+            (
+                "SSGD (ideal)",
+                run_one(&world, scale, StalenessDistribution::None, Ssgd::new()),
+            ),
+            (
+                "AdaSGD",
+                run_one(
+                    &world,
+                    scale,
+                    StalenessDistribution::d2(),
+                    AdaSgd::new(classes, 99.7),
+                ),
+            ),
+            (
+                "DynSGD",
+                run_one(&world, scale, StalenessDistribution::d2(), DynSgd::new()),
+            ),
+            (
+                "FedAvg",
+                run_one(&world, scale, StalenessDistribution::d2(), FedAvg::new()),
+            ),
         ];
         for (alg, history) in &runs {
             for e in &history.evals {
                 out.row(format!("{name},{alg},{},{:.4}", e.step, e.accuracy));
             }
-            out.comment(format!("{name} {alg}: final={:.4}", history.final_accuracy()));
+            out.comment(format!(
+                "{name} {alg}: final={:.4}",
+                history.final_accuracy()
+            ));
         }
     }
     out.finish();

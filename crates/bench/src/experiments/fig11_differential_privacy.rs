@@ -60,7 +60,10 @@ pub fn run(scale: Scale) {
             for e in &history.evals {
                 out.row(format!("{alg},{privacy},{},{:.4}", e.step, e.accuracy));
             }
-            out.comment(format!("{alg} {privacy}: final={:.4}", history.final_accuracy()));
+            out.comment(format!(
+                "{alg} {privacy}: final={:.4}",
+                history.final_accuracy()
+            ));
         }
     }
     out.finish();

@@ -16,7 +16,8 @@ pub fn run(scale: Scale) {
     let slo = Slo::paper_energy_default();
     let slo_energy = slo.energy_pct.unwrap_or(0.075);
 
-    let calibration = collect_calibration(&profiler_training_profiles(), Slo::latency(3.0), 8, 40, 202);
+    let calibration =
+        collect_calibration(&profiler_training_profiles(), Slo::latency(3.0), 8, 40, 202);
     let mut iprof = pretrained_iprof(slo, &calibration);
     let mut maui = pretrained_maui(slo, &calibration);
 

@@ -31,7 +31,13 @@ pub fn run(scale: Scale) {
             let features = device.features();
             batch = iprof.predict(&profile.name, &features);
             let exec = device.execute_task(batch);
-            iprof.observe(&profile.name, &features, batch, exec.computation_seconds, exec.energy_pct);
+            iprof.observe(
+                &profile.name,
+                &features,
+                batch,
+                exec.computation_seconds,
+                exec.energy_pct,
+            );
             device.idle(300.0);
         }
         // CALOREE trained on this same device (its ideal conditions).
@@ -64,7 +70,10 @@ pub fn run(scale: Scale) {
             caloree_energy / n,
             caloree_2x_energy / n
         ));
-        out.comment(format!("{}: FLeet deadline reference {:.2} s", profile.name, deadline));
+        out.comment(format!(
+            "{}: FLeet deadline reference {:.2} s",
+            profile.name, deadline
+        ));
     }
     out.finish();
 }

@@ -39,7 +39,10 @@ pub fn run(scale: Scale) {
         let user = rng.gen_range(0..world.users.len());
         let batch_size = sample_gaussian(&mut rng, 100.0, 33.0).round().max(1.0) as usize;
         let batch_indices = sampler.sample(&world.users[user], batch_size);
-        let labels: Vec<usize> = batch_indices.iter().map(|&i| world.train.label(i)).collect();
+        let labels: Vec<usize> = batch_indices
+            .iter()
+            .map(|&i| world.train.label(i))
+            .collect();
         let ld = LabelDistribution::from_labels(&labels, world.train.num_classes());
         let similarity = global.similarity(&ld);
         global.record_labels(&labels);
@@ -63,10 +66,16 @@ pub fn run(scale: Scale) {
             let retained: Vec<&Candidate> = match mode {
                 "size" => {
                     let cut = percentile_value(
-                        &candidates.iter().map(|c| c.batch_size as f32).collect::<Vec<_>>(),
+                        &candidates
+                            .iter()
+                            .map(|c| c.batch_size as f32)
+                            .collect::<Vec<_>>(),
                         threshold as f32,
                     );
-                    candidates.iter().filter(|c| c.batch_size as f32 >= cut).collect()
+                    candidates
+                        .iter()
+                        .filter(|c| c.batch_size as f32 >= cut)
+                        .collect()
                 }
                 _ => {
                     let cut = percentile_value(

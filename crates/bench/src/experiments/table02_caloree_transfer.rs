@@ -16,10 +16,16 @@ pub fn run(scale: Scale) {
 
     // Train on a Galaxy S7 and derive the deadline from the batch I-Prof
     // would hand that device (time the S7 actually needs for the workload).
-    let (mut s7, caloree) = train_on_profile(by_name("Galaxy S7").expect("catalogue"), calibration_batch, 31);
+    let (mut s7, caloree) = train_on_profile(
+        by_name("Galaxy S7").expect("catalogue"),
+        calibration_batch,
+        31,
+    );
     s7.idle(1e5);
     let deadline = s7.true_latency_slope() * workload_batch as f32;
-    out.comment(format!("workload batch = {workload_batch}, deadline = {deadline:.2} s"));
+    out.comment(format!(
+        "workload batch = {workload_batch}, deadline = {deadline:.2} s"
+    ));
 
     out.row("running_device,deadline_error_pct,paper_reported_pct");
     let paper = [

@@ -1,0 +1,207 @@
+//! Offline micro-benchmark harness exposing the `criterion` API subset the
+//! workspace benches use (`bench_function`, `bench_with_input`,
+//! `criterion_group!`, `criterion_main!`, `black_box`, `BenchmarkId`).
+//!
+//! Timing model: a short warm-up, then adaptive batches until the measurement
+//! budget (`FLEET_BENCH_TIME_MS`, default 300 ms per benchmark) is spent.
+//! Reports mean ns/iter on stdout and, when `FLEET_BENCH_JSON` names a file,
+//! writes every result of the process to it as machine-readable JSON — this is
+//! how `BENCH_kernels.json` is produced for the perf trajectory (see
+//! `scripts/ci.sh`).
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (including the `BenchmarkId` parameter, if any).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured (excluding warm-up).
+    pub iterations: u64,
+}
+
+static ALL_RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Identifier combining a group name and a parameter, as in criterion.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    measured_ns: f64,
+    iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its mean cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: let allocators/caches settle and estimate per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.budget / 10 && warmup_iters < 1_000_000 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns =
+            (warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64).max(1.0);
+        let batch = ((10_000_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.measured_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// The benchmark registry for one group run.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let budget_ms = std::env::var("FLEET_BENCH_TIME_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        let mut bencher = Bencher {
+            measured_ns: 0.0,
+            iterations: 0,
+            budget: Duration::from_millis(budget_ms),
+        };
+        f(&mut bencher);
+        let result = BenchResult {
+            name: name.to_string(),
+            mean_ns: bencher.measured_ns,
+            iterations: bencher.iterations,
+        };
+        println!(
+            "bench {:<48} {:>14.1} ns/iter ({} iters)",
+            result.name, result.mean_ns, result.iterations
+        );
+        self.results.push(result);
+    }
+
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure over an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.full.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Publishes this group's results; called by `criterion_main!`.
+    pub fn finalize(self) {
+        let mut all = ALL_RESULTS.lock().unwrap();
+        all.extend(self.results);
+        if let Ok(path) = std::env::var("FLEET_BENCH_JSON") {
+            let json = render_json(&all);
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {err}");
+            }
+        }
+    }
+}
+
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fleet-bench-v1\",\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{comma}",
+            r.name.replace('"', "'"),
+            r.mean_ns,
+            r.iterations
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("FLEET_BENCH_TIME_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns >= 0.0);
+        assert!(c.results[0].iterations > 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = render_json(&[BenchResult {
+            name: "matmul".into(),
+            mean_ns: 12.5,
+            iterations: 100,
+        }]);
+        assert!(json.contains("\"fleet-bench-v1\""));
+        assert!(json.contains("\"matmul\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

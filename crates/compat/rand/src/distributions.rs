@@ -1,0 +1,90 @@
+//! Distribution types (`Uniform` is the only one the workspace needs).
+
+use crate::{RngCore, SampleRange};
+
+/// A distribution that produces values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A reusable uniform distribution over a fixed interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over the half-open interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Self {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Self {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+macro_rules! impl_uniform_distribution {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                if self.inclusive {
+                    (self.lo..=self.hi).sample_single(rng)
+                } else {
+                    (self.lo..self.hi).sample_single(rng)
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_distribution!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_inclusive_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dist = Uniform::new_inclusive(-0.05f32, 0.05f32);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-0.05..=0.05).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_int_covers_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Uniform::new(0usize, 4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[dist.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations of wire-format intent — nothing actually serializes through
+//! serde yet (the real wire codec lives in `fleet_server::wire`). This crate
+//! keeps those derives compiling in a network-less build by expanding them to
+//! nothing. When a registry is reachable, point the workspace `serde` entry
+//! back at crates.io and everything keeps working unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item `serde::Serialize` would.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item `serde::Deserialize` would.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -252,7 +252,11 @@ mod tests {
         let ssgd = Ssgd::new();
         let u = update(0, &[0, 1, 2], 10);
         for agg in [&ada as &dyn Aggregator, &dyn_, &fed, &ssgd] {
-            assert!((agg.scaling_factor(&u) - 1.0).abs() < 1e-9, "{}", agg.name());
+            assert!(
+                (agg.scaling_factor(&u) - 1.0).abs() < 1e-9,
+                "{}",
+                agg.name()
+            );
         }
     }
 

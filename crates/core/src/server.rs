@@ -38,9 +38,17 @@ impl<A: Aggregator> ParameterServer<A> {
     /// # Panics
     ///
     /// Panics if `learning_rate` is not positive or `aggregation_k` is zero.
-    pub fn new(initial_parameters: Vec<f32>, aggregator: A, learning_rate: f32, aggregation_k: usize) -> Self {
+    pub fn new(
+        initial_parameters: Vec<f32>,
+        aggregator: A,
+        learning_rate: f32,
+        aggregation_k: usize,
+    ) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        assert!(aggregation_k > 0, "aggregation parameter K must be positive");
+        assert!(
+            aggregation_k > 0,
+            "aggregation parameter K must be positive"
+        );
         Self {
             parameters: initial_parameters,
             aggregator,

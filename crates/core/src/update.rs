@@ -42,7 +42,11 @@ impl WorkerUpdate {
 
     /// A fresh (staleness 0) update — convenient for synchronous baselines
     /// and tests.
-    pub fn fresh(gradient: Gradient, label_distribution: LabelDistribution, num_samples: usize) -> Self {
+    pub fn fresh(
+        gradient: Gradient,
+        label_distribution: LabelDistribution,
+        num_samples: usize,
+    ) -> Self {
         Self::new(gradient, 0, label_distribution, num_samples, 0)
     }
 }

@@ -160,7 +160,12 @@ impl Dataset {
             features.extend_from_slice(self.example(i));
             labels.push(self.labels[i]);
         }
-        Dataset::new(features, labels, self.feature_shape.clone(), self.num_classes)
+        Dataset::new(
+            features,
+            labels,
+            self.feature_shape.clone(),
+            self.num_classes,
+        )
     }
 
     /// Counts examples per class.

@@ -134,11 +134,7 @@ mod tests {
         // each user covers at most ~4 labels (usually 2), far fewer than 10.
         let d = dataset();
         let users = non_iid_shards(&d, 10, 2, 3);
-        let max_labels = users
-            .iter()
-            .map(|u| distinct_labels(&d, u))
-            .max()
-            .unwrap();
+        let max_labels = users.iter().map(|u| distinct_labels(&d, u)).max().unwrap();
         assert!(
             max_labels <= 5,
             "non-IID users should see few labels, max was {max_labels}"
@@ -149,11 +145,7 @@ mod tests {
     fn iid_users_see_many_labels() {
         let d = dataset();
         let users = iid_partition(&d, 10, 3);
-        let min_labels = users
-            .iter()
-            .map(|u| distinct_labels(&d, u))
-            .min()
-            .unwrap();
+        let min_labels = users.iter().map(|u| distinct_labels(&d, u)).min().unwrap();
         assert!(min_labels >= 6, "IID users should see most labels");
     }
 

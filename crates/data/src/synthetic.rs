@@ -125,13 +125,18 @@ pub fn generate(spec: &SyntheticSpec, seed: u64) -> Dataset {
     for i in 0..spec.num_examples {
         let class = i % spec.num_classes;
         labels.push(class);
-        for d in 0..feature_len {
-            features.push(sample_normal(&mut rng, centres[class][d], spec.cluster_std));
+        for &centre in &centres[class] {
+            features.push(sample_normal(&mut rng, centre, spec.cluster_std));
         }
     }
     // Min-max scale to [0, 1], mirroring the paper's pre-processing (§3.2).
     min_max_scale(&mut features);
-    Dataset::new(features, labels, spec.feature_shape.clone(), spec.num_classes)
+    Dataset::new(
+        features,
+        labels,
+        spec.feature_shape.clone(),
+        spec.num_classes,
+    )
 }
 
 /// In-place min-max scaling of a feature buffer to `[0, 1]`.
@@ -233,8 +238,18 @@ mod tests {
         for i in 0..d.len() {
             let best = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 = d.example(i).iter().zip(&centroids[a]).map(|(x, c)| (x - c).powi(2)).sum();
-                    let db: f32 = d.example(i).iter().zip(&centroids[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let da: f32 = d
+                        .example(i)
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
+                    let db: f32 = d
+                        .example(i)
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

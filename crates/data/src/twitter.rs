@@ -94,7 +94,10 @@ impl HashtagStream {
         assert!(spec.num_users > 0, "num_users must be positive");
         assert!(spec.vocab_size > 0, "vocab_size must be positive");
         assert!(spec.feature_dim > 0, "feature_dim must be positive");
-        assert!(spec.concurrent_trends > 0, "concurrent_trends must be positive");
+        assert!(
+            spec.concurrent_trends > 0,
+            "concurrent_trends must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Each hashtag is associated with a fixed direction in feature space;
@@ -231,7 +234,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = small_spec();
-        assert_eq!(HashtagStream::generate(&spec, 1), HashtagStream::generate(&spec, 1));
+        assert_eq!(
+            HashtagStream::generate(&spec, 1),
+            HashtagStream::generate(&spec, 1)
+        );
         assert_ne!(
             HashtagStream::generate(&spec, 1).posts()[0],
             HashtagStream::generate(&spec, 2).posts()[0]
@@ -242,7 +248,10 @@ mod tests {
     fn post_count_matches_spec() {
         let spec = small_spec();
         let stream = HashtagStream::generate(&spec, 3);
-        assert_eq!(stream.posts().len(), spec.total_hours() * spec.posts_per_hour);
+        assert_eq!(
+            stream.posts().len(),
+            spec.total_hours() * spec.posts_per_hour
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl CoreAllocation {
     /// clamped to what the SoC offers.
     pub fn cores_used(&self, profile: &DeviceProfile) -> (u32, u32) {
         match *self {
-            CoreAllocation::BigCoresOnly => (profile.big_cores.max(1).min(profile.big_cores.max(1)), 0),
+            CoreAllocation::BigCoresOnly => {
+                (profile.big_cores.max(1).min(profile.big_cores.max(1)), 0)
+            }
             CoreAllocation::LittleCoresOnly => (0, profile.little_cores),
             CoreAllocation::AllCores => (profile.big_cores, profile.little_cores),
             CoreAllocation::Custom { big, little } => {
@@ -143,7 +145,10 @@ mod tests {
     #[test]
     fn fleet_policy_prefers_big_cores_on_big_little() {
         let s7 = by_name("Galaxy S7").unwrap();
-        assert_eq!(CoreAllocation::fleet_policy(&s7), CoreAllocation::BigCoresOnly);
+        assert_eq!(
+            CoreAllocation::fleet_policy(&s7),
+            CoreAllocation::BigCoresOnly
+        );
         let e3 = by_name("Xperia E3").unwrap();
         assert_eq!(CoreAllocation::fleet_policy(&e3), CoreAllocation::AllCores);
     }
@@ -177,7 +182,10 @@ mod tests {
     #[test]
     fn custom_allocation_clamped_to_available_cores() {
         let s7 = by_name("Galaxy S7").unwrap();
-        let alloc = CoreAllocation::Custom { big: 100, little: 100 };
+        let alloc = CoreAllocation::Custom {
+            big: 100,
+            little: 100,
+        };
         assert_eq!(alloc.cores_used(&s7), (s7.big_cores, s7.little_cores));
     }
 

@@ -107,10 +107,10 @@ fn lower_convex_hull(mut entries: Vec<PhtEntry>) -> Vec<PhtEntry> {
     let mut hull: Vec<PhtEntry> = Vec::new();
     for e in entries {
         // Dominated: some kept entry is at least as fast and uses no more power.
-        if hull
-            .iter()
-            .any(|h| h.samples_per_second >= e.samples_per_second && h.power_pct_per_second <= e.power_pct_per_second)
-        {
+        if hull.iter().any(|h| {
+            h.samples_per_second >= e.samples_per_second
+                && h.power_pct_per_second <= e.power_pct_per_second
+        }) {
             continue;
         }
         // Remove entries the new one dominates.
@@ -187,7 +187,11 @@ impl Caloree {
         let exec = device.execute_task(batch_size);
         device.set_allocation(previous);
 
-        let overhead = if switched { self.switch_overhead_seconds } else { 0.0 };
+        let overhead = if switched {
+            self.switch_overhead_seconds
+        } else {
+            0.0
+        };
         let actual = exec.computation_seconds + overhead;
         let deadline_error_pct = if deadline_seconds > 0.0 {
             (actual - deadline_seconds).abs() / deadline_seconds * 100.0
@@ -226,7 +230,11 @@ impl Caloree {
 
 /// Convenience: builds a device from a profile, trains CALOREE on it and
 /// returns both.
-pub fn train_on_profile(profile: DeviceProfile, calibration_batch: usize, seed: u64) -> (Device, Caloree) {
+pub fn train_on_profile(
+    profile: DeviceProfile,
+    calibration_batch: usize,
+    seed: u64,
+) -> (Device, Caloree) {
     let mut device = Device::new(profile, seed);
     let caloree = Caloree::trained_on(&mut device, calibration_batch);
     (device, caloree)

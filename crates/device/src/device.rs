@@ -102,16 +102,15 @@ impl Device {
     /// temperature and allocation. Exposed for tests and for building oracle
     /// baselines.
     pub fn true_latency_slope(&self) -> f32 {
-        let thermal_penalty =
-            1.0 + self.profile.thermal_sensitivity * self.thermal.excess();
-        self.profile.base_secs_per_sample * thermal_penalty / self.allocation.relative_speed(&self.profile)
+        let thermal_penalty = 1.0 + self.profile.thermal_sensitivity * self.thermal.excess();
+        self.profile.base_secs_per_sample * thermal_penalty
+            / self.allocation.relative_speed(&self.profile)
     }
 
     /// The true (noise-free) battery-percent-per-sample slope at the current
     /// temperature and allocation.
     pub fn true_energy_slope(&self) -> f32 {
-        let thermal_penalty =
-            1.0 + 0.5 * self.profile.thermal_sensitivity * self.thermal.excess();
+        let thermal_penalty = 1.0 + 0.5 * self.profile.thermal_sensitivity * self.thermal.excess();
         self.profile.base_energy_pct_per_sample
             * thermal_penalty
             * self.allocation.relative_energy(&self.profile)

@@ -89,6 +89,7 @@ impl DeviceProfile {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn profile(
     name: &str,
     secs_per_sample: f32,
@@ -122,33 +123,202 @@ fn profile(
 pub fn catalogue() -> Vec<DeviceProfile> {
     vec![
         // name, s/sample, %batt/sample, big, little, bigGHz, littleGHz, memMB, battery mWh, thermal
-        profile("Galaxy S6", 0.0060, 2.2e-4, 4, 4, 2.1, 1.5, 3072.0, 9800.0, 0.012),
-        profile("Galaxy S6 Edge", 0.0058, 2.1e-4, 4, 4, 2.1, 1.5, 3072.0, 9900.0, 0.012),
-        profile("Nexus 6", 0.0085, 2.8e-4, 0, 4, 0.0, 2.7, 3072.0, 12400.0, 0.015),
-        profile("MotoG3", 0.0180, 4.5e-4, 0, 4, 0.0, 1.4, 2048.0, 9200.0, 0.010),
-        profile("Moto G (4)", 0.0140, 4.0e-4, 0, 8, 0.0, 1.5, 2048.0, 11400.0, 0.010),
-        profile("Galaxy Note5", 0.0055, 2.0e-4, 4, 4, 2.1, 1.5, 4096.0, 11400.0, 0.012),
-        profile("XT1096", 0.0160, 4.2e-4, 0, 4, 0.0, 2.5, 2048.0, 8800.0, 0.012),
-        profile("Galaxy S5", 0.0120, 3.6e-4, 0, 4, 0.0, 2.5, 2048.0, 10600.0, 0.011),
-        profile("SM-N900P", 0.0130, 3.8e-4, 0, 4, 0.0, 2.3, 3072.0, 12200.0, 0.011),
-        profile("Nexus 5", 0.0150, 4.1e-4, 0, 4, 0.0, 2.3, 2048.0, 8700.0, 0.012),
-        profile("Lenovo TB-8504F", 0.0200, 5.0e-4, 0, 4, 0.0, 1.4, 2048.0, 18200.0, 0.008),
-        profile("Venue 8", 0.0220, 5.4e-4, 0, 4, 0.0, 1.6, 1024.0, 15500.0, 0.008),
-        profile("Moto G (2nd Gen)", 0.0250, 6.0e-4, 0, 4, 0.0, 1.2, 1024.0, 8200.0, 0.010),
-        profile("Pixel", 0.0048, 1.8e-4, 2, 2, 2.15, 1.6, 4096.0, 10600.0, 0.013),
-        profile("HTC U11", 0.0032, 1.3e-4, 4, 4, 2.45, 1.9, 4096.0, 11400.0, 0.014),
-        profile("SM-G950U1", 0.0030, 1.2e-4, 4, 4, 2.35, 1.9, 4096.0, 11400.0, 0.014),
-        profile("XT1254", 0.0125, 3.7e-4, 0, 4, 0.0, 2.7, 3072.0, 14800.0, 0.011),
-        profile("HTC One A9", 0.0145, 4.0e-4, 4, 4, 1.5, 1.2, 2048.0, 7900.0, 0.011),
-        profile("Galaxy S7", 0.0063, 2.4e-4, 4, 4, 2.3, 1.6, 4096.0, 11400.0, 0.020),
-        profile("LG-H910", 0.0070, 2.6e-4, 2, 2, 2.35, 1.6, 4096.0, 12400.0, 0.013),
-        profile("LG-H830", 0.0090, 3.0e-4, 2, 4, 2.15, 1.4, 4096.0, 10600.0, 0.013),
+        profile(
+            "Galaxy S6",
+            0.0060,
+            2.2e-4,
+            4,
+            4,
+            2.1,
+            1.5,
+            3072.0,
+            9800.0,
+            0.012,
+        ),
+        profile(
+            "Galaxy S6 Edge",
+            0.0058,
+            2.1e-4,
+            4,
+            4,
+            2.1,
+            1.5,
+            3072.0,
+            9900.0,
+            0.012,
+        ),
+        profile(
+            "Nexus 6", 0.0085, 2.8e-4, 0, 4, 0.0, 2.7, 3072.0, 12400.0, 0.015,
+        ),
+        profile(
+            "MotoG3", 0.0180, 4.5e-4, 0, 4, 0.0, 1.4, 2048.0, 9200.0, 0.010,
+        ),
+        profile(
+            "Moto G (4)",
+            0.0140,
+            4.0e-4,
+            0,
+            8,
+            0.0,
+            1.5,
+            2048.0,
+            11400.0,
+            0.010,
+        ),
+        profile(
+            "Galaxy Note5",
+            0.0055,
+            2.0e-4,
+            4,
+            4,
+            2.1,
+            1.5,
+            4096.0,
+            11400.0,
+            0.012,
+        ),
+        profile(
+            "XT1096", 0.0160, 4.2e-4, 0, 4, 0.0, 2.5, 2048.0, 8800.0, 0.012,
+        ),
+        profile(
+            "Galaxy S5",
+            0.0120,
+            3.6e-4,
+            0,
+            4,
+            0.0,
+            2.5,
+            2048.0,
+            10600.0,
+            0.011,
+        ),
+        profile(
+            "SM-N900P", 0.0130, 3.8e-4, 0, 4, 0.0, 2.3, 3072.0, 12200.0, 0.011,
+        ),
+        profile(
+            "Nexus 5", 0.0150, 4.1e-4, 0, 4, 0.0, 2.3, 2048.0, 8700.0, 0.012,
+        ),
+        profile(
+            "Lenovo TB-8504F",
+            0.0200,
+            5.0e-4,
+            0,
+            4,
+            0.0,
+            1.4,
+            2048.0,
+            18200.0,
+            0.008,
+        ),
+        profile(
+            "Venue 8", 0.0220, 5.4e-4, 0, 4, 0.0, 1.6, 1024.0, 15500.0, 0.008,
+        ),
+        profile(
+            "Moto G (2nd Gen)",
+            0.0250,
+            6.0e-4,
+            0,
+            4,
+            0.0,
+            1.2,
+            1024.0,
+            8200.0,
+            0.010,
+        ),
+        profile(
+            "Pixel", 0.0048, 1.8e-4, 2, 2, 2.15, 1.6, 4096.0, 10600.0, 0.013,
+        ),
+        profile(
+            "HTC U11", 0.0032, 1.3e-4, 4, 4, 2.45, 1.9, 4096.0, 11400.0, 0.014,
+        ),
+        profile(
+            "SM-G950U1",
+            0.0030,
+            1.2e-4,
+            4,
+            4,
+            2.35,
+            1.9,
+            4096.0,
+            11400.0,
+            0.014,
+        ),
+        profile(
+            "XT1254", 0.0125, 3.7e-4, 0, 4, 0.0, 2.7, 3072.0, 14800.0, 0.011,
+        ),
+        profile(
+            "HTC One A9",
+            0.0145,
+            4.0e-4,
+            4,
+            4,
+            1.5,
+            1.2,
+            2048.0,
+            7900.0,
+            0.011,
+        ),
+        profile(
+            "Galaxy S7",
+            0.0063,
+            2.4e-4,
+            4,
+            4,
+            2.3,
+            1.6,
+            4096.0,
+            11400.0,
+            0.020,
+        ),
+        profile(
+            "LG-H910", 0.0070, 2.6e-4, 2, 2, 2.35, 1.6, 4096.0, 12400.0, 0.013,
+        ),
+        profile(
+            "LG-H830", 0.0090, 3.0e-4, 2, 4, 2.15, 1.4, 4096.0, 10600.0, 0.013,
+        ),
         // Lab devices (energy SLO + resource allocation experiments).
-        profile("Honor 10", 0.0016, 4.0e-5, 4, 4, 2.36, 1.8, 6144.0, 12900.0, 0.030),
-        profile("Honor 9", 0.0024, 7.0e-5, 4, 4, 2.36, 1.8, 4096.0, 12200.0, 0.022),
-        profile("Galaxy S8", 0.0029, 1.1e-4, 4, 4, 2.35, 1.9, 4096.0, 11400.0, 0.016),
-        profile("Galaxy S4 mini", 0.0210, 5.6e-4, 0, 2, 0.0, 1.7, 1536.0, 7200.0, 0.009),
-        profile("Xperia E3", 0.0250, 6.2e-4, 0, 4, 0.0, 1.2, 1024.0, 8800.0, 0.009),
+        profile(
+            "Honor 10", 0.0016, 4.0e-5, 4, 4, 2.36, 1.8, 6144.0, 12900.0, 0.030,
+        ),
+        profile(
+            "Honor 9", 0.0024, 7.0e-5, 4, 4, 2.36, 1.8, 4096.0, 12200.0, 0.022,
+        ),
+        profile(
+            "Galaxy S8",
+            0.0029,
+            1.1e-4,
+            4,
+            4,
+            2.35,
+            1.9,
+            4096.0,
+            11400.0,
+            0.016,
+        ),
+        profile(
+            "Galaxy S4 mini",
+            0.0210,
+            5.6e-4,
+            0,
+            2,
+            0.0,
+            1.7,
+            1536.0,
+            7200.0,
+            0.009,
+        ),
+        profile(
+            "Xperia E3",
+            0.0250,
+            6.2e-4,
+            0,
+            4,
+            0.0,
+            1.2,
+            1024.0,
+            8800.0,
+            0.009,
+        ),
     ]
 }
 
@@ -189,10 +359,16 @@ pub fn aws_device_farm_set() -> Vec<DeviceProfile> {
 /// The 5 lab devices used for the energy-SLO and resource-allocation
 /// experiments (§3.3, §3.4), in their log-in order.
 pub fn lab_device_set() -> Vec<DeviceProfile> {
-    ["Honor 10", "Galaxy S8", "Galaxy S7", "Galaxy S4 mini", "Xperia E3"]
-        .iter()
-        .filter_map(|n| by_name(n))
-        .collect()
+    [
+        "Honor 10",
+        "Galaxy S8",
+        "Galaxy S7",
+        "Galaxy S4 mini",
+        "Xperia E3",
+    ]
+    .iter()
+    .filter_map(|n| by_name(n))
+    .collect()
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ impl GaussianMechanism {
     /// Panics if `clip_norm` is not positive or `noise_multiplier` is negative.
     pub fn new(clip_norm: f32, noise_multiplier: f32, seed: u64) -> Self {
         assert!(clip_norm > 0.0, "clip_norm must be positive");
-        assert!(noise_multiplier >= 0.0, "noise_multiplier must be non-negative");
+        assert!(
+            noise_multiplier >= 0.0,
+            "noise_multiplier must be non-negative"
+        );
         Self {
             clip_norm,
             noise_multiplier,

@@ -9,22 +9,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Weight initialisation scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Initializer {
     /// All weights zero (useful for biases and tests).
     Zeros,
     /// Uniform in `[-scale, scale]` where the scale is fixed at construction.
     UniformSymmetric,
     /// Glorot/Xavier uniform: `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+    #[default]
     Xavier,
     /// He/Kaiming uniform: `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`, suited to ReLU.
     He,
-}
-
-impl Default for Initializer {
-    fn default() -> Self {
-        Initializer::Xavier
-    }
 }
 
 impl Initializer {

@@ -1,0 +1,447 @@
+//! Blocked, parallel `f32` matrix kernels — the hot path of every FLeet
+//! worker gradient computation.
+//!
+//! # Design
+//!
+//! All kernels operate on caller-owned raw slices (no allocation) and come in
+//! the three layouts the layers need, so transposes are never materialised:
+//!
+//! * [`matmul`] — `C = A·B` (`A: [m,k]`, `B: [k,n]`): dense forward.
+//! * [`matmul_tn_acc`] — `C += Aᵀ·B` (`A: [k,m]`, `B: [k,n]`): weight
+//!   gradients, accumulating directly into the layer's gradient buffer.
+//! * [`matmul_nt`] — `C = A·Bᵀ` (`A: [m,k]`, `B: [n,k]`): input gradients.
+//!
+//! The NN/TN kernels run an `MR × NR` register-tiled micro-kernel (partial
+//! sums held in registers, `B` panels L1-resident, remainders falling back to
+//! row-axpy loops); the NT kernel is a 16-lane blocked dot product with a
+//! fixed reduction tree. Work is split across threads by contiguous output
+//! rows via [`fleet_parallel::parallel_chunks_mut`], and every output element
+//! accumulates over the depth dimension in ascending order regardless of how
+//! tiles or threads partition the output — so results are bit-for-bit
+//! identical on 1 or N cores and on any SIMD width (the workspace builds with
+//! `target-cpu=native`; vectorising these element-wise lane loops never
+//! reassociates, and rustc performs no FMA contraction). Keep that property:
+//! the simulation's reproducibility tests depend on it.
+//!
+//! # The seed kernel's sparsity branch
+//!
+//! The original kernel skipped inner-loop work when `a == 0.0`. That branch
+//! pays off only for one-hot-ish inputs (e.g. the recommender's bag-of-words
+//! rows) and costs a compare per `(i,p)` pair plus vectorisation-hostile
+//! control flow on the dense matrices that dominate this workload, so the
+//! dense path no longer has it. [`matmul_naive`] preserves the seed kernel
+//! verbatim for benchmarking (`cargo bench --bench ml_kernels` reports both on
+//! dense and one-hot inputs) and as the reference implementation the property
+//! tests compare against.
+
+/// Output rows per register tile.
+const MR: usize = 4;
+
+/// Output columns per register tile: `MR × NR` partial sums live in
+/// registers, cutting the traffic to `out` by `MR·NR` and reusing every
+/// loaded `B` lane `MR` times. A `k × NR` column panel of `B` is ~`4k·NR`
+/// bytes (16 KiB at `k = 256`), so panels stay L1-resident across row groups.
+const NR: usize = 16;
+
+/// Below this many fused multiply-adds (~50 µs of work) the scoped-thread
+/// fan-out costs more than the arithmetic; kernels stay on the calling
+/// thread. Fan-out is also suppressed automatically inside `fleet_parallel`
+/// workers, so the simulation's per-task gradients never nest thread pools.
+const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+
+#[inline]
+fn axpy(y: &mut [f32], x: &[f32], a: f32) {
+    for (y, &x) in y.iter_mut().zip(x) {
+        *y += a * x;
+    }
+}
+
+/// Dot product with sixteen independent accumulator lanes combined in a
+/// fixed tree order — vectorisable without floating-point reassociation,
+/// therefore deterministic on every ISA and thread count.
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    const L: usize = 16;
+    debug_assert_eq!(x.len(), y.len());
+    let mut lanes = [0.0f32; L];
+    let chunks = x.len() / L;
+    for c in 0..chunks {
+        let xs: &[f32; L] = x[c * L..c * L + L].try_into().unwrap();
+        let ys: &[f32; L] = y[c * L..c * L + L].try_into().unwrap();
+        for l in 0..L {
+            lanes[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * L..x.len() {
+        tail += x[i] * y[i];
+    }
+    let mut acc = lanes;
+    // Fixed pairwise reduction tree: 16 -> 8 -> 4 -> 2 -> 1.
+    let mut width = L / 2;
+    while width > 0 {
+        for l in 0..width {
+            acc[l] += acc[l + width];
+        }
+        width /= 2;
+    }
+    acc[0] + tail
+}
+
+#[inline]
+fn check(name: &str, a: usize, b: usize, out: usize, m: usize, k: usize, n: usize) {
+    assert_eq!(a, m * k, "{name}: lhs has {a} elements, expected {m}x{k}");
+    assert_eq!(b, k * n, "{name}: rhs has {b} elements, expected {k}x{n}");
+    assert_eq!(
+        out,
+        m * n,
+        "{name}: out has {out} elements, expected {m}x{n}"
+    );
+}
+
+/// `out = a · b` with `a: [m,k]`, `b: [k,n]`, `out: [m,n]`, all row-major.
+///
+/// Cache-blocked and parallel over output rows; `out` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check("matmul", a.len(), b.len(), out.len(), m, k, n);
+    if m * k * n < PAR_FLOP_THRESHOLD {
+        matmul_rows(a, b, out, 0, k, n);
+        return;
+    }
+    fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
+        matmul_rows(a, b, chunk, first_row, k, n);
+    });
+}
+
+/// Computes `chunk = a[first_row.., :] · b` for `chunk.len() / n` rows.
+///
+/// Full `MR`-row groups run the register-tiled micro-kernel over `NR`-column
+/// panels; row/column remainders fall back to the axpy loop. Either way each
+/// output element accumulates over `p` in ascending order, so the partition
+/// into tiles (and threads) never changes the numerics.
+fn matmul_rows(a: &[f32], b: &[f32], chunk: &mut [f32], first_row: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let n_main = n - n % NR;
+    for (group_idx, group) in chunk.chunks_mut(MR * n).enumerate() {
+        let row0 = first_row + group_idx * MR;
+        if group.len() == MR * n {
+            for j0 in (0..n_main).step_by(NR) {
+                tile_nn(a, b, group, row0, k, n, j0);
+            }
+            if n_main < n {
+                for (i, out_row) in group.chunks_mut(n).enumerate() {
+                    let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+                    let tail = &mut out_row[n_main..];
+                    tail.fill(0.0);
+                    for (p, &av) in a_row.iter().enumerate() {
+                        axpy(tail, &b[p * n + n_main..(p + 1) * n], av);
+                    }
+                }
+            }
+        } else {
+            // Fewer than MR rows remain: plain axpy rows.
+            for (i, out_row) in group.chunks_mut(n).enumerate() {
+                let a_row = &a[(row0 + i) * k..(row0 + i) * k + k];
+                out_row.fill(0.0);
+                for (p, &av) in a_row.iter().enumerate() {
+                    axpy(out_row, &b[p * n..p * n + n], av);
+                }
+            }
+        }
+    }
+}
+
+/// Register-tiled `MR × NR` micro-kernel: `group[.., j0..j0+NR] = Σ_p a·b`.
+#[inline]
+fn tile_nn(a: &[f32], b: &[f32], group: &mut [f32], row0: usize, k: usize, n: usize, j0: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let a_rows: [&[f32]; MR] = std::array::from_fn(|i| &a[(row0 + i) * k..(row0 + i) * k + k]);
+    for p in 0..k {
+        let b_lane: &[f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+        for i in 0..MR {
+            let av = a_rows[i][p];
+            for j in 0..NR {
+                acc[i][j] += av * b_lane[j];
+            }
+        }
+    }
+    for (i, lane) in acc.iter().enumerate() {
+        group[i * n + j0..i * n + j0 + NR].copy_from_slice(lane);
+    }
+}
+
+/// `out += aᵀ · b` with `a: [k,m]`, `b: [k,n]`, `out: [m,n]`, row-major —
+/// the fused weight-gradient kernel (`dW += xᵀ·dy`). Accumulates, matching
+/// how layer gradients build up across backward calls.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_tn_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check("matmul_tn_acc", a.len(), b.len(), out.len(), m, k, n);
+    if m * k * n < PAR_FLOP_THRESHOLD {
+        matmul_tn_rows(a, b, out, 0, m, k, n);
+        return;
+    }
+    fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
+        matmul_tn_rows(a, b, chunk, first_row, m, k, n);
+    });
+}
+
+/// Accumulates `chunk += aᵀ[first_row.., :] · b` for `chunk.len() / n` rows.
+///
+/// Same tiling as [`matmul_rows`], except the `MR` input scalars per `p` come
+/// from a row of `a` (adjacent columns) and the tile *adds* to the output.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let n_main = n - n % NR;
+    for (group_idx, group) in chunk.chunks_mut(MR * n).enumerate() {
+        let row0 = first_row + group_idx * MR;
+        if group.len() == MR * n {
+            for j0 in (0..n_main).step_by(NR) {
+                tile_tn(a, b, group, row0, m, k, n, j0);
+            }
+            if n_main < n {
+                for (i, out_row) in group.chunks_mut(n).enumerate() {
+                    let col = row0 + i;
+                    let tail = &mut out_row[n_main..];
+                    for p in 0..k {
+                        axpy(tail, &b[p * n + n_main..(p + 1) * n], a[p * m + col]);
+                    }
+                }
+            }
+        } else {
+            for (i, out_row) in group.chunks_mut(n).enumerate() {
+                let col = row0 + i;
+                for p in 0..k {
+                    axpy(out_row, &b[p * n..p * n + n], a[p * m + col]);
+                }
+            }
+        }
+    }
+}
+
+/// Register-tiled accumulating micro-kernel for the TN layout.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_tn(
+    a: &[f32],
+    b: &[f32],
+    group: &mut [f32],
+    row0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let b_lane: &[f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+        let a_lane: &[f32; MR] = a[p * m + row0..p * m + row0 + MR].try_into().unwrap();
+        for i in 0..MR {
+            let av = a_lane[i];
+            for j in 0..NR {
+                acc[i][j] += av * b_lane[j];
+            }
+        }
+    }
+    for (i, lane) in acc.iter().enumerate() {
+        for (o, &v) in group[i * n + j0..i * n + j0 + NR].iter_mut().zip(lane) {
+            *o += v;
+        }
+    }
+}
+
+/// `out = a · bᵀ` with `a: [m,k]`, `b: [n,k]`, `out: [m,n]`, row-major — the
+/// fused input-gradient kernel (`dx = dy·Wᵀ`). Both operands are read along
+/// contiguous rows; each output element is one blocked dot product.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check("matmul_nt", a.len(), b.len(), out.len(), m, k, n);
+    if m * k * n < PAR_FLOP_THRESHOLD {
+        matmul_nt_rows(a, b, out, 0, k, n);
+        return;
+    }
+    fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
+        matmul_nt_rows(a, b, chunk, first_row, k, n);
+    });
+}
+
+/// Computes `chunk = a[first_row.., :] · bᵀ` for `chunk.len() / n` rows.
+fn matmul_nt_rows(a: &[f32], b: &[f32], chunk: &mut [f32], first_row: usize, k: usize, n: usize) {
+    for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+        let a_row = &a[(first_row + i) * k..(first_row + i) * k + k];
+        for (j, out) in out_row.iter_mut().enumerate() {
+            *out = dot(a_row, &b[j * k..j * k + k]);
+        }
+    }
+}
+
+/// The seed repository's single-threaded kernel, kept verbatim as the
+/// benchmark baseline and the reference the property tests check the blocked
+/// kernels against. Note the `a == 0.0` sparsity branch — see the module docs
+/// for why the dense path dropped it.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check("matmul_naive", a.len(), b.len(), out.len(), m, k, n);
+    out.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let row = &b[p * n..(p + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out = a + factor · b`, element-wise, into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_scaled(a: &[f32], b: &[f32], factor: f32, out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "add_scaled operand length mismatch");
+    assert_eq!(a.len(), out.len(), "add_scaled output length mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + factor * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_pattern(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 2654435761usize) as f32 / usize::MAX as f32 - 0.5) * scale)
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 33, 9),
+            (64, 64, 64),
+            (70, 129, 31),
+        ] {
+            let a = fill_pattern(m * k, 2.0);
+            let b = fill_pattern(k * n, 2.0);
+            let mut fast = vec![0.0; m * n];
+            let mut naive = vec![0.0; m * n];
+            matmul(&a, &b, &mut fast, m, k, n);
+            matmul_naive(&a, &b, &mut naive, m, k, n);
+            assert_close(&fast, &naive, 1e-4);
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let (m, k, n) = (13, 21, 8);
+        let a = fill_pattern(k * m, 1.0); // stored [k, m]
+        let b = fill_pattern(k * n, 1.0);
+        // Reference: transpose a, then naive matmul.
+        let mut at = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                at[i * k + p] = a[p * m + i];
+            }
+        }
+        let mut expected = vec![0.0; m * n];
+        matmul_naive(&at, &b, &mut expected, m, k, n);
+        let mut out = vec![1.0; m * n]; // non-zero: tn accumulates
+        matmul_tn_acc(&a, &b, &mut out, m, k, n);
+        let shifted: Vec<f32> = expected.iter().map(|v| v + 1.0).collect();
+        assert_close(&out, &shifted, 1e-4);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let (m, k, n) = (9, 30, 14);
+        let a = fill_pattern(m * k, 1.0);
+        let b = fill_pattern(n * k, 1.0); // stored [n, k]
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut expected = vec![0.0; m * n];
+        matmul_naive(&a, &bt, &mut expected, m, k, n);
+        let mut out = vec![0.0; m * n];
+        matmul_nt(&a, &b, &mut out, m, k, n);
+        assert_close(&out, &expected, 1e-4);
+    }
+
+    #[test]
+    fn large_shapes_cross_parallel_threshold_and_agree() {
+        let (m, k, n) = (128, 64, 128); // 128*64*128 > PAR_FLOP_THRESHOLD
+        assert!(m * k * n >= PAR_FLOP_THRESHOLD);
+        let a = fill_pattern(m * k, 1.0);
+        let b = fill_pattern(k * n, 1.0);
+        let mut fast = vec![0.0; m * n];
+        let mut naive = vec![0.0; m * n];
+        matmul(&a, &b, &mut fast, m, k, n);
+        matmul_naive(&a, &b, &mut naive, m, k, n);
+        assert_close(&fast, &naive, 1e-3);
+    }
+
+    #[test]
+    fn dot_is_exact_on_structured_input() {
+        let x: Vec<f32> = (0..19).map(|i| i as f32).collect();
+        let y = vec![2.0f32; 19];
+        assert_eq!(dot(&x, &y), (0..19).sum::<i32>() as f32 * 2.0);
+    }
+
+    #[test]
+    fn add_scaled_into_buffer() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        let mut out = [0.0; 2];
+        add_scaled(&a, &b, 0.5, &mut out);
+        assert_eq!(out, [6.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs has")]
+    fn dimension_mismatch_panics() {
+        let mut out = [0.0; 4];
+        matmul(&[1.0; 3], &[1.0; 4], &mut out, 2, 2, 2);
+    }
+}

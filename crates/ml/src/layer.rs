@@ -13,7 +13,7 @@ use crate::Result;
 ///
 /// Layers are used exclusively through [`crate::model::Sequential`], but the
 /// trait is public so that downstream users can add custom layers.
-pub trait Layer: std::fmt::Debug + Send {
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Human-readable layer name used in model summaries.
     fn name(&self) -> &str;
 
@@ -52,5 +52,17 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Total number of scalar parameters held by the layer.
     fn parameter_count(&self) -> usize {
         self.parameters().iter().map(|p| p.len()).sum()
+    }
+
+    /// Boxed deep clone of the layer (parameters, gradients and caches).
+    ///
+    /// Powers `Clone` for [`crate::model::Sequential`], which the parallel
+    /// async simulation uses to hand each worker thread its own model replica.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }

@@ -20,7 +20,7 @@ use crate::{MlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Relu {
     mask: Option<Tensor>,
 }
@@ -71,6 +71,10 @@ impl Layer for Relu {
     }
 
     fn zero_gradients(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::{MlError, Result};
 /// A 2-D convolution over `[batch, in_channels, height, width]` inputs with
 /// stride support and no padding ("valid" convolution), as in the paper's
 /// Table 1 topologies.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
@@ -97,11 +97,6 @@ impl Conv2d {
         })?;
         Ok((shape[0], oh, ow))
     }
-
-    #[inline]
-    fn w_index(&self, oc: usize, ic: usize, kh: usize, kw: usize) -> usize {
-        ((oc * self.in_channels + ic) * self.kernel + kh) * self.kernel + kw
-    }
 }
 
 impl Layer for Conv2d {
@@ -112,42 +107,63 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let (batch, oh, ow) = self.check_input(input)?;
         let (h, w) = (input.shape()[2], input.shape()[3]);
-        let mut out = vec![0.0f32; batch * self.out_channels * oh * ow];
+        let (in_c, out_c, kernel, stride) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+        );
+        let mut out = vec![0.0f32; batch * out_c * oh * ow];
         let in_data = input.data();
         let w_data = self.weights.data();
         for b in 0..batch {
-            for oc in 0..self.out_channels {
+            for oc in 0..out_c {
+                let bias = self.bias.data()[oc];
                 for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = self.bias.data()[oc];
-                        for ic in 0..self.in_channels {
-                            for ky in 0..self.kernel {
-                                let iy = oy * self.stride + ky;
-                                for kx in 0..self.kernel {
-                                    let ix = ox * self.stride + kx;
-                                    let in_idx = ((b * self.in_channels + ic) * h + iy) * w + ix;
-                                    acc += in_data[in_idx] * w_data[self.w_index(oc, ic, ky, kx)];
+                    let out_row = &mut out[((b * out_c + oc) * oh + oy) * ow..][..ow];
+                    out_row.fill(bias);
+                    // Accumulate one (ic, ky, kx) weight at a time across the
+                    // whole output row — for stride 1 that is a contiguous
+                    // axpy over the input row, which vectorises over `ox`
+                    // (the long dimension) instead of the tiny kernel width.
+                    // The (ic, ky, kx)-ascending order matches the seed
+                    // kernel's per-element summation order exactly.
+                    for ic in 0..in_c {
+                        for ky in 0..kernel {
+                            let iy = oy * stride + ky;
+                            let in_row = &in_data[((b * in_c + ic) * h + iy) * w..][..w];
+                            let w_row =
+                                &w_data[((oc * in_c + ic) * kernel + ky) * kernel..][..kernel];
+                            for (kx, &wv) in w_row.iter().enumerate() {
+                                if stride == 1 {
+                                    for (o, &x) in out_row.iter_mut().zip(&in_row[kx..kx + ow]) {
+                                        *o += wv * x;
+                                    }
+                                } else {
+                                    for (ox, o) in out_row.iter_mut().enumerate() {
+                                        *o += wv * in_row[ox * stride + kx];
+                                    }
                                 }
                             }
                         }
-                        out[((b * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
                     }
                 }
             }
         }
-        self.cached_input = Some(input.clone());
-        Ok(Tensor::from_vec(out, &[batch, self.out_channels, oh, ow]))
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            cache => *cache = Some(input.clone()),
+        }
+        Ok(Tensor::from_vec(out, &[batch, out_c, oh, ow]))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or_else(|| {
+        let (batch, oh, ow) = {
+            let input = self.cached_input.as_ref().ok_or_else(|| {
                 MlError::InvalidArgument("Conv2d::backward called before forward".to_string())
-            })?
-            .clone();
-        let (batch, oh, ow) = self.check_input(&input)?;
+            })?;
+            self.check_input(input)?
+        };
         let expected = vec![batch, self.out_channels, oh, ow];
         if grad_output.shape() != expected.as_slice() {
             return Err(MlError::ShapeMismatch {
@@ -156,6 +172,15 @@ impl Layer for Conv2d {
                 context: "Conv2d::backward".to_string(),
             });
         }
+        let (in_c, out_c, kernel, stride) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+        );
+        // Disjoint field borrows: the cached input is read while the gradient
+        // buffers are written, so no clone of the input is needed.
+        let input = self.cached_input.as_ref().expect("checked above");
         let (h, w) = (input.shape()[2], input.shape()[3]);
         let mut grad_input = vec![0.0f32; input.len()];
         let in_data = input.data();
@@ -164,26 +189,29 @@ impl Layer for Conv2d {
         let gw = self.grad_weights.data_mut();
         let gb = self.grad_bias.data_mut();
         for b in 0..batch {
-            for oc in 0..self.out_channels {
+            for oc in 0..out_c {
                 for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((b * self.out_channels + oc) * oh + oy) * ow + ox];
+                    let go_row = &go[((b * out_c + oc) * oh + oy) * ow..][..ow];
+                    for (ox, &g) in go_row.iter().enumerate() {
+                        // ReLU upstream makes zero gradients common enough
+                        // that this skip pays for itself (unlike the dense
+                        // matmul path — see fleet_ml::kernels module docs).
                         if g == 0.0 {
                             continue;
                         }
                         gb[oc] += g;
-                        for ic in 0..self.in_channels {
-                            for ky in 0..self.kernel {
-                                let iy = oy * self.stride + ky;
-                                for kx in 0..self.kernel {
-                                    let ix = ox * self.stride + kx;
-                                    let in_idx = ((b * self.in_channels + ic) * h + iy) * w + ix;
-                                    let widx =
-                                        ((oc * self.in_channels + ic) * self.kernel + ky)
-                                            * self.kernel
-                                            + kx;
-                                    gw[widx] += g * in_data[in_idx];
-                                    grad_input[in_idx] += g * w_data[widx];
+                        for ic in 0..in_c {
+                            for ky in 0..kernel {
+                                let iy = oy * stride + ky;
+                                let base = ((b * in_c + ic) * h + iy) * w + ox * stride;
+                                let in_patch = &in_data[base..base + kernel];
+                                let wbase = ((oc * in_c + ic) * kernel + ky) * kernel;
+                                let gw_row = &mut gw[wbase..wbase + kernel];
+                                let w_row = &w_data[wbase..wbase + kernel];
+                                let gi_patch = &mut grad_input[base..base + kernel];
+                                for kx in 0..kernel {
+                                    gw_row[kx] += g * in_patch[kx];
+                                    gi_patch[kx] += g * w_row[kx];
                                 }
                             }
                         }
@@ -207,13 +235,12 @@ impl Layer for Conv2d {
     }
 
     fn zero_gradients(&mut self) {
-        self.grad_weights = Tensor::zeros(&[
-            self.out_channels,
-            self.in_channels,
-            self.kernel,
-            self.kernel,
-        ]);
-        self.grad_bias = Tensor::zeros(&[self.out_channels]);
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -23,7 +23,7 @@ use crate::{MlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     in_features: usize,
     out_features: usize,
@@ -31,6 +31,8 @@ pub struct Dense {
     bias: Tensor,
     grad_weights: Tensor,
     grad_bias: Tensor,
+    /// Input cache reused across steps ([`Tensor::copy_from`] keeps the
+    /// allocation); `None` only before the first forward pass.
     cached_input: Option<Tensor>,
 }
 
@@ -38,7 +40,12 @@ impl Dense {
     /// Creates a dense layer with `in_features` inputs and `out_features`
     /// outputs, initialising the weights with `init` and the given `seed`.
     pub fn new(in_features: usize, out_features: usize, init: Initializer, seed: u64) -> Self {
-        let weights = init.init(&[in_features, out_features], in_features, out_features, seed);
+        let weights = init.init(
+            &[in_features, out_features],
+            in_features,
+            out_features,
+            seed,
+        );
         Self {
             in_features,
             out_features,
@@ -74,14 +81,18 @@ impl Layer for Dense {
                 context: "Dense::forward".to_string(),
             });
         }
-        let batch = input.shape()[0];
         let mut out = input.matmul(&self.weights);
-        for i in 0..batch {
-            for j in 0..self.out_features {
-                *out.at2_mut(i, j) += self.bias.data()[j];
+        // Broadcast the bias over the batch with row-slice arithmetic.
+        let bias = self.bias.data();
+        for row in out.data_mut().chunks_mut(self.out_features) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
             }
         }
-        self.cached_input = Some(input.clone());
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            cache => *cache = Some(input.clone()),
+        }
         Ok(out)
     }
 
@@ -96,12 +107,18 @@ impl Layer for Dense {
                 context: "Dense::backward".to_string(),
             });
         }
-        // dW = input^T · grad_output ; db = sum over batch ; dx = grad_output · W^T
-        let grad_w = input.transpose().matmul(grad_output);
-        self.grad_weights.add_scaled_inplace(&grad_w, 1.0);
-        let grad_b = grad_output.sum_rows();
-        self.grad_bias.add_scaled_inplace(&grad_b, 1.0);
-        Ok(grad_output.matmul(&self.weights.transpose()))
+        // dW += input^T · grad_output — fused TN kernel accumulating straight
+        // into the gradient buffer, no transpose and no temporary.
+        input.matmul_tn_acc_into(grad_output, &mut self.grad_weights);
+        // db += per-column sums of grad_output, via row slices.
+        let gb = self.grad_bias.data_mut();
+        for row in grad_output.data().chunks(self.out_features) {
+            for (g, &v) in gb.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        // dx = grad_output · W^T — fused NT kernel, no transpose.
+        Ok(grad_output.matmul_nt(&self.weights))
     }
 
     fn parameters(&self) -> Vec<&Tensor> {
@@ -117,8 +134,12 @@ impl Layer for Dense {
     }
 
     fn zero_gradients(&mut self) {
-        self.grad_weights = Tensor::zeros(&[self.in_features, self.out_features]);
-        self.grad_bias = Tensor::zeros(&[self.out_features]);
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -5,7 +5,7 @@ use crate::tensor::Tensor;
 use crate::{MlError, Result};
 
 /// Flattens `[batch, d1, d2, ...]` inputs into `[batch, d1*d2*...]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
     input_shape: Option<Vec<usize>>,
 }
@@ -54,6 +54,10 @@ impl Layer for Flatten {
     }
 
     fn zero_gradients(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use crate::{MlError, Result};
 ///
 /// The paper's Table 1 uses pooling windows of 2x2, 3x3 and 4x4 with matching
 /// strides; this layer supports any window/stride combination.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
     stride: usize,
@@ -61,10 +61,16 @@ impl Layer for MaxPool2d {
         }
         let (batch, channels, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let oh = self.output_size(h).ok_or_else(|| {
-            MlError::InvalidArgument(format!("input height {h} smaller than window {}", self.window))
+            MlError::InvalidArgument(format!(
+                "input height {h} smaller than window {}",
+                self.window
+            ))
         })?;
         let ow = self.output_size(w).ok_or_else(|| {
-            MlError::InvalidArgument(format!("input width {w} smaller than window {}", self.window))
+            MlError::InvalidArgument(format!(
+                "input width {w} smaller than window {}",
+                self.window
+            ))
         })?;
         let data = input.data();
         let mut out = vec![f32::NEG_INFINITY; batch * channels * oh * ow];
@@ -125,6 +131,10 @@ impl Layer for MaxPool2d {
     }
 
     fn zero_gradients(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +145,10 @@ mod tests {
     fn forward_picks_max() {
         let mut pool = MaxPool2d::new(2, 2);
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let out = pool.forward(&input).unwrap();

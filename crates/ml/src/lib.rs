@@ -9,6 +9,8 @@
 //!
 //! * [`tensor::Tensor`] — a dense row-major `f32` tensor with the handful of
 //!   operations required by forward/backward passes,
+//! * [`kernels`] — the blocked, thread-parallel matrix kernels behind
+//!   [`tensor::Tensor::matmul`] and its fused variants,
 //! * [`layer::Layer`] implementations (dense, conv2d, max-pool, ReLU, flatten),
 //! * [`loss`] — softmax cross-entropy,
 //! * [`model::Sequential`] — a feed-forward model container exposing its
@@ -20,6 +22,36 @@
 //! * [`models`] — builders for the paper's Table 1 topologies (scaled to run on
 //!   a laptop) and a bag-of-words hashtag recommender,
 //! * [`metrics`] — accuracy and the F1-score @ top-k used in §3.1.
+//!
+//! # Kernel architecture
+//!
+//! Worker-side cost is dominated by the dense/conv forward and backward
+//! passes, so the compute layer is organised around three rules:
+//!
+//! 1. **Raw-slice kernels, fused layouts.** [`kernels`] implements `A·B`,
+//!    `Aᵀ·B` (accumulating) and `A·Bᵀ` directly on row-major slices, so the
+//!    backward pass never materialises a transpose and weight gradients
+//!    accumulate straight into the layer's gradient buffer.
+//! 2. **Deterministic parallelism.** Large kernels split their *output rows*
+//!    across threads (`fleet_parallel`); every output element is produced by
+//!    a fixed-order loop, so results are bit-for-bit identical for any thread
+//!    count. The async-simulation reproducibility guarantee rests on this.
+//! 3. **Caller-owned scratch.** Layers reuse per-layer workspaces instead of
+//!    allocating per call: `forward` caches its input via
+//!    [`tensor::Tensor::copy_from`] (reusing the buffer), `zero_gradients`
+//!    zeroes in place, and the `*_into` tensor methods
+//!    ([`tensor::Tensor::matmul_into`], [`tensor::Tensor::matmul_nt_into`],
+//!    [`tensor::Tensor::matmul_tn_acc_into`],
+//!    [`tensor::Tensor::add_scaled_into`]) write into tensors whose
+//!    allocations persist across steps. The convention throughout: a
+//!    `&mut Tensor` out-parameter is resized with
+//!    [`tensor::Tensor::resize_for`] (which keeps capacity) and fully
+//!    overwritten unless the method name says it accumulates (`_acc_`).
+//!
+//! The seed repository's single-threaded kernel (including its `a == 0.0`
+//! sparsity skip, which only pays off for one-hot inputs) survives as
+//! [`kernels::matmul_naive`]: the reference for property tests and the
+//! baseline for the `ml_kernels` criterion bench.
 //!
 //! # Example
 //!
@@ -38,6 +70,7 @@
 
 pub mod gradient;
 pub mod init;
+pub mod kernels;
 pub mod layer;
 pub mod layers;
 pub mod loss;

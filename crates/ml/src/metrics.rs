@@ -160,10 +160,7 @@ mod tests {
 
     #[test]
     fn mean_f1_averages() {
-        let pairs = vec![
-            (vec![1, 2], vec![1, 2]),
-            (vec![3], vec![4]),
-        ];
+        let pairs = vec![(vec![1, 2], vec![1, 2]), (vec![3], vec![4])];
         assert!((mean_f1_at_k(&pairs) - 0.5).abs() < 1e-6);
         assert_eq!(mean_f1_at_k(&[]), 0.0);
     }

@@ -15,7 +15,10 @@ use crate::tensor::Tensor;
 use crate::{MlError, Result};
 
 /// A feed-forward stack of layers trained with softmax cross-entropy.
-#[derive(Debug, Default)]
+///
+/// `Clone` produces a full replica (parameters, gradients and caches); the
+/// parallel async simulation clones one replica per worker thread.
+#[derive(Debug, Clone, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     loss: SoftmaxCrossEntropy,
@@ -57,8 +60,12 @@ impl Sequential {
     ///
     /// Propagates shape errors from the layers.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let mut current = input.clone();
-        for layer in &mut self.layers {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return Ok(input.clone());
+        };
+        let mut current = first.forward(input)?;
+        for layer in layers {
             current = layer.forward(&current)?;
         }
         Ok(current)
@@ -179,7 +186,11 @@ impl Sequential {
     /// # Errors
     ///
     /// Propagates shape/label errors.
-    pub fn compute_gradient(&mut self, inputs: &Tensor, labels: &[usize]) -> Result<(f32, Gradient)> {
+    pub fn compute_gradient(
+        &mut self,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> Result<(f32, Gradient)> {
         self.zero_gradients();
         let loss = self.backward(inputs, labels)?;
         Ok((loss, self.gradient()))

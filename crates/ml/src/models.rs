@@ -79,7 +79,14 @@ pub fn table1_mnist_cnn(seed: u64) -> Sequential {
         .with_layer(Box::new(Conv2d::new(1, 8, 5, 1, Initializer::He, seed)))
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(MaxPool2d::new(3, 3)))
-        .with_layer(Box::new(Conv2d::new(8, 48, 5, 1, Initializer::He, seed + 1)))
+        .with_layer(Box::new(Conv2d::new(
+            8,
+            48,
+            5,
+            1,
+            Initializer::He,
+            seed + 1,
+        )))
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(MaxPool2d::new(2, 2)))
         .with_layer(Box::new(Flatten::new()))
@@ -93,7 +100,14 @@ pub fn table1_emnist_cnn(seed: u64) -> Sequential {
         .with_layer(Box::new(Conv2d::new(1, 10, 5, 1, Initializer::He, seed)))
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(MaxPool2d::new(2, 2)))
-        .with_layer(Box::new(Conv2d::new(10, 10, 5, 1, Initializer::He, seed + 1)))
+        .with_layer(Box::new(Conv2d::new(
+            10,
+            10,
+            5,
+            1,
+            Initializer::He,
+            seed + 1,
+        )))
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(MaxPool2d::new(2, 2)))
         .with_layer(Box::new(Flatten::new()))
@@ -109,7 +123,14 @@ pub fn table1_cifar100_cnn(seed: u64) -> Sequential {
         .with_layer(Box::new(Conv2d::new(3, 16, 3, 1, Initializer::He, seed)))
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(MaxPool2d::new(3, 2)))
-        .with_layer(Box::new(Conv2d::new(16, 64, 3, 1, Initializer::He, seed + 1)))
+        .with_layer(Box::new(Conv2d::new(
+            16,
+            64,
+            3,
+            1,
+            Initializer::He,
+            seed + 1,
+        )))
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(MaxPool2d::new(4, 4)))
         .with_layer(Box::new(Flatten::new()))
@@ -117,7 +138,12 @@ pub fn table1_cifar100_cnn(seed: u64) -> Sequential {
         .with_layer(Box::new(Relu::new()))
         .with_layer(Box::new(Dense::new(384, 192, Initializer::He, seed + 3)))
         .with_layer(Box::new(Relu::new()))
-        .with_layer(Box::new(Dense::new(192, 100, Initializer::Xavier, seed + 4)))
+        .with_layer(Box::new(Dense::new(
+            192,
+            100,
+            Initializer::Xavier,
+            seed + 4,
+        )))
 }
 
 /// Summary of a Table 1 topology (used by the `table01_models` harness).

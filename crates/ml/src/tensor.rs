@@ -178,6 +178,46 @@ impl Tensor {
         }
     }
 
+    /// `out = self + factor · other`, written into a caller-owned scratch
+    /// tensor (no allocation when `out` already has capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled_into(&self, other: &Tensor, factor: f32, out: &mut Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_scaled_into shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        out.resize_for(&self.shape.clone());
+        crate::kernels::add_scaled(&self.data, &other.data, factor, &mut out.data);
+    }
+
+    /// Overwrites every element with `value`, keeping the allocation.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Makes this tensor a copy of `other`, reusing the existing allocation
+    /// when it is large enough (the workhorse of layer input caching).
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.resize_for(&other.shape.clone());
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Reshapes in place to `shape`, growing or shrinking the data buffer but
+    /// keeping its allocation where possible. Contents are unspecified after
+    /// the call; callers overwrite them.
+    pub fn resize_for(&mut self, shape: &[usize]) {
+        let len: usize = shape.iter().product();
+        if self.shape != shape {
+            self.shape.clear();
+            self.shape.extend_from_slice(shape);
+        }
+        self.data.resize(len, 0.0);
+    }
+
     /// In-place element-wise addition of `other * factor`.
     ///
     /// # Panics
@@ -215,10 +255,24 @@ impl Tensor {
 
     /// Matrix multiplication of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
+    /// Runs the blocked, parallel kernel of [`crate::kernels`]; see
+    /// [`Tensor::matmul_into`] for the allocation-free variant.
+    ///
     /// # Panics
     ///
     /// Panics if either tensor is not 2-D or the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · other`, reusing `out`'s allocation when large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "matmul requires 2-D tensors (lhs)");
         assert_eq!(other.shape.len(), 2, "matmul requires 2-D tensors (rhs)");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -227,21 +281,81 @@ impl Tensor {
             k, k2,
             "matmul inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
         );
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+        out.resize_for(&[m, n]);
+        crate::kernels::matmul(&self.data, &other.data, &mut out.data, m, k, n);
+    }
+
+    /// `out = selfᵀ · other` for `self: [k, m]`, `other: [k, n]`, without
+    /// materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the shared dimension disagrees.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        let (m, n) = self.check_tn(other);
+        out.resize_for(&[m, n]);
+        out.fill(0.0);
+        crate::kernels::matmul_tn_acc(&self.data, &other.data, &mut out.data, m, self.shape[0], n);
+        out
+    }
+
+    /// `out += selfᵀ · other` — the fused weight-gradient update, accumulating
+    /// into a caller-owned gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or `out` is not `[m, n]`.
+    pub fn matmul_tn_acc_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, n) = self.check_tn(other);
+        assert_eq!(
+            out.shape,
+            [m, n],
+            "matmul_tn_acc_into output must be [{m}, {n}]"
+        );
+        crate::kernels::matmul_tn_acc(&self.data, &other.data, &mut out.data, m, self.shape[0], n);
+    }
+
+    fn check_tn(&self, other: &Tensor) -> (usize, usize) {
+        assert_eq!(self.shape.len(), 2, "matmul_tn requires 2-D tensors (lhs)");
+        assert_eq!(other.shape.len(), 2, "matmul_tn requires 2-D tensors (rhs)");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_tn shared dimension mismatch: [{k}, {m}]ᵀ x [{k2}, {n}]"
+        );
+        (m, n)
+    }
+
+    /// `self · otherᵀ` for `self: [m, k]`, `other: [n, k]`, without
+    /// materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the shared dimension disagrees.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · otherᵀ`, reusing `out`'s allocation when large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the shared dimension disagrees.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape.len(), 2, "matmul_nt requires 2-D tensors (lhs)");
+        assert_eq!(other.shape.len(), 2, "matmul_nt requires 2-D tensors (rhs)");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_nt shared dimension mismatch: [{m}, {k}] x [{n}, {k2}]ᵀ"
+        );
+        out.resize_for(&[m, n]);
+        crate::kernels::matmul_nt(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// Transpose of a 2-D tensor.
@@ -268,11 +382,14 @@ impl Tensor {
     /// Panics if the tensor is not 2-D.
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "sum_rows requires a 2-D tensor");
-        let (m, n) = (self.shape[0], self.shape[1]);
+        let n = self.shape[1];
+        if n == 0 {
+            return Tensor::zeros(&[0]);
+        }
         let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
+        for row in self.data.chunks_exact(n) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[n])
@@ -522,5 +639,88 @@ mod tests {
             let a = Tensor::from_vec(data, &[rows, cols]);
             prop_assert_eq!(a.transpose().transpose(), a);
         }
+
+        #[test]
+        fn prop_matmul_matches_naive_reference(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..200) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect(), &[m, k]);
+            let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect(), &[k, n]);
+            let fast = a.matmul(&b);
+            let mut reference = vec![0.0f32; m * n];
+            crate::kernels::matmul_naive(a.data(), b.data(), &mut reference, m, k, n);
+            for (x, y) in fast.data().iter().zip(reference.iter()) {
+                prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+
+        #[test]
+        fn prop_matmul_tn_matches_explicit_transpose(m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in 0u64..200) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Tensor::from_vec((0..k * m).map(|_| rng.gen_range(-2.0..2.0)).collect(), &[k, m]);
+            let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect(), &[k, n]);
+            let fused = a.matmul_tn(&b);
+            let explicit = a.transpose().matmul(&b);
+            prop_assert_eq!(fused.shape(), explicit.shape());
+            for (x, y) in fused.data().iter().zip(explicit.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+
+        #[test]
+        fn prop_matmul_nt_matches_explicit_transpose(m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in 0u64..200) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect(), &[m, k]);
+            let b = Tensor::from_vec((0..n * k).map(|_| rng.gen_range(-2.0..2.0)).collect(), &[n, k]);
+            let fused = a.matmul_nt(&b);
+            let explicit = a.matmul(&b.transpose());
+            prop_assert_eq!(fused.shape(), explicit.shape());
+            for (x, y) in fused.data().iter().zip(explicit.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_overwrites() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let mut out = Tensor::full(&[3, 3], 9.0); // wrong shape, stale contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_tn_acc_accumulates() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]); // [k=2, m=1]
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]); // [k=2, n=1]
+        let mut acc = Tensor::full(&[1, 1], 10.0);
+        a.matmul_tn_acc_into(&b, &mut acc);
+        assert_eq!(acc.data(), &[10.0 + 1.0 * 3.0 + 2.0 * 4.0]);
+    }
+
+    #[test]
+    fn add_scaled_into_scratch() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let mut out = Tensor::default();
+        a.add_scaled_into(&b, 0.5, &mut out);
+        assert_eq!(out.data(), &[6.0, 12.0]);
+        assert_eq!(out.shape(), &[2]);
+    }
+
+    #[test]
+    fn copy_from_and_fill_keep_allocation() {
+        let big = Tensor::ones(&[8, 8]);
+        let mut scratch = Tensor::default();
+        scratch.copy_from(&big);
+        assert_eq!(scratch, big);
+        scratch.fill(0.0);
+        assert_eq!(scratch.sum(), 0.0);
+        let small = Tensor::from_vec(vec![5.0], &[1, 1]);
+        scratch.copy_from(&small);
+        assert_eq!(scratch, small);
     }
 }

@@ -1,0 +1,257 @@
+//! Deterministic data-parallel helpers for the FLeet hot paths.
+//!
+//! This is the workspace's stand-in for `rayon` (which is unavailable in the
+//! network-less build environment): scoped `std::thread` fan-out with a
+//! rayon-like surface — [`parallel_chunks_mut`] for disjoint in-place work
+//! (the matmul kernels), [`parallel_map`] for independent computations and
+//! [`parallel_map_with`] for per-thread scratch state (the per-round worker
+//! gradients in `fleet_server::simulation`).
+//!
+//! # Determinism contract
+//!
+//! All helpers partition work into *contiguous* ranges and write each output
+//! exactly once from exactly one thread, so results are bit-for-bit identical
+//! to the serial execution regardless of thread count or scheduling. Nothing
+//! here may introduce reduction-order nondeterminism; keep it that way.
+//!
+//! # Thread count and nesting
+//!
+//! [`max_threads`] honours a [`set_max_threads`] override, then
+//! `FLEET_NUM_THREADS`, then `std::thread::available_parallelism`. With one
+//! thread every helper runs the work inline with zero spawn overhead. Worker
+//! closures run with nested fan-out suppressed: a parallel kernel called from
+//! inside a [`parallel_map`] task executes inline instead of oversubscribing
+//! the machine with `threads²` threads.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// True while this thread is a fan-out worker; parallel helpers run
+    /// inline instead of nesting another fan-out.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Maximum worker threads: the [`set_max_threads`] override if one was
+/// installed, else env `FLEET_NUM_THREADS`, else the hardware's available
+/// parallelism, else 1. Cached after the first call.
+pub fn max_threads() -> usize {
+    *THREADS.get_or_init(|| {
+        std::env::var("FLEET_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Installs the thread count programmatically, winning over the lazy env
+/// lookup if called before the first [`max_threads`]. Returns whether the
+/// value took effect (false once the count is already cached). Exists so
+/// tests can pin a parallel configuration without `std::env::set_var`, which
+/// is unsound once threads are running.
+pub fn set_max_threads(threads: usize) -> bool {
+    threads > 0 && THREADS.set(threads).is_ok()
+}
+
+fn run_as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+    let result = f();
+    IN_PARALLEL_REGION.with(|flag| flag.set(false));
+    result
+}
+
+fn fan_out_width(work_items: usize) -> usize {
+    if IN_PARALLEL_REGION.with(Cell::get) {
+        1
+    } else {
+        max_threads().min(work_items)
+    }
+}
+
+/// Splits `data` into at most [`max_threads`] contiguous chunks of whole
+/// `unit`-sized blocks and runs `f(first_block_index, chunk)` on each, in
+/// parallel. `unit` is the indivisible block length (e.g. one matrix row);
+/// every chunk is a multiple of `unit` except possibly the last.
+///
+/// Runs inline when the data is a single block, only one thread is
+/// available, or the caller is itself a fan-out worker.
+///
+/// # Panics
+///
+/// Panics if `unit` is zero.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], unit: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "unit block length must be positive");
+    let blocks = data.len().div_ceil(unit);
+    let threads = fan_out_width(blocks);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let blocks_per_chunk = blocks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut block_index = 0;
+        while !rest.is_empty() {
+            let split = (blocks_per_chunk * unit).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(split);
+            rest = tail;
+            let first_block = block_index;
+            let f = &f;
+            scope.spawn(move || run_as_worker(|| f(first_block, chunk)));
+            block_index += blocks_per_chunk;
+        }
+    });
+}
+
+/// Maps `f` over `items` with preserved output order, fanning contiguous
+/// ranges out to at most [`max_threads`] threads. Runs inline for a single
+/// item, a single thread, or when called from inside a fan-out worker.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with(items, || (), move |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but each worker thread first builds scratch state
+/// with `init` and threads it through its contiguous run of items — the way
+/// the simulation gives each worker thread one model replica instead of one
+/// per task.
+pub fn parallel_map_with<S, T, U, FI, F>(items: &[T], init: FI, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let threads = fan_out_width(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let per_thread = items.len().div_ceil(threads);
+    let mut partials: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(per_thread)
+            .map(|chunk| {
+                let (f, init) = (&f, &init);
+                scope.spawn(move || {
+                    run_as_worker(|| {
+                        let mut state = init();
+                        chunk
+                            .iter()
+                            .map(|item| f(&mut state, item))
+                            .collect::<Vec<U>>()
+                    })
+                })
+            })
+            .collect();
+        partials = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect();
+    });
+    partials.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_all_blocks_once() {
+        let mut data = vec![0u32; 103];
+        parallel_chunks_mut(&mut data, 10, |first_block, chunk| {
+            for (i, row) in chunk.chunks(10).enumerate() {
+                assert!(row.len() <= 10);
+                let _ = first_block + i;
+            }
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn chunk_indices_are_block_aligned() {
+        let mut data = vec![0usize; 64];
+        parallel_chunks_mut(&mut data, 8, |first_block, chunk| {
+            for (i, row) in chunk.chunks_mut(8).enumerate() {
+                for v in row.iter_mut() {
+                    *v = first_block + i;
+                }
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 8);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert!(parallel_map::<usize, usize, _>(&[], |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], |&x: &usize| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_with_builds_one_state_per_thread() {
+        let builds = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map_with(
+            &items,
+            || builds.fetch_add(1, Ordering::SeqCst),
+            |_state, &x| x + 1,
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        // One state per worker thread (or one total when run inline), never
+        // one per item.
+        let built = builds.load(Ordering::SeqCst);
+        assert!(built <= max_threads().min(items.len()), "built {built}");
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map(&items, |&x| {
+            // A nested helper must not spawn again; it still computes.
+            let mut inner = vec![0usize; 16];
+            parallel_chunks_mut(&mut inner, 4, |first, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = first * 4 + i + x;
+                }
+            });
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|x| (0..16).map(|i| i + x).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -96,6 +96,9 @@ mod tests {
 
     #[test]
     fn empty_measurements_give_default() {
-        assert_eq!(DeviationStats::from_measurements(&[], 3.0), DeviationStats::default());
+        assert_eq!(
+            DeviationStats::from_measurements(&[], 3.0),
+            DeviationStats::default()
+        );
     }
 }

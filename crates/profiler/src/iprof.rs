@@ -286,12 +286,21 @@ mod tests {
         assert!(!first.personalized);
         // Device is actually twice as slow as the calibration world suggests.
         let true_slope = 0.004;
-        iprof.observe("Phone-X", &f, first.batch_size, true_slope * first.batch_size as f32, 0.01);
+        iprof.observe(
+            "Phone-X",
+            &f,
+            first.batch_size,
+            true_slope * first.batch_size as f32,
+            0.01,
+        );
         let second = iprof.predict_batch("Phone-X", &f);
         assert!(second.personalized);
         let err_first = (first.predicted_seconds / first.batch_size as f32 - true_slope).abs();
         let err_second = (second.predicted_seconds / second.batch_size as f32 - true_slope).abs();
-        assert!(err_second < err_first, "personalisation should reduce error");
+        assert!(
+            err_second < err_first,
+            "personalisation should reduce error"
+        );
     }
 
     #[test]
@@ -302,7 +311,7 @@ mod tests {
         let true_slope = 0.0045f32;
         let mut last_dev = f32::MAX;
         for i in 0..10 {
-            let batch = iprof.predict(&"Phone-Y".to_string(), &f);
+            let batch = iprof.predict("Phone-Y", &f);
             let latency = true_slope * batch as f32;
             iprof.observe("Phone-Y", &f, batch, latency, 0.01);
             let dev = (latency - 3.0).abs();
@@ -338,7 +347,7 @@ mod tests {
     #[test]
     fn untrained_profiler_still_returns_valid_batches() {
         let mut iprof = IProf::new(Slo::latency(3.0));
-        let batch = iprof.predict(&"Anything".to_string(), &features(8.0, 30.0));
+        let batch = iprof.predict("Anything", &features(8.0, 30.0));
         assert!((1..=MAX_BATCH).contains(&batch));
     }
 

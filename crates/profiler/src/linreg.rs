@@ -67,11 +67,7 @@ impl LinearRegression {
 
     /// Predicts `xᵀθ`. Mismatched lengths are truncated to the shorter one.
     pub fn predict(&self, x: &[f32]) -> f32 {
-        self.theta
-            .iter()
-            .zip(x.iter())
-            .map(|(&t, &v)| t * v)
-            .sum()
+        self.theta.iter().zip(x.iter()).map(|(&t, &v)| t * v).sum()
     }
 }
 
@@ -98,8 +94,15 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
                 continue;
             }
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_row, elim_row) = if col < row {
+                let (head, tail) = a.split_at_mut(row);
+                (&head[col], &mut tail[0])
+            } else {
+                let (head, tail) = a.split_at_mut(col);
+                (&tail[0], &mut head[row])
+            };
+            for (v, &pv) in elim_row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *v -= factor * pv;
             }
             b[row] -= factor * b[col];
         }

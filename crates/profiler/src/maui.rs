@@ -110,7 +110,8 @@ impl WorkloadProfiler for Maui {
         }
         self.latency_samples
             .push((vec![batch_size as f32], computation_seconds));
-        self.energy_samples.push((vec![batch_size as f32], energy_pct));
+        self.energy_samples
+            .push((vec![batch_size as f32], energy_pct));
         self.since_refit += 1;
         if self.since_refit >= self.refit_every {
             self.refit();
@@ -126,7 +127,9 @@ mod tests {
     fn pretrained_slope_predicts_batch_for_slo() {
         let mut maui = Maui::new(Slo::latency(3.0));
         // World where every device costs 0.003 s/sample.
-        let samples: Vec<(usize, f32)> = (1..200).map(|n| (n * 10, n as f32 * 10.0 * 0.003)).collect();
+        let samples: Vec<(usize, f32)> = (1..200)
+            .map(|n| (n * 10, n as f32 * 10.0 * 0.003))
+            .collect();
         maui.pretrain_latency(&samples);
         assert!((maui.latency_slope() - 0.003).abs() < 1e-4);
         let batch = maui.predict("any", &DeviceFeatures::default());

@@ -139,7 +139,13 @@ mod tests {
 
     #[test]
     fn calibration_batches_grow() {
-        let samples = collect_calibration(&[by_name("Galaxy S7").unwrap()], Slo::latency(3.0), 8, 40, 2);
+        let samples = collect_calibration(
+            &[by_name("Galaxy S7").unwrap()],
+            Slo::latency(3.0),
+            8,
+            40,
+            2,
+        );
         for w in samples.windows(2) {
             assert!(w[1].batch_size > w[0].batch_size);
         }

@@ -189,10 +189,7 @@ fn batch_from_posts(posts: &[&Post]) -> (Tensor, Vec<usize>) {
         data.extend_from_slice(&p.features);
         labels.push(p.hashtags[0]);
     }
-    (
-        Tensor::from_vec(data, &[posts.len(), feature_dim]),
-        labels,
-    )
+    (Tensor::from_vec(data, &[posts.len(), feature_dim]), labels)
 }
 
 fn evaluate(model: &mut HashtagRecommender, chunk: &[&Post], top_k: usize) -> f32 {
@@ -236,7 +233,10 @@ mod tests {
         let result = run_online_vs_standard(&stream, OnlineFlConfig::default());
         // 4 days = 2 shards x 48 hours, minus the first hour of each shard.
         assert!(result.chunks.len() >= 90, "chunks {}", result.chunks.len());
-        assert!(result.chunks.iter().all(|c| c.online_f1 >= 0.0 && c.online_f1 <= 1.0));
+        assert!(result
+            .chunks
+            .iter()
+            .all(|c| c.online_f1 >= 0.0 && c.online_f1 <= 1.0));
     }
 
     #[test]

@@ -289,8 +289,7 @@ mod tests {
         let (inputs, labels) = dataset.batch(&(0..dataset.len()).collect::<Vec<_>>());
 
         eval_model.set_parameters(server.parameters()).unwrap();
-        let before =
-            fleet_ml::metrics::accuracy(&eval_model.predict(&inputs).unwrap(), &labels);
+        let before = fleet_ml::metrics::accuracy(&eval_model.predict(&inputs).unwrap(), &labels);
 
         for _ in 0..30 {
             for worker in workers.iter_mut() {
@@ -304,8 +303,7 @@ mod tests {
             }
         }
         eval_model.set_parameters(server.parameters()).unwrap();
-        let after =
-            fleet_ml::metrics::accuracy(&eval_model.predict(&inputs).unwrap(), &labels);
+        let after = fleet_ml::metrics::accuracy(&eval_model.predict(&inputs).unwrap(), &labels);
         assert!(
             after > before + 0.1,
             "accuracy should improve: {before} -> {after}"

@@ -38,12 +38,18 @@ pub enum StalenessDistribution {
 impl StalenessDistribution {
     /// The paper's D1 = N(6, 2).
     pub fn d1() -> Self {
-        StalenessDistribution::Gaussian { mean: 6.0, std: 2.0 }
+        StalenessDistribution::Gaussian {
+            mean: 6.0,
+            std: 2.0,
+        }
     }
 
     /// The paper's D2 = N(12, 4).
     pub fn d2() -> Self {
-        StalenessDistribution::Gaussian { mean: 12.0, std: 4.0 }
+        StalenessDistribution::Gaussian {
+            mean: 12.0,
+            std: 4.0,
+        }
     }
 
     fn sample(&self, rng: &mut StdRng) -> u64 {
@@ -119,7 +125,11 @@ pub struct EvalPoint {
 }
 
 /// The result of a training run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares bit-for-bit (accuracies and scaling factors), which
+/// is what the reproducibility tests rely on: two runs with the same seed
+/// must produce equal histories, parallel or not.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainingHistory {
     /// Name of the aggregation algorithm that produced this history.
     pub algorithm: &'static str,
@@ -147,6 +157,17 @@ impl TrainingHistory {
     pub fn best_accuracy(&self) -> f32 {
         self.evals.iter().map(|e| e.accuracy).fold(0.0, f32::max)
     }
+}
+
+/// One pre-sampled worker task of an aggregation round: everything phase 2
+/// needs to compute the gradient without touching the (serial) RNG streams.
+#[derive(Debug)]
+struct PlannedTask {
+    user: usize,
+    inputs: fleet_ml::Tensor,
+    labels: Vec<usize>,
+    staleness: u64,
+    snapshot_index: usize,
 }
 
 /// The asynchronous training simulation engine.
@@ -209,11 +230,17 @@ impl<'a> AsyncSimulation<'a> {
         };
 
         // Pre-build the evaluation batch.
-        let eval_indices: Vec<usize> =
-            (0..self.test.len().min(cfg.eval_examples.max(1))).collect();
+        let eval_indices: Vec<usize> = (0..self.test.len().min(cfg.eval_examples.max(1))).collect();
         let (eval_inputs, eval_labels) = self.test.batch(&eval_indices);
 
         for step in 0..cfg.steps {
+            // Phase 1 — plan the round's K worker tasks *serially*, consuming
+            // the RNG streams in exactly the order the sequential engine did.
+            // Within a round the server clock and the snapshot history are
+            // constant (the model only updates on the K-th submission), so
+            // planning commutes with gradient computation bit-for-bit.
+            let clock = server.clock();
+            let mut tasks = Vec::with_capacity(cfg.aggregation_k);
             for _ in 0..cfg.aggregation_k {
                 // Pick a user with local data.
                 let user = loop {
@@ -232,27 +259,66 @@ impl<'a> AsyncSimulation<'a> {
                         staleness = forced;
                     }
                 }
-                let clock = server.clock();
                 staleness = staleness.min(clock).min(history.len() as u64 - 1);
-
-                // Compute the gradient against the model as it was τ steps ago.
                 let snapshot_index = history.len() - 1 - staleness as usize;
-                model
-                    .set_parameters(&history[snapshot_index])
-                    .expect("history snapshots always match the architecture");
-                let (_, mut gradient) = model
-                    .compute_gradient(&inputs, &labels)
-                    .expect("training batches always match the architecture");
-                if let Some(mechanism) = dp.as_mut() {
-                    mechanism.privatize(gradient.as_mut_slice(), labels.len());
-                }
+                tasks.push(PlannedTask {
+                    user,
+                    inputs,
+                    labels,
+                    staleness,
+                    snapshot_index,
+                });
+            }
 
+            // Phase 2 — compute the K independent worker gradients, in
+            // parallel when it pays: each worker *thread* clones one model
+            // replica and reuses it across its contiguous run of tasks.
+            // Gradient computation is deterministic (no RNG) and
+            // compute_gradient zeroes accumulated state first, so replica
+            // reuse and fan-out both preserve results bit-for-bit.
+            let gradients: Vec<fleet_ml::Gradient> =
+                if tasks.len() > 1 && fleet_parallel::max_threads() > 1 {
+                    let replica_of = &*model;
+                    fleet_parallel::parallel_map_with(
+                        &tasks,
+                        || replica_of.clone(),
+                        |replica, task| {
+                            replica
+                                .set_parameters(&history[task.snapshot_index])
+                                .expect("history snapshots always match the architecture");
+                            let (_, gradient) = replica
+                                .compute_gradient(&task.inputs, &task.labels)
+                                .expect("training batches always match the architecture");
+                            gradient
+                        },
+                    )
+                } else {
+                    tasks
+                        .iter()
+                        .map(|task| {
+                            model
+                                .set_parameters(&history[task.snapshot_index])
+                                .expect("history snapshots always match the architecture");
+                            let (_, gradient) = model
+                                .compute_gradient(&task.inputs, &task.labels)
+                                .expect("training batches always match the architecture");
+                            gradient
+                        })
+                        .collect()
+                };
+
+            // Phase 3 — privatise and submit in fixed worker-index order, so
+            // DP noise draws and aggregator state updates replay identically.
+            for (task, mut gradient) in tasks.into_iter().zip(gradients) {
+                if let Some(mechanism) = dp.as_mut() {
+                    mechanism.privatize(gradient.as_mut_slice(), task.labels.len());
+                }
                 let update = WorkerUpdate::new(
                     gradient,
-                    staleness,
-                    LabelDistribution::from_labels(&labels, self.train.num_classes()),
-                    labels.len(),
-                    user as u64,
+                    task.staleness,
+                    LabelDistribution::from_labels(&task.labels, self.train.num_classes()),
+                    task.labels.len(),
+                    task.user as u64,
                 );
                 let outcome = server.submit(update);
                 result.scaling_factors.push(outcome.scaling_factor);
@@ -334,18 +400,30 @@ mod tests {
         let data = generate(&SyntheticSpec::vector(4, 6, 400), 1);
         let (train, test) = data.split(0.25);
         let users = iid_partition(&train, 8, 0);
-        let sim = AsyncSimulation::new(&train, &test, &users, fast_config(StalenessDistribution::None));
+        let sim = AsyncSimulation::new(
+            &train,
+            &test,
+            &users,
+            fast_config(StalenessDistribution::None),
+        );
         let mut model = mlp_classifier(6, &[16], 4, 0);
         let history = sim.run(&mut model, Ssgd::new());
         assert_eq!(history.algorithm, "SSGD");
-        assert!(history.final_accuracy() > 0.5, "accuracy {}", history.final_accuracy());
+        assert!(
+            history.final_accuracy() > 0.5,
+            "accuracy {}",
+            history.final_accuracy()
+        );
         assert!(history.scaling_factors.iter().all(|&s| s == 1.0));
     }
 
     #[test]
     fn staleness_aware_beats_unaware_under_heavy_staleness() {
         let (train, test, users) = world();
-        let cfg = fast_config(StalenessDistribution::Gaussian { mean: 10.0, std: 3.0 });
+        let cfg = fast_config(StalenessDistribution::Gaussian {
+            mean: 10.0,
+            std: 3.0,
+        });
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
 
         let mut ada_model = mlp_classifier(8, &[16], 5, 7);
@@ -363,7 +441,12 @@ mod tests {
     #[test]
     fn histories_record_expected_number_of_points() {
         let (train, test, users) = world();
-        let sim = AsyncSimulation::new(&train, &test, &users, fast_config(StalenessDistribution::d1()));
+        let sim = AsyncSimulation::new(
+            &train,
+            &test,
+            &users,
+            fast_config(StalenessDistribution::d1()),
+        );
         let mut model = mlp_classifier(8, &[16], 5, 1);
         let history = sim.run(&mut model, DynSgd::new());
         assert_eq!(history.evals.len(), 3);
@@ -415,6 +498,42 @@ mod tests {
             "clean {} vs noisy {}",
             clean.final_accuracy(),
             noisy.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_identical_history() {
+        // The parallel worker fan-out must keep runs bit-for-bit reproducible:
+        // two runs with one seed produce equal histories and equal final
+        // parameters, whatever the thread count.
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::d1());
+        cfg.aggregation_k = 4;
+        cfg.steps = 40;
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+
+        let mut model_a = mlp_classifier(8, &[16], 5, 3);
+        let mut model_b = mlp_classifier(8, &[16], 5, 3);
+        let history_a = sim.run(&mut model_a, AdaSgd::new(5, 99.7));
+        let history_b = sim.run(&mut model_b, AdaSgd::new(5, 99.7));
+        assert_eq!(history_a, history_b);
+        assert_eq!(model_a.parameters(), model_b.parameters());
+    }
+
+    #[test]
+    fn dp_runs_are_reproducible_too() {
+        // DP noise is drawn in the ordered apply phase; it must replay.
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::Constant(2));
+        cfg.aggregation_k = 3;
+        cfg.steps = 30;
+        cfg.dp = Some((1.0, 0.5));
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let mut m1 = mlp_classifier(8, &[16], 5, 4);
+        let mut m2 = mlp_classifier(8, &[16], 5, 4);
+        assert_eq!(
+            sim.run(&mut m1, DynSgd::new()),
+            sim.run(&mut m2, DynSgd::new())
         );
     }
 

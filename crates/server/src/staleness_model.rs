@@ -77,7 +77,7 @@ pub fn bursty_start_times(
     let mut times = Vec::with_capacity(total_tasks);
     let mut now = 0.0;
     for i in 0..total_tasks {
-        let in_peak = peak_period > 0 && (i / peak_length) % peak_period == 0;
+        let in_peak = peak_period > 0 && (i / peak_length).is_multiple_of(peak_period);
         let interval = if in_peak {
             base_interval_seconds / peak_multiplier.max(1.0)
         } else {

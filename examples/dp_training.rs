@@ -21,11 +21,17 @@ fn main() {
     let scenarios = [
         ("no DP".to_string(), None),
         (
-            format!("eps=13.66 (sigma={:.2})", accountant.noise_for_epsilon(13.66, steps)),
+            format!(
+                "eps=13.66 (sigma={:.2})",
+                accountant.noise_for_epsilon(13.66, steps)
+            ),
             Some((1.0f32, accountant.noise_for_epsilon(13.66, steps) as f32)),
         ),
         (
-            format!("eps=1.75 (sigma={:.2})", accountant.noise_for_epsilon(1.75, steps)),
+            format!(
+                "eps=1.75 (sigma={:.2})",
+                accountant.noise_for_epsilon(1.75, steps)
+            ),
             Some((1.0f32, accountant.noise_for_epsilon(1.75, steps) as f32)),
         ),
     ];
@@ -37,7 +43,10 @@ fn main() {
                 steps: steps as usize,
                 learning_rate: 0.05,
                 batch_size: 50,
-                staleness: StalenessDistribution::Gaussian { mean: 12.0, std: 4.0 },
+                staleness: StalenessDistribution::Gaussian {
+                    mean: 12.0,
+                    std: 4.0,
+                },
                 dp,
                 eval_every: 200,
                 eval_examples: 600,

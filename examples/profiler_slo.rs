@@ -17,7 +17,11 @@ fn main() {
     // Offline calibration on a handful of training devices.
     let training: Vec<_> = catalogue().into_iter().take(10).collect();
     let calibration = collect_calibration(&training, slo, 8, 40, 1);
-    println!("Collected {} calibration tasks on {} training devices.", calibration.len(), training.len());
+    println!(
+        "Collected {} calibration tasks on {} training devices.",
+        calibration.len(),
+        training.len()
+    );
 
     let mut iprof = pretrained_iprof(slo, &calibration);
     let mut maui = pretrained_maui(slo, &calibration);
@@ -32,13 +36,25 @@ fn main() {
             let f = device_i.features();
             let n = iprof.predict(&profile.name, &f);
             let exec = device_i.execute_task(n);
-            iprof.observe(&profile.name, &f, n, exec.computation_seconds, exec.energy_pct);
+            iprof.observe(
+                &profile.name,
+                &f,
+                n,
+                exec.computation_seconds,
+                exec.energy_pct,
+            );
             iprof_latencies.push(exec.computation_seconds);
 
             let fm = device_m.features();
             let nm = maui.predict(&profile.name, &fm);
             let em = device_m.execute_task(nm);
-            maui.observe(&profile.name, &fm, nm, em.computation_seconds, em.energy_pct);
+            maui.observe(
+                &profile.name,
+                &fm,
+                nm,
+                em.computation_seconds,
+                em.energy_pct,
+            );
             maui_latencies.push(em.computation_seconds);
 
             device_i.idle(60.0);
@@ -47,7 +63,9 @@ fn main() {
         println!(
             "{:21} | I-Prof   | {:5} | {:.2}",
             profile.name,
-            iprof.predict_batch(&profile.name, &device_i.features()).batch_size,
+            iprof
+                .predict_batch(&profile.name, &device_i.features())
+                .batch_size,
             iprof_latencies.last().unwrap()
         );
         println!(

@@ -18,7 +18,10 @@ fn main() {
         steps: 800,
         learning_rate: 0.03,
         batch_size: 50,
-        staleness: StalenessDistribution::Gaussian { mean: 12.0, std: 4.0 },
+        staleness: StalenessDistribution::Gaussian {
+            mean: 12.0,
+            std: 4.0,
+        },
         eval_every: 100,
         eval_examples: 600,
         seed: 5,
@@ -31,12 +34,26 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    run(&train, &test, &users, &config, AdaSgd::new(10, 99.7), &mut results);
+    run(
+        &train,
+        &test,
+        &users,
+        &config,
+        AdaSgd::new(10, 99.7),
+        &mut results,
+    );
     run(&train, &test, &users, &config, DynSgd::new(), &mut results);
     run(&train, &test, &users, &config, FedAvg::new(), &mut results);
     let mut sync_config = config.clone();
     sync_config.staleness = StalenessDistribution::None;
-    run(&train, &test, &users, &sync_config, Ssgd::new(), &mut results);
+    run(
+        &train,
+        &test,
+        &users,
+        &sync_config,
+        Ssgd::new(),
+        &mut results,
+    );
 
     println!("\nalgorithm | final accuracy | best accuracy");
     for (name, final_acc, best) in results {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate for the FLeet reproduction workspace.
+#
+#   scripts/ci.sh           full gate: fmt, clippy, build, tier-1 tests,
+#                           bench smoke writing BENCH_kernels.json
+#   scripts/ci.sh --quick   skip the bench smoke
+#
+# The bench smoke keeps a machine-readable perf record (BENCH_kernels.json at
+# the repo root) so successive PRs can track the kernel trajectory; timings are
+# per-machine, so compare runs from the same host only.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> bench smoke (ml_kernels -> BENCH_kernels.json)"
+    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-200}" \
+    FLEET_BENCH_JSON="$PWD/BENCH_kernels.json" \
+        cargo bench --bench ml_kernels
+    echo "==> wrote BENCH_kernels.json"
+fi
+
+echo "==> CI gate passed"

@@ -30,7 +30,7 @@ mod tests {
         let (train, test, users) = small_world(500, 10, 1);
         assert_eq!(train.num_classes(), 10);
         assert_eq!(train.feature_len(), 32);
-        assert!(test.len() > 0);
+        assert!(!test.is_empty());
         assert_eq!(users.len(), 10);
         let model = small_model(0);
         assert!(model.parameter_count() > 0);

@@ -1,0 +1,87 @@
+//! Reproducibility of the parallel simulation engine.
+//!
+//! `AsyncSimulation::run` fans each aggregation round's K worker gradients
+//! out across threads; these tests pin the thread count above one (so the
+//! parallel path runs even on single-core CI) and assert that repeated runs
+//! with one seed are bit-for-bit identical — histories, scaling factors and
+//! final model parameters. Cross-thread-count equality holds by construction
+//! (contiguous-range splitting with fixed-order accumulation; see the
+//! `fleet_parallel` module docs) and was verified for 1/4/7 threads when the
+//! engine was parallelised.
+
+use fleet_core::{AdaSgd, FedAvg};
+use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution};
+use fleet_tests::{small_model, small_world};
+
+/// Forces the parallel path (even on single-core CI) before the thread count
+/// is cached. First caller wins; every test in this binary pins the same
+/// value, so ordering cannot change the configuration. Programmatic override
+/// rather than `std::env::set_var`, which is unsound with tests running on
+/// concurrent threads.
+fn pin_threads() {
+    fleet_parallel::set_max_threads(4);
+}
+
+fn config(k: usize, dp: Option<(f32, f32)>) -> SimulationConfig {
+    SimulationConfig {
+        steps: 40,
+        aggregation_k: k,
+        batch_size: 25,
+        staleness: StalenessDistribution::d1(),
+        eval_every: 10,
+        eval_examples: 150,
+        dp,
+        seed: 17,
+        ..SimulationConfig::default()
+    }
+}
+
+#[test]
+fn parallel_runs_with_same_seed_are_bitwise_identical() {
+    pin_threads();
+    let (train, test, users) = small_world(800, 12, 5);
+    let sim = AsyncSimulation::new(&train, &test, &users, config(4, None));
+
+    let mut model_a = small_model(2);
+    let mut model_b = small_model(2);
+    let history_a = sim.run(&mut model_a, AdaSgd::new(10, 99.7));
+    let history_b = sim.run(&mut model_b, AdaSgd::new(10, 99.7));
+
+    assert_eq!(history_a, history_b);
+    assert_eq!(model_a.parameters(), model_b.parameters());
+    assert_eq!(history_a.scaling_factors.len(), 40 * 4);
+}
+
+#[test]
+fn parallel_dp_runs_replay_their_noise() {
+    pin_threads();
+    let (train, test, users) = small_world(800, 12, 5);
+    let sim = AsyncSimulation::new(&train, &test, &users, config(3, Some((1.0, 0.3))));
+
+    let mut model_a = small_model(3);
+    let mut model_b = small_model(3);
+    assert_eq!(
+        sim.run(&mut model_a, FedAvg::new()),
+        sim.run(&mut model_b, FedAvg::new())
+    );
+    assert_eq!(model_a.parameters(), model_b.parameters());
+}
+
+#[test]
+fn parallel_large_kernels_are_reproducible() {
+    pin_threads();
+    // 256-cubed crosses the kernels' parallel threshold, so the row fan-out
+    // is exercised directly.
+    use fleet_ml::tensor::Tensor;
+    let a = Tensor::from_vec(
+        (0..256 * 256).map(|i| (i as f32 * 0.001).sin()).collect(),
+        &[256, 256],
+    );
+    let b = Tensor::from_vec(
+        (0..256 * 256).map(|i| (i as f32 * 0.002).cos()).collect(),
+        &[256, 256],
+    );
+    assert_eq!(a.matmul(&b), a.matmul(&b));
+    assert_eq!(a.matmul_tn(&b), a.matmul_tn(&b));
+    assert_eq!(a.matmul_nt(&b), a.matmul_nt(&b));
+}

@@ -32,7 +32,13 @@ fn iprof_tracks_the_latency_slo_better_than_maui_across_the_fleet() {
             let fm = device_m.features();
             let nm = maui.predict(&profile.name, &fm);
             let em = device_m.execute_task(nm);
-            maui.observe(&profile.name, &fm, nm, em.computation_seconds, em.energy_pct);
+            maui.observe(
+                &profile.name,
+                &fm,
+                nm,
+                em.computation_seconds,
+                em.energy_pct,
+            );
             maui_latencies.push(em.computation_seconds);
             device_m.idle(60.0);
         }
@@ -79,5 +85,8 @@ fn caloree_pht_transfer_error_grows_with_device_dissimilarity() {
     let err_same = caloree.transfer_deadline_error(&mut s7, batch, deadline, 5);
     let mut honor10 = Device::new(by_name("Honor 10").unwrap(), 4);
     let err_far = caloree.transfer_deadline_error(&mut honor10, batch, deadline, 5);
-    assert!(err_same < err_far, "same-device {err_same}% vs transfer {err_far}%");
+    assert!(
+        err_same < err_far,
+        "same-device {err_same}% vs transfer {err_far}%"
+    );
 }

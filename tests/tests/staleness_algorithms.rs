@@ -40,7 +40,10 @@ fn synchronous_baseline_converges() {
 
 #[test]
 fn staleness_hurts_but_dampening_helps() {
-    let heavy = StalenessDistribution::Gaussian { mean: 12.0, std: 4.0 };
+    let heavy = StalenessDistribution::Gaussian {
+        mean: 12.0,
+        std: 4.0,
+    };
     let steps = 500;
     let ssgd = run_with(StalenessDistribution::None, steps, |sim| {
         sim.run(&mut small_model(1), Ssgd::new())
