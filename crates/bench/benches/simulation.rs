@@ -46,6 +46,24 @@ fn simulation_benches(c: &mut Criterion) {
         });
     });
 
+    c.bench_function("async_simulation_50_steps_k4_sharded8", |b| {
+        b.iter(|| {
+            let cfg = SimulationConfig {
+                steps: 50,
+                batch_size: 32,
+                aggregation_k: 4,
+                shards: 8,
+                staleness: StalenessDistribution::d1(),
+                eval_every: 1000,
+                seed: 3,
+                ..SimulationConfig::default()
+            };
+            let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+            let mut model = mlp_classifier(32, &[32], 10, 0);
+            black_box(sim.run(&mut model, AdaSgd::new(10, 99.7)))
+        });
+    });
+
     c.bench_function("worker_gradient_batch100", |b| {
         let mut model = mlp_classifier(32, &[32], 10, 0);
         let indices: Vec<usize> = (0..100).collect();

@@ -25,7 +25,11 @@
 //!
 //! The [`server::ParameterServer`] applies these weighted gradients to a flat
 //! parameter vector with a configurable aggregation parameter `K`
-//! (the number of gradients per model update).
+//! (the number of gradients per model update). The vector is
+//! range-partitioned into shards (see [`server::ParameterServer::with_shards`])
+//! so aggregation fans out across cores, with results bit-for-bit identical
+//! at every shard and thread count — the `server` module docs spell out the
+//! layout and the determinism contract.
 //!
 //! # Example
 //!

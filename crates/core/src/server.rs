@@ -1,39 +1,102 @@
 //! The asynchronous parameter server applying weighted worker gradients
-//! (Eq. 3 of the paper).
+//! (Eq. 3 of the paper), sharded for fan-out aggregation.
+//!
+//! # Shard layout
+//!
+//! The global model is one flat `Vec<f32>`, range-partitioned into
+//! `num_shards` contiguous segments of near-equal length (the first
+//! `len % num_shards` shards hold one extra element). Each shard owns a
+//! pending buffer of scaled gradient segments and its own logical clock; the
+//! server keeps the *global* logical clock that staleness `τ = t − t_i` is
+//! measured against, so the staleness semantics (and the Λ(τ) dampening of
+//! Fig. 8) are independent of the shard count. Today every shard applies its
+//! pending run on the same K-th submission, so the per-shard clocks advance
+//! in lockstep with the global one; they exist so a future per-shard
+//! scheduler can advance shards independently.
+//!
+//! # Determinism contract
+//!
+//! [`ParameterServer::submit`] splits each incoming gradient by shard range,
+//! scales every element exactly once, and — on the K-th gradient — applies
+//! each shard's pending buffer *in submission order*, element by element.
+//! Shards are disjoint ranges processed via
+//! [`fleet_parallel::parallel_uneven_zip_mut`], which assigns every range to
+//! exactly one thread, so the per-element sequence of floating-point
+//! operations is identical to the serial single-shard loop. Model parameters
+//! are therefore **bit-for-bit identical for any shard count and any thread
+//! count** (the workspace digest tests sweep {1, 2, 8} shards; run them under
+//! `FLEET_NUM_THREADS=1/4/7` to sweep threads).
 
 use crate::aggregator::Aggregator;
 use crate::update::WorkerUpdate;
-use fleet_ml::Gradient;
+use std::ops::Range;
+
+/// Minimum per-shard segment length before `submit` fans out across threads:
+/// below this the scale/apply work per shard is cheaper than spawning, so the
+/// shards run inline (in the same order, producing the same bits).
+const FAN_OUT_MIN_SHARD_LEN: usize = 32 * 1024;
 
 /// Result of submitting one worker update to the [`ParameterServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubmitOutcome {
-    /// The weight `min(1, Λ(τ)·1/sim)` that was attached to the gradient.
+    /// The weight `min(1, Λ(τ)·1/sim)` that was attached to the gradient, as
+    /// the aggregator computed it in f64.
     pub scaling_factor: f64,
+    /// The f32 weight actually multiplied into the gradient: the f64
+    /// `scaling_factor` cast to f32 and clamped at `f32::MIN_POSITIVE`, so
+    /// the dampening floor survives the cast (an unclamped cast underflows to
+    /// an exact 0.0 around staleness 10⁴, nullifying the gradient — precisely
+    /// what the floor exists to prevent).
+    pub applied_weight: f32,
     /// Whether this submission triggered a model update (the K-th gradient of
     /// the current aggregation round).
     pub applied: bool,
-    /// The server's logical clock after the submission.
+    /// The server's global logical clock after the submission.
     pub clock: u64,
 }
 
-/// A parameter server holding the flat model parameters, a logical clock and
-/// an aggregation buffer of `K` gradients per update (§2.3: `K` can be 1 for
-/// maximum update frequency, or larger / time-window based).
+/// One range-partitioned shard: a contiguous segment of the flat parameter
+/// vector, its pending buffer of scaled gradient segments, and its own
+/// logical clock.
+#[derive(Debug)]
+struct Shard {
+    /// First parameter index of the shard's range.
+    start: usize,
+    /// Number of parameters in the shard's range.
+    len: usize,
+    /// Scaled gradient segments awaiting the K-th submission, in submission
+    /// order.
+    pending: Vec<Vec<f32>>,
+    /// Number of model updates this shard has applied.
+    clock: u64,
+}
+
+/// A parameter server holding the flat model parameters — range-partitioned
+/// into shards — a global logical clock and an aggregation buffer of `K`
+/// gradients per update (§2.3: `K` can be 1 for maximum update frequency, or
+/// larger / time-window based). [`ParameterServer::new`] starts with a single
+/// shard; [`ParameterServer::with_shards`] re-partitions so the aggregation
+/// hot path fans out across cores. See the module docs for the layout and the
+/// determinism contract.
 #[derive(Debug)]
 pub struct ParameterServer<A: Aggregator> {
     parameters: Vec<f32>,
+    shards: Vec<Shard>,
+    /// Cached shard lengths, in shard order (the fan-out helper needs them
+    /// alongside the mutably borrowed shards).
+    shard_lens: Vec<usize>,
     aggregator: A,
     learning_rate: f32,
     aggregation_k: usize,
-    pending: Vec<Gradient>,
+    pending_count: usize,
     clock: u64,
     updates_applied: u64,
     updates_received: u64,
 }
 
 impl<A: Aggregator> ParameterServer<A> {
-    /// Creates a server over an initial flat parameter vector.
+    /// Creates a server over an initial flat parameter vector, with a single
+    /// shard.
     ///
     /// # Panics
     ///
@@ -49,27 +112,95 @@ impl<A: Aggregator> ParameterServer<A> {
             aggregation_k > 0,
             "aggregation parameter K must be positive"
         );
-        Self {
+        let mut server = Self {
             parameters: initial_parameters,
+            shards: Vec::new(),
+            shard_lens: Vec::new(),
             aggregator,
             learning_rate,
             aggregation_k,
-            pending: Vec::new(),
+            pending_count: 0,
             clock: 0,
             updates_applied: 0,
             updates_received: 0,
+        };
+        server.partition(1);
+        server
+    }
+
+    /// Re-partitions the parameters into `num_shards` near-equal contiguous
+    /// ranges. Shard counts above the parameter length leave the excess
+    /// shards empty (harmless no-ops). The partition does not affect results:
+    /// outputs are bit-for-bit identical for every shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or gradients are pending (re-partition
+    /// before submitting, not mid-round).
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "shard count must be positive");
+        assert_eq!(
+            self.pending_count, 0,
+            "cannot re-partition with pending gradients"
+        );
+        self.partition(num_shards);
+        self
+    }
+
+    fn partition(&mut self, num_shards: usize) {
+        let len = self.parameters.len();
+        let base = len / num_shards;
+        let extra = len % num_shards;
+        let clock = self.clock;
+        self.shards.clear();
+        self.shard_lens.clear();
+        let mut start = 0;
+        for i in 0..num_shards {
+            let shard_len = base + usize::from(i < extra);
+            self.shards.push(Shard {
+                start,
+                len: shard_len,
+                pending: Vec::new(),
+                clock,
+            });
+            self.shard_lens.push(shard_len);
+            start += shard_len;
         }
     }
 
     /// The current flat model parameters (what a worker pulls in step 4 of
-    /// Fig. 2).
+    /// Fig. 2). Contiguous regardless of the shard count.
     pub fn parameters(&self) -> &[f32] {
         &self.parameters
     }
 
-    /// The server's logical clock `t`: the number of model updates so far.
+    /// The server's global logical clock `t`: the number of model updates so
+    /// far.
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// Number of shards the parameters are partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The contiguous parameter range owned by each shard, in shard order.
+    pub fn shard_ranges(&self) -> Vec<Range<usize>> {
+        self.shards
+            .iter()
+            .map(|s| s.start..s.start + s.len)
+            .collect()
+    }
+
+    /// The logical clock of one shard (today always equal to [`Self::clock`],
+    /// since every shard applies on the same K-th submission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_clock(&self, shard: usize) -> u64 {
+        self.shards[shard].clock
     }
 
     /// Number of gradients received (applied or pending).
@@ -92,9 +223,14 @@ impl<A: Aggregator> ParameterServer<A> {
         &self.aggregator
     }
 
-    /// Submits one worker update. The gradient is scaled by the aggregator's
-    /// weight and buffered; once `K` gradients have accumulated the model is
-    /// updated and the logical clock advances.
+    /// Submits one worker update. The gradient is split by shard range,
+    /// scaled once by the aggregator's weight and buffered per shard; once
+    /// `K` gradients have accumulated every shard applies its pending run (in
+    /// submission order) and the global clock advances. With more than one
+    /// shard — and segments long enough to beat the spawn cost — the split,
+    /// scale and apply all fan out across threads via [`fleet_parallel`]; see
+    /// the module docs for why the result is bit-for-bit independent of both
+    /// shard and thread count.
     ///
     /// # Panics
     ///
@@ -111,29 +247,73 @@ impl<A: Aggregator> ParameterServer<A> {
         self.aggregator.record(&update);
         self.updates_received += 1;
 
-        self.pending.push(update.gradient.scaled(scaling as f32));
-        let applied = if self.pending.len() >= self.aggregation_k {
-            self.apply_pending();
-            true
-        } else {
-            false
+        // `DampeningPolicy::factor` floors the f64 weight at
+        // `f64::MIN_POSITIVE`, but the floor dies in the f32 cast (anything
+        // below f32's subnormal range becomes an exact 0.0). Clamp again
+        // after the cast so extreme staleness keeps a nonzero weight.
+        let weight = (scaling as f32).max(f32::MIN_POSITIVE);
+
+        self.pending_count += 1;
+        let apply_now = self.pending_count >= self.aggregation_k;
+        let learning_rate = self.learning_rate;
+        let gradient = update.gradient.as_slice();
+        let body = |_: usize, shard: &mut Shard, segment: &mut [f32]| {
+            let incoming = &gradient[shard.start..shard.start + shard.len];
+            if apply_now {
+                // Drain the shard's pending run in submission order, then
+                // fold the incoming gradient in directly: per element the op
+                // sequence (scale, then scaled-subtract) is identical to
+                // buffering it first, without allocating a segment that would
+                // be freed immediately (on the default K = 1 hot path nothing
+                // is ever buffered).
+                for scaled in &shard.pending {
+                    for (p, g) in segment.iter_mut().zip(scaled) {
+                        *p -= learning_rate * g;
+                    }
+                }
+                shard.pending.clear();
+                for (p, g) in segment.iter_mut().zip(incoming) {
+                    *p -= learning_rate * (g * weight);
+                }
+                shard.clock += 1;
+            } else {
+                shard
+                    .pending
+                    .push(incoming.iter().map(|g| g * weight).collect());
+            }
         };
+        // Fan out only when each shard carries enough elements to beat the
+        // per-submit thread-spawn cost; below that, the same body runs inline
+        // in shard order (identical op order either way, so this is purely a
+        // latency decision).
+        let fan_out = self.shards.len() > 1
+            && self.parameters.len() / self.shards.len() >= FAN_OUT_MIN_SHARD_LEN;
+        if fan_out {
+            fleet_parallel::parallel_uneven_zip_mut(
+                &mut self.shards,
+                &mut self.parameters,
+                &self.shard_lens,
+                body,
+            );
+        } else {
+            let mut rest = self.parameters.as_mut_slice();
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let (segment, tail) = rest.split_at_mut(shard.len);
+                rest = tail;
+                body(i, shard, segment);
+            }
+        }
+        if apply_now {
+            self.updates_applied += self.pending_count as u64;
+            self.pending_count = 0;
+            self.clock += 1;
+        }
         SubmitOutcome {
             scaling_factor: scaling,
-            applied,
+            applied_weight: weight,
+            applied: apply_now,
             clock: self.clock,
         }
-    }
-
-    fn apply_pending(&mut self) {
-        for gradient in &self.pending {
-            for (p, g) in self.parameters.iter_mut().zip(gradient.as_slice()) {
-                *p -= self.learning_rate * g;
-            }
-            self.updates_applied += 1;
-        }
-        self.pending.clear();
-        self.clock += 1;
     }
 }
 
@@ -142,6 +322,8 @@ mod tests {
     use super::*;
     use crate::aggregator::{AdaSgd, DynSgd, FedAvg};
     use fleet_data::LabelDistribution;
+    use fleet_ml::Gradient;
+    use proptest::prelude::*;
 
     fn update(gradient: Vec<f32>, staleness: u64) -> WorkerUpdate {
         WorkerUpdate::new(
@@ -215,5 +397,134 @@ mod tests {
     #[should_panic(expected = "aggregation parameter K must be positive")]
     fn zero_k_panics() {
         let _ = ParameterServer::new(vec![0.0], FedAvg::new(), 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        let _ = ParameterServer::new(vec![0.0], FedAvg::new(), 0.1, 1).with_shards(0);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_parameters() {
+        for (len, shards) in [(10, 3), (7, 7), (5, 8), (1, 1), (64, 4)] {
+            let server =
+                ParameterServer::new(vec![0.0; len], FedAvg::new(), 0.1, 1).with_shards(shards);
+            assert_eq!(server.num_shards(), shards);
+            let ranges = server.shard_ranges();
+            let mut next = 0;
+            for range in &ranges {
+                assert_eq!(range.start, next, "ranges must be contiguous");
+                next = range.end;
+            }
+            assert_eq!(next, len, "ranges must cover every parameter");
+            // Near-equal: lengths differ by at most one.
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let min = lens.iter().min().unwrap();
+            let max = lens.iter().max().unwrap();
+            assert!(max - min <= 1, "lens {lens:?}");
+        }
+    }
+
+    #[test]
+    fn shard_clocks_advance_in_lockstep_with_global_clock() {
+        let mut server = ParameterServer::new(vec![0.0; 10], FedAvg::new(), 0.1, 2).with_shards(4);
+        for i in 0..6 {
+            server.submit(update(vec![0.1; 10], i));
+        }
+        assert_eq!(server.clock(), 3);
+        for shard in 0..server.num_shards() {
+            assert_eq!(server.shard_clock(shard), 3);
+        }
+    }
+
+    /// The acceptance criterion in miniature: identical submission sequences
+    /// produce bit-for-bit identical parameters at every shard count.
+    #[test]
+    fn sharded_submit_matches_single_shard_reference() {
+        let len = 37;
+        let make = |shards: usize| {
+            ParameterServer::new(
+                (0..len).map(|i| (i as f32 * 0.37).sin()).collect(),
+                DynSgd::new(),
+                0.05,
+                3,
+            )
+            .with_shards(shards)
+        };
+        for shards in [2, 8, 64] {
+            let mut reference = make(1);
+            let mut sharded = make(shards);
+            for step in 0..12u64 {
+                let gradient: Vec<f32> = (0..len)
+                    .map(|i| ((i as f32 + step as f32) * 0.91).cos())
+                    .collect();
+                let a = reference.submit(update(gradient.clone(), step % 5));
+                let b = sharded.submit(update(gradient, step % 5));
+                assert_eq!(a, b);
+                assert_eq!(
+                    reference.parameters(),
+                    sharded.parameters(),
+                    "shards={shards} step={step}"
+                );
+            }
+            assert_eq!(reference.clock(), sharded.clock());
+            assert_eq!(reference.updates_applied(), sharded.updates_applied());
+        }
+    }
+
+    /// Regression test for the dampening-floor underflow: at staleness
+    /// ≈ 10_000 the exponential Λ(τ) underflows f64 (floored at
+    /// `f64::MIN_POSITIVE` by `DampeningPolicy::factor`), and the old
+    /// `scaled(scaling as f32)` cast turned that floor into an exact 0.0
+    /// weight — nullifying the gradient the floor was meant to preserve.
+    #[test]
+    fn dampening_floor_survives_the_f32_cast() {
+        let aggregator = AdaSgd::new(4, 99.7).with_fixed_tau_thres(12);
+        let mut server = ParameterServer::new(vec![0.0, 0.0], aggregator, 1.0, 1);
+        let outcome = server.submit(update(vec![1.0, -1.0], 10_000));
+        // The f64 floor held, but an unclamped f32 cast of it is exactly 0.
+        assert!(outcome.scaling_factor > 0.0);
+        assert_eq!(outcome.scaling_factor as f32, 0.0);
+        // The clamp keeps the applied weight (and the parameter trace) nonzero.
+        assert!(outcome.applied_weight > 0.0);
+        assert!(
+            server.parameters()[0] < 0.0 && server.parameters()[1] > 0.0,
+            "an extremely stale gradient must still leave a nonzero trace, got {:?}",
+            server.parameters()
+        );
+    }
+
+    #[test]
+    fn fresh_updates_keep_full_weight_after_the_clamp() {
+        let mut server = ParameterServer::new(vec![0.0], FedAvg::new(), 1.0, 1);
+        let outcome = server.submit(update(vec![1.0], 0));
+        assert_eq!(outcome.applied_weight, 1.0);
+    }
+
+    proptest! {
+        /// Bit-for-bit equivalence of the sharded fan-out against the
+        /// single-shard reference, over random models, K, shard counts and
+        /// staleness sequences.
+        #[test]
+        fn prop_sharded_fan_out_is_bitwise_equivalent(
+            len in 1usize..80,
+            shards in 1usize..12,
+            k in 1usize..5,
+            seeds in proptest::collection::vec((0u64..50, -2.0f32..2.0), 1..20),
+        ) {
+            let init: Vec<f32> = (0..len).map(|i| (i as f32 * 0.11).cos()).collect();
+            let mut reference = ParameterServer::new(init.clone(), DynSgd::new(), 0.1, k);
+            let mut sharded =
+                ParameterServer::new(init, DynSgd::new(), 0.1, k).with_shards(shards);
+            for &(staleness, scale) in &seeds {
+                let gradient: Vec<f32> =
+                    (0..len).map(|i| scale * ((i as f32) * 0.7).sin()).collect();
+                let a = reference.submit(update(gradient.clone(), staleness));
+                let b = sharded.submit(update(gradient, staleness));
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(reference.parameters(), sharded.parameters());
+            }
+        }
     }
 }

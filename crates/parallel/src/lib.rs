@@ -3,9 +3,11 @@
 //! This is the workspace's stand-in for `rayon` (which is unavailable in the
 //! network-less build environment): scoped `std::thread` fan-out with a
 //! rayon-like surface — [`parallel_chunks_mut`] for disjoint in-place work
-//! (the matmul kernels), [`parallel_map`] for independent computations and
+//! (the matmul kernels), [`parallel_map`] for independent computations,
 //! [`parallel_map_with`] for per-thread scratch state (the per-round worker
-//! gradients in `fleet_server::simulation`).
+//! gradients in `fleet_server::simulation`) and [`parallel_uneven_zip_mut`]
+//! for fan-out over unequal contiguous ranges paired with per-range state
+//! (the sharded parameter server in `fleet_core`).
 //!
 //! # Determinism contract
 //!
@@ -111,6 +113,79 @@ where
             let f = &f;
             scope.spawn(move || run_as_worker(|| f(first_block, chunk)));
             block_index += blocks_per_chunk;
+        }
+    });
+}
+
+/// Fans out over *unequal* contiguous ranges of a flat vector, pairing each
+/// range with its own per-range state: `data` is split into
+/// `lens[0], lens[1], …` consecutive chunks and `f(i, &mut items[i], chunk_i)`
+/// runs for every range, with consecutive ranges grouped onto at most
+/// [`max_threads`] threads. This is the sharded parameter server's primitive:
+/// `items` are the shard states, `data` is the flat parameter vector and
+/// `lens` the shard lengths (near-equal by construction, which is why ranges
+/// are balanced across threads by *count*).
+///
+/// Every range is processed exactly once, from exactly one thread, in a way
+/// that is bit-for-bit identical to the serial loop — the ranges are disjoint
+/// and `f` receives them in index order within each thread, so no
+/// reduction-order nondeterminism can arise. Runs inline for a single range,
+/// a single thread, or when called from inside a fan-out worker.
+///
+/// # Panics
+///
+/// Panics if `items.len() != lens.len()` or `lens` does not sum to
+/// `data.len()`.
+pub fn parallel_uneven_zip_mut<T, U, F>(items: &mut [T], data: &mut [U], lens: &[usize], f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T, &mut [U]) + Sync,
+{
+    assert_eq!(
+        items.len(),
+        lens.len(),
+        "one length per item: {} items vs {} lens",
+        items.len(),
+        lens.len()
+    );
+    assert_eq!(
+        lens.iter().sum::<usize>(),
+        data.len(),
+        "range lengths must cover the data exactly"
+    );
+    let run_group = |first: usize, group: &mut [T], group_lens: &[usize], group_data: &mut [U]| {
+        let mut rest = group_data;
+        for (i, (item, &len)) in group.iter_mut().zip(group_lens).enumerate() {
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            f(first + i, item, chunk);
+        }
+    };
+    let threads = fan_out_width(items.len());
+    if threads <= 1 {
+        run_group(0, items, lens, data);
+        return;
+    }
+    let per_thread = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut items_rest = items;
+        let mut lens_rest = lens;
+        let mut data_rest = data;
+        let mut first = 0;
+        while !items_rest.is_empty() {
+            let take = per_thread.min(items_rest.len());
+            let (group, items_tail) = items_rest.split_at_mut(take);
+            let (group_lens, lens_tail) = lens_rest.split_at(take);
+            let group_elems: usize = group_lens.iter().sum();
+            let (group_data, data_tail) = data_rest.split_at_mut(group_elems);
+            items_rest = items_tail;
+            lens_rest = lens_tail;
+            data_rest = data_tail;
+            let run_group = &run_group;
+            let start = first;
+            scope.spawn(move || run_as_worker(|| run_group(start, group, group_lens, group_data)));
+            first += take;
         }
     });
 }
@@ -253,5 +328,56 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_zip_pairs_each_range_with_its_state() {
+        let mut states = vec![0usize; 4];
+        let mut data = vec![1u32; 10];
+        let lens = [3, 0, 5, 2];
+        parallel_uneven_zip_mut(&mut states, &mut data, &lens, |i, state, chunk| {
+            assert_eq!(chunk.len(), lens[i]);
+            *state = chunk.len();
+            for v in chunk.iter_mut() {
+                *v += i as u32;
+            }
+        });
+        assert_eq!(states, lens);
+        assert_eq!(data, [1, 1, 1, 3, 3, 3, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn uneven_zip_matches_serial_reference() {
+        let lens: Vec<usize> = (0..23).map(|i| (i * 7) % 11).collect();
+        let total: usize = lens.iter().sum();
+        let mut data: Vec<f32> = (0..total).map(|i| i as f32).collect();
+        let mut reference = data.clone();
+        let mut states = vec![0.0f32; lens.len()];
+        parallel_uneven_zip_mut(&mut states, &mut data, &lens, |i, state, chunk| {
+            for v in chunk.iter_mut() {
+                *v = v.mul_add(1.5, i as f32);
+            }
+            *state = chunk.iter().sum();
+        });
+        let mut offset = 0;
+        let mut ref_states = vec![0.0f32; lens.len()];
+        for (i, &len) in lens.iter().enumerate() {
+            let chunk = &mut reference[offset..offset + len];
+            for v in chunk.iter_mut() {
+                *v = v.mul_add(1.5, i as f32);
+            }
+            ref_states[i] = chunk.iter().sum();
+            offset += len;
+        }
+        assert_eq!(data, reference);
+        assert_eq!(states, ref_states);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the data exactly")]
+    fn uneven_zip_rejects_mismatched_lengths() {
+        let mut states = vec![0usize; 2];
+        let mut data = vec![0u8; 5];
+        parallel_uneven_zip_mut(&mut states, &mut data, &[2, 2], |_, _, _| {});
     }
 }

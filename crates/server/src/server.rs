@@ -3,6 +3,8 @@
 
 use crate::controller::{Controller, ControllerThresholds};
 use crate::protocol::{ResultAck, TaskAssignment, TaskRequest, TaskResponse, TaskResult};
+use crate::wire::{self, WireError};
+use bytes::Bytes;
 use fleet_core::{AdaSgd, ParameterServer, WorkerUpdate};
 use fleet_profiler::{IProf, Slo, WorkloadProfiler};
 use std::collections::HashMap;
@@ -14,6 +16,10 @@ pub struct FleetServerConfig {
     pub learning_rate: f32,
     /// Aggregation parameter K (gradients per model update).
     pub aggregation_k: usize,
+    /// Number of range-partitioned parameter-server shards aggregation fans
+    /// out across (results are identical at any shard count; more shards buy
+    /// throughput on multi-core for large models).
+    pub shards: usize,
     /// Expected percentage of non-stragglers (AdaSGD's s%).
     pub s_percentile: f64,
     /// Number of classes of the learning task (for the global label
@@ -30,6 +36,7 @@ impl Default for FleetServerConfig {
         Self {
             learning_rate: 5e-2,
             aggregation_k: 1,
+            shards: 1,
             s_percentile: 99.7,
             num_classes: 10,
             slo: Slo::paper_latency_default(),
@@ -60,7 +67,8 @@ impl FleetServer {
                 aggregator,
                 config.learning_rate,
                 config.aggregation_k,
-            ),
+            )
+            .with_shards(config.shards.max(1)),
             iprof: IProf::new(config.slo),
             controller: Controller::new(config.thresholds),
             device_models: HashMap::new(),
@@ -116,6 +124,28 @@ impl FleetServer {
             }),
             Err(reason) => TaskResponse::Rejected(reason),
         }
+    }
+
+    /// Handles a wire-encoded learning-task request: the byte-level entry
+    /// point a transport (HTTP body, socket frame) would call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] when the buffer is truncated, has an unknown
+    /// version, or contains malformed fields.
+    pub fn handle_request_wire(&mut self, raw: Bytes) -> Result<TaskResponse, WireError> {
+        Ok(self.handle_request(&wire::decode_request(raw)?))
+    }
+
+    /// Handles a wire-encoded worker result: the byte-level entry point a
+    /// transport would call for step 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] when the buffer is truncated, has an unknown
+    /// version, or contains malformed fields.
+    pub fn handle_result_wire(&mut self, raw: Bytes) -> Result<ResultAck, WireError> {
+        Ok(self.handle_result(wire::decode_result(raw)?))
     }
 
     /// Handles a worker result (step 5): feeds the measured costs back to
@@ -249,6 +279,66 @@ mod tests {
         // The weight is dampened by staleness but may be boosted back up to
         // (at most) 1.0 when the slow worker's labels are novel.
         assert!(ack.scaling_factor > 0.0 && ack.scaling_factor <= 1.0);
+    }
+
+    #[test]
+    fn wire_entry_points_drive_the_full_protocol() {
+        let (mut server, mut workers, _) = build_world(4);
+        let before = server.parameters().to_vec();
+        for worker in workers.iter_mut() {
+            let response = server
+                .handle_request_wire(worker.request_wire())
+                .expect("self-encoded request");
+            match response {
+                TaskResponse::Assignment(assignment) => {
+                    let raw = worker.execute_wire(&assignment).unwrap();
+                    let ack = server.handle_result_wire(raw).expect("self-encoded result");
+                    assert!(ack.scaling_factor > 0.0);
+                }
+                TaskResponse::Rejected(reason) => panic!("unexpected rejection: {reason:?}"),
+            }
+        }
+        assert_eq!(server.clock(), 4);
+        assert_ne!(server.parameters(), before.as_slice());
+        // Malformed bytes surface as wire errors, not panics.
+        assert!(server.handle_result_wire(Bytes::from(vec![9u8])).is_err());
+    }
+
+    #[test]
+    fn sharded_server_matches_single_shard_reference() {
+        let (mut sharded, mut workers, _) = build_world(4);
+        let mut reference = FleetServer::new(
+            sharded.parameters().to_vec(),
+            FleetServerConfig {
+                shards: 1,
+                ..sharded.config().clone()
+            },
+        );
+        sharded = FleetServer::new(
+            sharded.parameters().to_vec(),
+            FleetServerConfig {
+                shards: 8,
+                ..sharded.config().clone()
+            },
+        );
+        for _ in 0..3 {
+            for worker in workers.iter_mut() {
+                let request = worker.request();
+                let (a, b) = (
+                    reference.handle_request(&request),
+                    sharded.handle_request(&request),
+                );
+                assert_eq!(a, b);
+                if let TaskResponse::Assignment(assignment) = a {
+                    let result = worker.execute(&assignment).unwrap();
+                    let ack_ref = reference.handle_result(result.clone());
+                    let ack_sharded = sharded.handle_result(result);
+                    assert_eq!(ack_ref, ack_sharded);
+                    assert_eq!(reference.parameters(), sharded.parameters());
+                }
+            }
+        }
+        assert_eq!(reference.clock(), sharded.clock());
     }
 
     #[test]

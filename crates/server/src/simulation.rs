@@ -8,6 +8,8 @@
 //! keeps a bounded history of past model versions so the gradient can be
 //! computed against exactly the right snapshot.
 
+use crate::protocol::TaskResult;
+use crate::wire;
 use fleet_core::{Aggregator, ParameterServer, WorkerUpdate};
 use fleet_data::partition::UserPartition;
 use fleet_data::sampling::MiniBatchSampler;
@@ -91,6 +93,11 @@ pub struct SimulationConfig {
     pub eval_examples: usize,
     /// Track the accuracy of this class separately (Fig. 9a).
     pub track_class: Option<usize>,
+    /// Number of range-partitioned parameter-server shards the K-gradient
+    /// aggregation fans out across. Results are bit-for-bit identical at any
+    /// shard count; more shards buy aggregation throughput on multi-core for
+    /// large models.
+    pub shards: usize,
     /// RNG seed for user selection, mini-batch sampling and staleness.
     pub seed: u64,
 }
@@ -108,6 +115,7 @@ impl Default for SimulationConfig {
             eval_every: 50,
             eval_examples: 512,
             track_class: None,
+            shards: 1,
             seed: 0,
         }
     }
@@ -217,7 +225,8 @@ impl<'a> AsyncSimulation<'a> {
             aggregator,
             cfg.learning_rate,
             cfg.aggregation_k,
-        );
+        )
+        .with_shards(cfg.shards.max(1));
 
         // Bounded history of past parameter snapshots; index 0 is the oldest.
         let max_history = self.max_history();
@@ -307,18 +316,44 @@ impl<'a> AsyncSimulation<'a> {
                         .collect()
                 };
 
-            // Phase 3 — privatise and submit in fixed worker-index order, so
-            // DP noise draws and aggregator state updates replay identically.
+            // Phase 3 — privatise (worker-side DP noise), ship each result
+            // through the versioned wire codec exactly as the deployed
+            // protocol does, and submit in fixed worker-index order so noise
+            // draws and aggregator state updates replay identically.
+            // Serialization cost is therefore part of every simulation bench.
             for (task, mut gradient) in tasks.into_iter().zip(gradients) {
                 if let Some(mechanism) = dp.as_mut() {
                     mechanism.privatize(gradient.as_mut_slice(), task.labels.len());
                 }
-                let update = WorkerUpdate::new(
+                let task_result = TaskResult {
+                    worker_id: task.user as u64,
+                    // The worker pulled the model `task.staleness` updates ago
+                    // (planning clamps staleness to the clock, so this cannot
+                    // underflow).
+                    model_version: clock - task.staleness,
                     gradient,
-                    task.staleness,
-                    LabelDistribution::from_labels(&task.labels, self.train.num_classes()),
-                    task.labels.len(),
-                    task.user as u64,
+                    label_distribution: LabelDistribution::from_labels(
+                        &task.labels,
+                        self.train.num_classes(),
+                    ),
+                    num_samples: task.labels.len(),
+                    computation_seconds: 0.0,
+                    energy_pct: 0.0,
+                };
+                let decoded = wire::decode_result(wire::encode_result(&task_result))
+                    .expect("self-encoded worker results always decode");
+                // Staleness as the server derives it in the real protocol:
+                // clock now minus the model version the gradient was computed
+                // on. Within a round the clock is constant (the model only
+                // updates on the round's last submission), so this equals
+                // `task.staleness` exactly.
+                let staleness = server.clock() - decoded.model_version;
+                let update = WorkerUpdate::new(
+                    decoded.gradient,
+                    staleness,
+                    decoded.label_distribution,
+                    decoded.num_samples,
+                    decoded.worker_id,
                 );
                 let outcome = server.submit(update);
                 result.scaling_factors.push(outcome.scaling_factor);
@@ -518,6 +553,30 @@ mod tests {
         let history_b = sim.run(&mut model_b, AdaSgd::new(5, 99.7));
         assert_eq!(history_a, history_b);
         assert_eq!(model_a.parameters(), model_b.parameters());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        // The sharded parameter server's determinism contract, end to end:
+        // training histories and final parameters are bit-for-bit identical
+        // across {1, 2, 8} shards for a fixed seed.
+        let (train, test, users) = world();
+        let mut histories = Vec::new();
+        let mut params = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let mut cfg = fast_config(StalenessDistribution::d1());
+            cfg.aggregation_k = 4;
+            cfg.steps = 30;
+            cfg.shards = shards;
+            let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+            let mut model = mlp_classifier(8, &[16], 5, 3);
+            histories.push(sim.run(&mut model, AdaSgd::new(5, 99.7)));
+            params.push(model.parameters());
+        }
+        assert_eq!(histories[0], histories[1]);
+        assert_eq!(histories[0], histories[2]);
+        assert_eq!(params[0], params[1]);
+        assert_eq!(params[0], params[2]);
     }
 
     #[test]

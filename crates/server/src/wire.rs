@@ -43,10 +43,31 @@ impl fmt::Display for WireError {
 
 impl Error for WireError {}
 
-const MAX_FIELD_LEN: usize = 64 * 1024 * 1024;
+/// Upper bound on any length-prefixed field, enforced symmetrically: the
+/// decoder rejects longer length prefixes with [`WireError::LengthOutOfBounds`]
+/// and the encoder panics rather than emit one (an unchecked `len as u32`
+/// cast used to truncate silently, encoding corrupt messages for fields over
+/// `u32::MAX` — and fields in `(MAX_FIELD_LEN, u32::MAX]` encoded fine but
+/// could never be decoded).
+pub const MAX_FIELD_LEN: usize = 64 * 1024 * 1024;
+
+/// Validates a field length on the encode side, mirroring [`get_len`].
+///
+/// # Panics
+///
+/// Panics when `len` exceeds [`MAX_FIELD_LEN`]; encoding such a message can
+/// only produce garbage (silent `u32` truncation) or an undecodable buffer.
+fn checked_field_len(len: usize) -> u32 {
+    assert!(
+        len <= MAX_FIELD_LEN,
+        "wire field length {len} exceeds MAX_FIELD_LEN {MAX_FIELD_LEN}; \
+         the message would not survive the roundtrip"
+    );
+    len as u32
+}
 
 fn put_f32_slice(buf: &mut BytesMut, values: &[f32]) {
-    buf.put_u32_le(values.len() as u32);
+    buf.put_u32_le(checked_field_len(values.len()));
     for &v in values {
         buf.put_f32_le(v);
     }
@@ -61,7 +82,7 @@ fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, WireError> {
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+    buf.put_u32_le(checked_field_len(s.len()));
     buf.put_slice(s.as_bytes());
 }
 
@@ -94,6 +115,11 @@ fn need(buf: &Bytes, bytes: usize) -> Result<(), WireError> {
 }
 
 /// Encodes a [`TaskRequest`] into a byte buffer.
+///
+/// # Panics
+///
+/// Panics if a variable-length field (device model, label distribution)
+/// exceeds [`MAX_FIELD_LEN`] — such a message could never decode.
 pub fn encode_request(request: &TaskRequest) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u8(WIRE_VERSION);
@@ -160,6 +186,11 @@ pub fn decode_request(mut buf: Bytes) -> Result<TaskRequest, WireError> {
 }
 
 /// Encodes a [`TaskResult`] into a byte buffer.
+///
+/// # Panics
+///
+/// Panics if a variable-length field (gradient, label distribution) exceeds
+/// [`MAX_FIELD_LEN`] — such a message could never decode.
 pub fn encode_result(result: &TaskResult) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u8(WIRE_VERSION);
@@ -268,12 +299,77 @@ mod tests {
     }
 
     #[test]
-    fn truncated_buffers_error_cleanly() {
-        let encoded = encode_request(&sample_request());
-        for cut in [0usize, 1, 5, 10, encoded.len() - 1] {
-            let partial = encoded.slice(0..cut);
-            assert!(decode_request(partial).is_err(), "cut at {cut} should fail");
+    fn truncated_buffers_error_cleanly_at_every_field_offset() {
+        // Every proper prefix — i.e. a truncation inside any field, length
+        // prefix or scalar — must produce an error, never a panic or a
+        // bogus decode.
+        let encoded_request = encode_request(&sample_request());
+        for cut in 0..encoded_request.len() {
+            let partial = encoded_request.slice(0..cut);
+            assert!(
+                decode_request(partial).is_err(),
+                "request cut at {cut} should fail"
+            );
         }
+        let encoded_result = encode_result(&sample_result());
+        for cut in 0..encoded_result.len() {
+            let partial = encoded_result.slice(0..cut);
+            assert!(
+                decode_result(partial).is_err(),
+                "result cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_gradient_roundtrips() {
+        let mut result = sample_result();
+        result.gradient = Gradient::from_vec(Vec::new());
+        let decoded = decode_result(encode_result(&result)).unwrap();
+        assert!(decoded.gradient.is_empty());
+        assert_eq!(decoded.num_samples, result.num_samples);
+    }
+
+    #[test]
+    fn empty_device_model_roundtrips() {
+        let mut request = sample_request();
+        request.device_model = String::new();
+        let decoded = decode_request(encode_request(&request)).unwrap();
+        assert_eq!(decoded.device_model, "");
+    }
+
+    #[test]
+    fn checked_field_len_accepts_the_bound_and_zero() {
+        assert_eq!(checked_field_len(0), 0);
+        assert_eq!(checked_field_len(MAX_FIELD_LEN), MAX_FIELD_LEN as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FIELD_LEN")]
+    fn checked_field_len_rejects_over_the_bound() {
+        let _ = checked_field_len(MAX_FIELD_LEN + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FIELD_LEN")]
+    fn encoding_an_oversized_string_panics_instead_of_truncating() {
+        // Before the encode-side check, `len as u32` silently truncated and
+        // the message encoded corrupt; now it panics with a clear error.
+        let mut request = sample_request();
+        request.device_model = "x".repeat(MAX_FIELD_LEN + 1);
+        let _ = encode_request(&request);
+    }
+
+    #[test]
+    fn decoder_rejects_lengths_just_over_the_bound() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(WIRE_VERSION);
+        raw.put_u64_le(1); // worker id
+        raw.put_u32_le(MAX_FIELD_LEN as u32 + 1); // device-model length
+        assert_eq!(
+            decode_request(raw.freeze()),
+            Err(WireError::LengthOutOfBounds(MAX_FIELD_LEN + 1))
+        );
     }
 
     #[test]
@@ -301,7 +397,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_result_roundtrip(gradient in proptest::collection::vec(-10.0f32..10.0, 1..128),
+        fn prop_result_roundtrip(gradient in proptest::collection::vec(-10.0f32..10.0, 0..128),
                                  version in 0u64..10_000,
                                  samples in 1usize..10_000) {
             let original = TaskResult {
@@ -323,6 +419,25 @@ mod tests {
         fn prop_random_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_request(Bytes::from(raw.clone()));
             let _ = decode_result(Bytes::from(raw));
+        }
+
+        #[test]
+        fn prop_request_roundtrips_any_device_model(model_len in 0usize..64, samples in 0usize..1_000_000) {
+            let mut request = sample_request();
+            request.device_model = "m".repeat(model_len);
+            request.available_samples = samples;
+            let decoded = decode_request(encode_request(&request)).unwrap();
+            prop_assert_eq!(decoded.device_model, request.device_model);
+            prop_assert_eq!(decoded.available_samples, samples);
+        }
+
+        #[test]
+        fn prop_truncation_of_random_results_errors(gradient in proptest::collection::vec(-1.0f32..1.0, 0..32), cut_seed in any::<u16>()) {
+            let mut result = sample_result();
+            result.gradient = Gradient::from_vec(gradient);
+            let encoded = encode_result(&result);
+            let cut = cut_seed as usize % encoded.len();
+            prop_assert!(decode_result(encoded.slice(0..cut)).is_err());
         }
     }
 }

@@ -2,6 +2,8 @@
 //! device against locally collected data.
 
 use crate::protocol::{TaskAssignment, TaskRequest, TaskResult};
+use crate::wire;
+use bytes::Bytes;
 use fleet_data::sampling::MiniBatchSampler;
 use fleet_data::{Dataset, LabelDistribution};
 use fleet_device::Device;
@@ -85,6 +87,23 @@ impl Worker {
             label_distribution: self.local_label_distribution(),
             available_samples: self.local_indices.len(),
         }
+    }
+
+    /// Builds the learning-task request already encoded for the wire: the
+    /// bytes a real device would put on the network for step 1.
+    pub fn request_wire(&mut self) -> Bytes {
+        wire::encode_request(&self.request())
+    }
+
+    /// Executes an assignment and returns the result encoded for the wire
+    /// (step 5 as the device actually ships it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MlError`] when the assigned parameters do not match the
+    /// worker's model architecture or the local data is unusable.
+    pub fn execute_wire(&mut self, assignment: &TaskAssignment) -> Result<Bytes, MlError> {
+        Ok(wire::encode_result(&self.execute(assignment)?))
     }
 
     /// Executes an assignment (step 5): samples a mini-batch of the requested
@@ -213,6 +232,21 @@ mod tests {
             mini_batch_size: 8,
         };
         assert!(w.execute(&a).is_err());
+    }
+
+    #[test]
+    fn wire_request_and_result_roundtrip() {
+        let mut w = worker();
+        let request = crate::wire::decode_request(w.request_wire()).unwrap();
+        assert_eq!(request.worker_id, 7);
+        assert_eq!(request.device_model, "Galaxy S7");
+
+        let a = assignment(&w, 8);
+        let encoded = w.execute_wire(&a).unwrap();
+        let result = crate::wire::decode_result(encoded).unwrap();
+        assert_eq!(result.worker_id, 7);
+        assert_eq!(result.model_version, 3);
+        assert_eq!(result.num_samples, 8);
     }
 
     #[test]

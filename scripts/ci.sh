@@ -2,12 +2,14 @@
 # CI gate for the FLeet reproduction workspace.
 #
 #   scripts/ci.sh           full gate: fmt, clippy, build, tier-1 tests,
-#                           bench smoke writing BENCH_kernels.json
+#                           bench smoke writing BENCH_kernels.json and
+#                           BENCH_shards.json
 #   scripts/ci.sh --quick   skip the bench smoke
 #
-# The bench smoke keeps a machine-readable perf record (BENCH_kernels.json at
-# the repo root) so successive PRs can track the kernel trajectory; timings are
-# per-machine, so compare runs from the same host only.
+# The bench smoke keeps machine-readable perf records (BENCH_kernels.json and
+# BENCH_shards.json at the repo root) so successive PRs can track the kernel
+# and aggregation-throughput trajectories; timings are per-machine, so compare
+# runs from the same host only.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +32,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     FLEET_BENCH_JSON="$PWD/BENCH_kernels.json" \
         cargo bench --bench ml_kernels
     echo "==> wrote BENCH_kernels.json"
+
+    echo "==> bench smoke (shards -> BENCH_shards.json)"
+    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-200}" \
+    FLEET_BENCH_JSON="$PWD/BENCH_shards.json" \
+        cargo bench --bench shards
+    echo "==> wrote BENCH_shards.json"
 fi
 
 echo "==> CI gate passed"

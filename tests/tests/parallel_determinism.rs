@@ -1,25 +1,39 @@
 //! Reproducibility of the parallel simulation engine.
 //!
 //! `AsyncSimulation::run` fans each aggregation round's K worker gradients
-//! out across threads; these tests pin the thread count above one (so the
-//! parallel path runs even on single-core CI) and assert that repeated runs
-//! with one seed are bit-for-bit identical — histories, scaling factors and
-//! final model parameters. Cross-thread-count equality holds by construction
-//! (contiguous-range splitting with fixed-order accumulation; see the
-//! `fleet_parallel` module docs) and was verified for 1/4/7 threads when the
-//! engine was parallelised.
+//! out across threads, and the sharded `ParameterServer` fans aggregation
+//! itself out across range-partitioned shards; these tests pin the thread
+//! count above one (so the parallel path runs even on single-core CI) and
+//! assert that repeated runs with one seed are bit-for-bit identical —
+//! histories, scaling factors and final model parameters — and that the
+//! digest is independent of the shard count ({1, 2, 8} swept in-process).
+//! Cross-thread-count equality holds by construction (contiguous-range
+//! splitting with fixed-order accumulation; see the `fleet_parallel` module
+//! docs); to sweep it explicitly, run this binary under
+//! `FLEET_NUM_THREADS=1/4/7` — the env var then wins over the default pin —
+//! and compare the digest that `shard_sweep_digests_are_identical` prints.
 
 use fleet_core::{AdaSgd, FedAvg};
 use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution};
 use fleet_tests::{small_model, small_world};
 
 /// Forces the parallel path (even on single-core CI) before the thread count
-/// is cached. First caller wins; every test in this binary pins the same
-/// value, so ordering cannot change the configuration. Programmatic override
-/// rather than `std::env::set_var`, which is unsound with tests running on
-/// concurrent threads.
+/// is cached, unless the caller swept it via `FLEET_NUM_THREADS`. First
+/// caller wins; every test in this binary pins the same value, so ordering
+/// cannot change the configuration. Programmatic override rather than
+/// `std::env::set_var`, which is unsound with tests running on concurrent
+/// threads.
 fn pin_threads() {
-    fleet_parallel::set_max_threads(4);
+    // Mirror max_threads' own validation: only a positive integer counts as
+    // a sweep; a malformed value must not silently drop the forced-parallel
+    // pin these tests exist for.
+    let swept = std::env::var("FLEET_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .is_some_and(|n| n > 0);
+    if !swept {
+        fleet_parallel::set_max_threads(4);
+    }
 }
 
 fn config(k: usize, dp: Option<(f32, f32)>) -> SimulationConfig {
@@ -65,6 +79,40 @@ fn parallel_dp_runs_replay_their_noise() {
         sim.run(&mut model_b, FedAvg::new())
     );
     assert_eq!(model_a.parameters(), model_b.parameters());
+}
+
+/// FNV-1a over the parameter bit patterns: equal digests mean bit-for-bit
+/// equal models.
+fn digest(params: &[f32]) -> u64 {
+    params.iter().fold(0xcbf29ce484222325u64, |h, p| {
+        (h ^ u64::from(p.to_bits())).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[test]
+fn shard_sweep_digests_are_identical() {
+    pin_threads();
+    let (train, test, users) = small_world(800, 12, 5);
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let mut cfg = config(4, None);
+        cfg.shards = shards;
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let mut model = small_model(2);
+        let history = sim.run(&mut model, AdaSgd::new(10, 99.7));
+        runs.push((shards, digest(&model.parameters()), history));
+    }
+    // One line for the cross-process thread sweep: run this binary under
+    // FLEET_NUM_THREADS=1/4/7 with --nocapture and compare.
+    println!(
+        "shard-sweep digest: {:#018x} (threads={})",
+        runs[0].1,
+        fleet_parallel::max_threads()
+    );
+    for run in &runs[1..] {
+        assert_eq!(runs[0].1, run.1, "digest diverged at {} shards", run.0);
+        assert_eq!(runs[0].2, run.2, "history diverged at {} shards", run.0);
+    }
 }
 
 #[test]
