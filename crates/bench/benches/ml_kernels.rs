@@ -5,13 +5,18 @@
 //! get a machine-readable record of the perf trajectory. The key pairs:
 //!
 //! * `matmul_256_blocked` vs `matmul_256_naive` — the blocked/parallel kernel
-//!   against the seed kernel on the acceptance-size 256x256x256 product.
+//!   (runtime-dispatched to the best ISA) against the seed kernel on the
+//!   acceptance-size 256x256x256 product.
+//! * `matmul_256_simd` vs `matmul_256_scalar_fallback` — the same tiled
+//!   kernel pinned to the AVX2+FMA intrinsics and the `mul_add` fallback;
+//!   the two produce bit-identical outputs, so the gap is pure dispatch win.
 //! * `matmul_64_dense_*` and `matmul_64_onehot_*` — the sparsity-branch
 //!   question: the seed kernel's `a == 0.0` skip only wins on one-hot rows,
 //!   which is why the dense path dropped it.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fleet_ml::kernels;
+use fleet_ml::kernels::Isa;
 use fleet_ml::models::{small_cnn, table1_mnist_cnn};
 use fleet_ml::tensor::Tensor;
 use fleet_ml::Gradient;
@@ -42,6 +47,22 @@ fn matmul_benches(c: &mut Criterion) {
             black_box(out256[0])
         });
     });
+    // The dispatch pair: the same tiled kernel pinned to each Isa. On an
+    // AVX2+FMA host "blocked" above equals the simd row; the scalar row is
+    // what `FLEET_SIMD=off` (or a non-x86 host) would get.
+    c.bench_function("matmul_256_simd", |b| {
+        let isa = Isa::detect();
+        b.iter(|| {
+            kernels::matmul_with(isa, &a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+    c.bench_function("matmul_256_scalar_fallback", |b| {
+        b.iter(|| {
+            kernels::matmul_with(Isa::Scalar, &a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
     c.bench_function("matmul_256_naive", |b| {
         b.iter(|| {
             kernels::matmul_naive(&a256, &b256, &mut out256, 256, 256, 256);
@@ -58,6 +79,19 @@ fn matmul_benches(c: &mut Criterion) {
     c.bench_function("matmul_nt_256", |b| {
         b.iter(|| {
             kernels::matmul_nt(&a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+    c.bench_function("matmul_tn_256_scalar_fallback", |b| {
+        b.iter(|| {
+            out256.fill(0.0);
+            kernels::matmul_tn_acc_with(Isa::Scalar, &a256, &b256, &mut out256, 256, 256, 256);
+            black_box(out256[0])
+        });
+    });
+    c.bench_function("matmul_nt_256_scalar_fallback", |b| {
+        b.iter(|| {
+            kernels::matmul_nt_with(Isa::Scalar, &a256, &b256, &mut out256, 256, 256, 256);
             black_box(out256[0])
         });
     });

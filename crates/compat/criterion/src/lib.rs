@@ -141,14 +141,91 @@ impl Criterion {
     }
 }
 
+/// ISA features the host CPU reports, for the bench metadata. Perf numbers
+/// are only comparable between hosts whose feature lists match, so the list
+/// rides along in every JSON artifact.
+fn detected_isa_features() -> Vec<&'static str> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut features = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse2") {
+            features.push("sse2");
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            features.push("avx");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            features.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            features.push("avx512f");
+        }
+        features
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document: backslash, quote, and
+/// control characters — env values and bench names are arbitrary bytes, and
+/// one stray `\` must not invalidate the whole perf artifact.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a JSON string field whose value may be an absent env var.
+fn json_env(name: &str) -> String {
+    match std::env::var(name) {
+        Ok(v) => format!("\"{}\"", json_escape(&v)),
+        Err(_) => "null".to_string(),
+    }
+}
+
 fn render_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"fleet-bench-v1\",\n  \"benchmarks\": [\n");
+    // Self-describing metadata: a bench artifact from a single-core host or
+    // a SIMD-disabled sweep must say so, or its numbers will be compared
+    // against runs from a different configuration.
+    let features = detected_isa_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut out = String::from("{\n  \"schema\": \"fleet-bench-v2\",\n  \"meta\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"fleet_num_threads\": {},\n    \"fleet_simd\": {},\n    \"available_parallelism\": {parallelism},\n    \"isa_features\": [{features}]\n  }},",
+        json_env("FLEET_NUM_THREADS"),
+        json_env("FLEET_SIMD"),
+    );
+    out.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{comma}",
-            r.name.replace('"', "'"),
+            json_escape(&r.name),
             r.mean_ns,
             r.iterations
         );
@@ -200,8 +277,11 @@ mod tests {
             mean_ns: 12.5,
             iterations: 100,
         }]);
-        assert!(json.contains("\"fleet-bench-v1\""));
+        assert!(json.contains("\"fleet-bench-v2\""));
         assert!(json.contains("\"matmul\""));
+        assert!(json.contains("\"fleet_num_threads\""));
+        assert!(json.contains("\"isa_features\""));
+        assert!(json.contains("\"available_parallelism\""));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -1,5 +1,6 @@
 //! Blocked, parallel `f32` matrix kernels — the hot path of every FLeet
-//! worker gradient computation.
+//! worker gradient computation — with an explicit-SIMD micro-kernel engine
+//! dispatched at runtime.
 //!
 //! # Design
 //!
@@ -13,15 +14,29 @@
 //!
 //! The NN/TN kernels run an `MR × NR` register-tiled micro-kernel (partial
 //! sums held in registers, `B` panels L1-resident, remainders falling back to
-//! row-axpy loops); the NT kernel is a 16-lane blocked dot product with a
+//! row-axpy loops); the NT kernel is a 32-lane blocked dot product with a
 //! fixed reduction tree. Work is split across threads by contiguous output
-//! rows via [`fleet_parallel::parallel_chunks_mut`], and every output element
-//! accumulates over the depth dimension in ascending order regardless of how
-//! tiles or threads partition the output — so results are bit-for-bit
-//! identical on 1 or N cores and on any SIMD width (the workspace builds with
-//! `target-cpu=native`; vectorising these element-wise lane loops never
-//! reassociates, and rustc performs no FMA contraction). Keep that property:
-//! the simulation's reproducibility tests depend on it.
+//! rows via [`fleet_parallel::parallel_chunks_mut`].
+//!
+//! # The SIMD engine and its determinism contract
+//!
+//! Each micro-kernel exists in two [`Isa`] variants selected once per process
+//! (see [`Isa::active`]): an AVX2+FMA implementation in `core::arch`
+//! intrinsics, used when `is_x86_feature_detected!` reports both features,
+//! and a portable fallback that applies `f32::mul_add` to the *same* lane
+//! structure. A fused multiply-add rounds once per element, identically
+//! whether it is issued as a `vfmadd` instruction or as `mul_add` (which
+//! lowers to the correctly-rounded libm `fma` where hardware FMA is absent),
+//! and every output element accumulates over the depth dimension in
+//! ascending order regardless of how tiles or threads partition the output —
+//! so results are **bit-for-bit identical across ISAs and thread counts**.
+//! The property tests at the bottom of this file assert that byte-identity on
+//! dense, one-hot, NaN/Inf and remainder-sized shapes; the simulation's
+//! reproducibility tests depend on it. Keep both paths in lockstep: any lane
+//! restructured on one side must be restructured on the other.
+//!
+//! Set `FLEET_SIMD=off` (or `0`/`scalar`/`false`) to force the fallback at
+//! runtime — CI sweeps the determinism digests both ways and they must agree.
 //!
 //! # The seed kernel's sparsity branch
 //!
@@ -32,52 +47,140 @@
 //! dense path no longer has it. [`matmul_naive`] preserves the seed kernel
 //! verbatim for benchmarking (`cargo bench --bench ml_kernels` reports both on
 //! dense and one-hot inputs) and as the reference implementation the property
-//! tests compare against.
+//! tests compare against. Note the naive kernel multiplies and adds in two
+//! rounding steps, so the fused kernels agree with it to tolerance, not bits.
 
-/// Output rows per register tile.
-const MR: usize = 4;
+use std::sync::OnceLock;
+
+/// Output rows per register tile. Six rows × two AVX2 vectors is the classic
+/// f32 micro-kernel shape: `6 × 2 = 12` accumulator registers plus two `B`
+/// lanes and one broadcast fit the 16 ymm registers exactly, and twelve
+/// independent FMA chains cover the 4-5 cycle FMA latency at two issues per
+/// cycle — with the old `MR = 4` the eight chains left the FMA units
+/// latency-starved.
+const MR: usize = 6;
 
 /// Output columns per register tile: `MR × NR` partial sums live in
 /// registers, cutting the traffic to `out` by `MR·NR` and reusing every
 /// loaded `B` lane `MR` times. A `k × NR` column panel of `B` is ~`4k·NR`
 /// bytes (16 KiB at `k = 256`), so panels stay L1-resident across row groups.
+/// `NR = 16` is also exactly two 256-bit AVX2 vectors per row.
 const NR: usize = 16;
 
-/// Below this many fused multiply-adds (~50 µs of work) the scoped-thread
-/// fan-out costs more than the arithmetic; kernels stay on the calling
-/// thread. Fan-out is also suppressed automatically inside `fleet_parallel`
-/// workers, so the simulation's per-task gradients never nest thread pools.
+/// Lanes in the NT kernel's blocked dot product: four AVX2 vectors, i.e.
+/// four independent FMA accumulator chains. Two chains (the old 16-lane
+/// shape) left the fused accumulation latency-bound; four roughly doubles
+/// large-`k` dot throughput while keeping the scalar tail under 32 elements.
+const DOT_LANES: usize = 32;
+
+/// Below this many fused multiply-adds (~50 µs of work) the pool fan-out
+/// costs more than the arithmetic; kernels stay on the calling thread.
+/// Fan-out is also suppressed automatically inside `fleet_parallel` workers,
+/// so the simulation's per-task gradients never nest fan-outs.
 const PAR_FLOP_THRESHOLD: usize = 1 << 19;
 
-#[inline]
-fn axpy(y: &mut [f32], x: &[f32], a: f32) {
-    for (y, &x) in y.iter_mut().zip(x) {
-        *y += a * x;
+/// Instruction-set variant a kernel dispatches to.
+///
+/// Both variants compute bit-for-bit identical results (see the module docs);
+/// the choice is purely a throughput decision, made once per process by
+/// [`Isa::active`]. The `*_with` kernel entry points take an explicit `Isa`
+/// so property tests and benches can pin either path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable `f32::mul_add` lane loops. With hardware FMA compiled in
+    /// this autovectorises to fused instructions; without it, it lowers to
+    /// the correctly-rounded software `fma` — slower, never different.
+    Scalar,
+    /// Explicit AVX2 + FMA intrinsics (x86-64 only, runtime-detected).
+    Avx2Fma,
+}
+
+impl Isa {
+    /// Best ISA the host supports, ignoring the env override.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Isa::Avx2Fma;
+            }
+        }
+        Isa::Scalar
+    }
+
+    /// The ISA the public kernels dispatch to, cached after the first call:
+    /// `FLEET_SIMD=off|0|scalar|false` forces [`Isa::Scalar`]; anything else
+    /// (or unset) takes [`Isa::detect`].
+    pub fn active() -> Self {
+        static ACTIVE: OnceLock<Isa> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let forced_off = std::env::var("FLEET_SIMD").is_ok_and(|v| {
+                matches!(
+                    v.to_ascii_lowercase().as_str(),
+                    "off" | "0" | "scalar" | "false"
+                )
+            });
+            if forced_off {
+                Isa::Scalar
+            } else {
+                Isa::detect()
+            }
+        })
+    }
+
+    /// Stable lowercase name, as recorded in bench metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2Fma => "avx2+fma",
+        }
+    }
+
+    /// The ISA actually safe to execute for a request of `self`: a
+    /// [`Isa::Avx2Fma`] request on a host whose CPU lacks the features
+    /// silently downgrades to [`Isa::Scalar`]. `Isa` is publicly
+    /// constructible, so every kernel entry point routes through this —
+    /// intrinsics must never run unguarded from a safe API. The downgrade
+    /// costs nothing in correctness: both paths are bit-identical.
+    /// (`is_x86_feature_detected!` caches, so this is an atomic load.)
+    fn effective(self) -> Self {
+        match self {
+            Isa::Avx2Fma if Isa::detect() == Isa::Avx2Fma => Isa::Avx2Fma,
+            _ => Isa::Scalar,
+        }
     }
 }
 
-/// Dot product with sixteen independent accumulator lanes combined in a
-/// fixed tree order — vectorisable without floating-point reassociation,
-/// therefore deterministic on every ISA and thread count.
+/// `y[i] = a.mul_add(x[i], y[i])` — the shared remainder primitive. Fused per
+/// element, so it is exact-identical no matter which ISA the main tiles used.
 #[inline]
-fn dot(x: &[f32], y: &[f32]) -> f32 {
-    const L: usize = 16;
-    debug_assert_eq!(x.len(), y.len());
-    let mut lanes = [0.0f32; L];
-    let chunks = x.len() / L;
-    for c in 0..chunks {
-        let xs: &[f32; L] = x[c * L..c * L + L].try_into().unwrap();
-        let ys: &[f32; L] = y[c * L..c * L + L].try_into().unwrap();
-        for l in 0..L {
-            lanes[l] += xs[l] * ys[l];
-        }
+fn axpy(y: &mut [f32], x: &[f32], a: f32) {
+    for (y, &x) in y.iter_mut().zip(x) {
+        *y = a.mul_add(x, *y);
     }
+}
+
+/// Dot product with [`DOT_LANES`] independent accumulator lanes combined in
+/// a fixed tree order. The lane accumulation dispatches on `isa`; the
+/// reduction tree and the fused tail are shared, so both paths agree bitwise.
+#[inline]
+fn dot(isa: Isa, x: &[f32], y: &[f32]) -> f32 {
+    const L: usize = DOT_LANES;
+    debug_assert_eq!(x.len(), y.len());
+    let chunks = x.len() / L;
+    let mut acc = match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every kernel entry point downgrades the requested ISA via
+        // `Isa::effective`, so `Avx2Fma` here implies the CPU has avx2+fma.
+        Isa::Avx2Fma => unsafe { dot_lanes_avx2(x, y, chunks) },
+        _ => dot_lanes_scalar(x, y, chunks),
+    };
     let mut tail = 0.0f32;
     for i in chunks * L..x.len() {
-        tail += x[i] * y[i];
+        tail = x[i].mul_add(y[i], tail);
     }
-    let mut acc = lanes;
-    // Fixed pairwise reduction tree: 16 -> 8 -> 4 -> 2 -> 1.
+    // Fixed pairwise reduction tree: 32 -> 16 -> 8 -> 4 -> 2 -> 1.
     let mut width = L / 2;
     while width > 0 {
         for l in 0..width {
@@ -86,6 +189,54 @@ fn dot(x: &[f32], y: &[f32]) -> f32 {
         width /= 2;
     }
     acc[0] + tail
+}
+
+/// Scalar lane accumulation for [`dot`]: `lanes[l] += x[c*L+l] * y[c*L+l]`,
+/// fused per element.
+#[inline]
+fn dot_lanes_scalar(x: &[f32], y: &[f32], chunks: usize) -> [f32; DOT_LANES] {
+    const L: usize = DOT_LANES;
+    let mut lanes = [0.0f32; L];
+    for c in 0..chunks {
+        let xs: &[f32; L] = x[c * L..c * L + L].try_into().unwrap();
+        let ys: &[f32; L] = y[c * L..c * L + L].try_into().unwrap();
+        for l in 0..L {
+            lanes[l] = xs[l].mul_add(ys[l], lanes[l]);
+        }
+    }
+    lanes
+}
+
+/// AVX2+FMA lane accumulation for [`dot`]: the identical lane structure as
+/// [`dot_lanes_scalar`], four `vfmadd` accumulator vectors per 32-element
+/// chunk.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_lanes_avx2(x: &[f32], y: &[f32], chunks: usize) -> [f32; DOT_LANES] {
+    use std::arch::x86_64::*;
+    unsafe {
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut acc = [_mm256_setzero_ps(); DOT_LANES / 8];
+        for c in 0..chunks {
+            let off = c * DOT_LANES;
+            for (v, lane) in acc.iter_mut().enumerate() {
+                *lane = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(off + v * 8)),
+                    _mm256_loadu_ps(yp.add(off + v * 8)),
+                    *lane,
+                );
+            }
+        }
+        let mut lanes = [0.0f32; DOT_LANES];
+        for (v, lane) in acc.iter().enumerate() {
+            _mm256_storeu_ps(lanes.as_mut_ptr().add(v * 8), *lane);
+        }
+        lanes
+    }
 }
 
 #[inline]
@@ -102,28 +253,44 @@ fn check(name: &str, a: usize, b: usize, out: usize, m: usize, k: usize, n: usiz
 /// `out = a · b` with `a: [m,k]`, `b: [k,n]`, `out: [m,n]`, all row-major.
 ///
 /// Cache-blocked and parallel over output rows; `out` is fully overwritten.
+/// Dispatches to [`Isa::active`].
 ///
 /// # Panics
 ///
 /// Panics if a slice length disagrees with the dimensions.
 pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_with(Isa::active(), a, b, out, m, k, n);
+}
+
+/// [`matmul`] pinned to an explicit [`Isa`]. Bit-identical across ISAs.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_with(isa: Isa, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     check("matmul", a.len(), b.len(), out.len(), m, k, n);
+    let isa = isa.effective();
     if m * k * n < PAR_FLOP_THRESHOLD {
-        matmul_rows(a, b, out, 0, k, n);
+        matmul_rows(isa, a, b, out, 0, k, n);
         return;
     }
     fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
-        matmul_rows(a, b, chunk, first_row, k, n);
+        matmul_rows(isa, a, b, chunk, first_row, k, n);
     });
 }
 
 /// Computes `chunk = a[first_row.., :] · b` for `chunk.len() / n` rows.
 ///
 /// Full `MR`-row groups run the register-tiled micro-kernel over `NR`-column
-/// panels; row/column remainders fall back to the axpy loop. Either way each
-/// output element accumulates over `p` in ascending order, so the partition
-/// into tiles (and threads) never changes the numerics.
-fn matmul_rows(a: &[f32], b: &[f32], chunk: &mut [f32], first_row: usize, k: usize, n: usize) {
+/// panels; row/column remainders fall back to the (ISA-shared) axpy loop.
+/// Either way each output element accumulates over `p` in ascending order, so
+/// the partition into tiles (and threads) never changes the numerics.
+fn matmul_rows(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
     if n == 0 {
         return;
     }
@@ -132,7 +299,7 @@ fn matmul_rows(a: &[f32], b: &[f32], chunk: &mut [f32], first_row: usize, k: usi
         let row0 = first_row + group_idx * MR;
         if group.len() == MR * n {
             for j0 in (0..n_main).step_by(NR) {
-                tile_nn(a, b, group, row0, k, n, j0);
+                tile_nn(isa, a, b, group, row0, k, n, j0);
             }
             if n_main < n {
                 for (i, out_row) in group.chunks_mut(n).enumerate() {
@@ -157,9 +324,39 @@ fn matmul_rows(a: &[f32], b: &[f32], chunk: &mut [f32], first_row: usize, k: usi
     }
 }
 
-/// Register-tiled `MR × NR` micro-kernel: `group[.., j0..j0+NR] = Σ_p a·b`.
+/// Register-tiled `MR × NR` micro-kernel: `group[.., j0..j0+NR] = Σ_p a·b`,
+/// dispatched on `isa`.
 #[inline]
-fn tile_nn(a: &[f32], b: &[f32], group: &mut [f32], row0: usize, k: usize, n: usize, j0: usize) {
+#[allow(clippy::too_many_arguments)]
+fn tile_nn(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    group: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every kernel entry point downgrades the requested ISA via
+        // `Isa::effective`, so `Avx2Fma` here implies the CPU has avx2+fma.
+        Isa::Avx2Fma => unsafe { tile_nn_avx2(a, b, group, row0, k, n, j0) },
+        _ => tile_nn_scalar(a, b, group, row0, k, n, j0),
+    }
+}
+
+/// Portable NN tile: `acc[i][j] = fma(a[i][p], b[p][j0+j], acc[i][j])`.
+fn tile_nn_scalar(
+    a: &[f32],
+    b: &[f32],
+    group: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
     let mut acc = [[0.0f32; NR]; MR];
     let a_rows: [&[f32]; MR] = std::array::from_fn(|i| &a[(row0 + i) * k..(row0 + i) * k + k]);
     for p in 0..k {
@@ -167,7 +364,7 @@ fn tile_nn(a: &[f32], b: &[f32], group: &mut [f32], row0: usize, k: usize, n: us
         for i in 0..MR {
             let av = a_rows[i][p];
             for j in 0..NR {
-                acc[i][j] += av * b_lane[j];
+                acc[i][j] = av.mul_add(b_lane[j], acc[i][j]);
             }
         }
     }
@@ -176,29 +373,114 @@ fn tile_nn(a: &[f32], b: &[f32], group: &mut [f32], row0: usize, k: usize, n: us
     }
 }
 
+/// AVX2+FMA NN tile: two `vfmadd` vectors per row, identical lane structure
+/// to [`tile_nn_scalar`], broadcast `a` scalars against L1-resident `B`
+/// panels.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA. Slice bounds are the caller's (already
+/// asserted) kernel dimensions, exactly as in the scalar tile.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_nn_avx2(
+    a: &[f32],
+    b: &[f32],
+    group: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        let a_base = a.as_ptr();
+        let b_base = b.as_ptr();
+        // k unrolled by two. Both steps feed the *same* accumulator in
+        // ascending-p order, so the unroll never reassociates — it only
+        // hides the FMA latency behind the next pair of B loads.
+        let mut p = 0;
+        while p + 1 < k {
+            let bp0 = b_base.add(p * n + j0);
+            let bp1 = b_base.add((p + 1) * n + j0);
+            let b0_lo = _mm256_loadu_ps(bp0);
+            let b0_hi = _mm256_loadu_ps(bp0.add(8));
+            let b1_lo = _mm256_loadu_ps(bp1);
+            let b1_hi = _mm256_loadu_ps(bp1.add(8));
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let row = a_base.add((row0 + i) * k);
+                let av0 = _mm256_set1_ps(*row.add(p));
+                lanes[0] = _mm256_fmadd_ps(av0, b0_lo, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av0, b0_hi, lanes[1]);
+                let av1 = _mm256_set1_ps(*row.add(p + 1));
+                lanes[0] = _mm256_fmadd_ps(av1, b1_lo, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av1, b1_hi, lanes[1]);
+            }
+            p += 2;
+        }
+        if p < k {
+            let bp = b_base.add(p * n + j0);
+            let b_lo = _mm256_loadu_ps(bp);
+            let b_hi = _mm256_loadu_ps(bp.add(8));
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*a_base.add((row0 + i) * k + p));
+                lanes[0] = _mm256_fmadd_ps(av, b_lo, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av, b_hi, lanes[1]);
+            }
+        }
+        for (i, lanes) in acc.iter().enumerate() {
+            let out = group.as_mut_ptr().add(i * n + j0);
+            _mm256_storeu_ps(out, lanes[0]);
+            _mm256_storeu_ps(out.add(8), lanes[1]);
+        }
+    }
+}
+
 /// `out += aᵀ · b` with `a: [k,m]`, `b: [k,n]`, `out: [m,n]`, row-major —
 /// the fused weight-gradient kernel (`dW += xᵀ·dy`). Accumulates, matching
-/// how layer gradients build up across backward calls.
+/// how layer gradients build up across backward calls. Dispatches to
+/// [`Isa::active`].
 ///
 /// # Panics
 ///
 /// Panics if a slice length disagrees with the dimensions.
 pub fn matmul_tn_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_tn_acc_with(Isa::active(), a, b, out, m, k, n);
+}
+
+/// [`matmul_tn_acc`] pinned to an explicit [`Isa`]. Bit-identical across
+/// ISAs.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_tn_acc_with(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     check("matmul_tn_acc", a.len(), b.len(), out.len(), m, k, n);
+    let isa = isa.effective();
     if m * k * n < PAR_FLOP_THRESHOLD {
-        matmul_tn_rows(a, b, out, 0, m, k, n);
+        matmul_tn_rows(isa, a, b, out, 0, m, k, n);
         return;
     }
     fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
-        matmul_tn_rows(a, b, chunk, first_row, m, k, n);
+        matmul_tn_rows(isa, a, b, chunk, first_row, m, k, n);
     });
 }
 
 /// Accumulates `chunk += aᵀ[first_row.., :] · b` for `chunk.len() / n` rows.
 ///
 /// Same tiling as [`matmul_rows`], except the `MR` input scalars per `p` come
-/// from a row of `a` (adjacent columns) and the tile *adds* to the output.
+/// from a row of `a` (adjacent columns) and the tile accumulates *onto* the
+/// output, seeding its registers from the existing values so the fused chain
+/// is identical to the remainder path's (see [`tile_tn_scalar`]).
+#[allow(clippy::too_many_arguments)]
 fn matmul_tn_rows(
+    isa: Isa,
     a: &[f32],
     b: &[f32],
     chunk: &mut [f32],
@@ -215,7 +497,7 @@ fn matmul_tn_rows(
         let row0 = first_row + group_idx * MR;
         if group.len() == MR * n {
             for j0 in (0..n_main).step_by(NR) {
-                tile_tn(a, b, group, row0, m, k, n, j0);
+                tile_tn(isa, a, b, group, row0, m, k, n, j0);
             }
             if n_main < n {
                 for (i, out_row) in group.chunks_mut(n).enumerate() {
@@ -237,10 +519,39 @@ fn matmul_tn_rows(
     }
 }
 
-/// Register-tiled accumulating micro-kernel for the TN layout.
+/// Register-tiled accumulating micro-kernel for the TN layout, dispatched on
+/// `isa`.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn tile_tn(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    group: &mut [f32],
+    row0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every kernel entry point downgrades the requested ISA via
+        // `Isa::effective`, so `Avx2Fma` here implies the CPU has avx2+fma.
+        Isa::Avx2Fma => unsafe { tile_tn_avx2(a, b, group, row0, m, k, n, j0) },
+        _ => tile_tn_scalar(a, b, group, row0, m, k, n, j0),
+    }
+}
+
+/// Portable TN tile. The accumulators are *seeded from the existing output*
+/// and every multiply-add is fused, so an output element's value is one
+/// fused chain `out = fma(a_p, b_p, out)` over ascending `p` — exactly the
+/// chain the remainder axpy path produces. Seeding (rather than adding a
+/// zero-based accumulator at the end) is what keeps rows bit-identical no
+/// matter whether the thread partition routes them through the tile or the
+/// remainder path.
+#[allow(clippy::too_many_arguments)]
+fn tile_tn_scalar(
     a: &[f32],
     b: &[f32],
     group: &mut [f32],
@@ -251,19 +562,91 @@ fn tile_tn(
     j0: usize,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
+    for (i, lane) in acc.iter_mut().enumerate() {
+        lane.copy_from_slice(&group[i * n + j0..i * n + j0 + NR]);
+    }
     for p in 0..k {
         let b_lane: &[f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
         let a_lane: &[f32; MR] = a[p * m + row0..p * m + row0 + MR].try_into().unwrap();
         for i in 0..MR {
             let av = a_lane[i];
             for j in 0..NR {
-                acc[i][j] += av * b_lane[j];
+                acc[i][j] = av.mul_add(b_lane[j], acc[i][j]);
             }
         }
     }
     for (i, lane) in acc.iter().enumerate() {
-        for (o, &v) in group[i * n + j0..i * n + j0 + NR].iter_mut().zip(lane) {
-            *o += v;
+        group[i * n + j0..i * n + j0 + NR].copy_from_slice(lane);
+    }
+}
+
+/// AVX2+FMA TN tile: identical lane structure to [`tile_tn_scalar`],
+/// including seeding the accumulators from the existing output.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA. Slice bounds are the caller's (already
+/// asserted) kernel dimensions, exactly as in the scalar tile.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_tn_avx2(
+    a: &[f32],
+    b: &[f32],
+    group: &mut [f32],
+    row0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for (i, lanes) in acc.iter_mut().enumerate() {
+            let out = group.as_ptr().add(i * n + j0);
+            lanes[0] = _mm256_loadu_ps(out);
+            lanes[1] = _mm256_loadu_ps(out.add(8));
+        }
+        let a_base = a.as_ptr();
+        let b_base = b.as_ptr();
+        // Same ascending-p unroll as the NN tile; the `a` scalars sit
+        // contiguously per p (adjacent columns of the transposed operand).
+        let mut p = 0;
+        while p + 1 < k {
+            let bp0 = b_base.add(p * n + j0);
+            let bp1 = b_base.add((p + 1) * n + j0);
+            let b0_lo = _mm256_loadu_ps(bp0);
+            let b0_hi = _mm256_loadu_ps(bp0.add(8));
+            let b1_lo = _mm256_loadu_ps(bp1);
+            let b1_hi = _mm256_loadu_ps(bp1.add(8));
+            let ap0 = a_base.add(p * m + row0);
+            let ap1 = a_base.add((p + 1) * m + row0);
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let av0 = _mm256_set1_ps(*ap0.add(i));
+                lanes[0] = _mm256_fmadd_ps(av0, b0_lo, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av0, b0_hi, lanes[1]);
+                let av1 = _mm256_set1_ps(*ap1.add(i));
+                lanes[0] = _mm256_fmadd_ps(av1, b1_lo, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av1, b1_hi, lanes[1]);
+            }
+            p += 2;
+        }
+        if p < k {
+            let bp = b_base.add(p * n + j0);
+            let b_lo = _mm256_loadu_ps(bp);
+            let b_hi = _mm256_loadu_ps(bp.add(8));
+            let ap = a_base.add(p * m + row0);
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ap.add(i));
+                lanes[0] = _mm256_fmadd_ps(av, b_lo, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av, b_hi, lanes[1]);
+            }
+        }
+        for (i, lanes) in acc.iter().enumerate() {
+            let out = group.as_mut_ptr().add(i * n + j0);
+            _mm256_storeu_ps(out, lanes[0]);
+            _mm256_storeu_ps(out.add(8), lanes[1]);
         }
     }
 }
@@ -271,27 +654,51 @@ fn tile_tn(
 /// `out = a · bᵀ` with `a: [m,k]`, `b: [n,k]`, `out: [m,n]`, row-major — the
 /// fused input-gradient kernel (`dx = dy·Wᵀ`). Both operands are read along
 /// contiguous rows; each output element is one blocked dot product.
+/// Dispatches to [`Isa::active`].
 ///
 /// # Panics
 ///
 /// Panics if a slice length disagrees with the dimensions.
 pub fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_nt_with(Isa::active(), a, b, out, m, k, n);
+}
+
+/// [`matmul_nt`] pinned to an explicit [`Isa`]. Bit-identical across ISAs.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_with(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     check("matmul_nt", a.len(), b.len(), out.len(), m, k, n);
+    let isa = isa.effective();
     if m * k * n < PAR_FLOP_THRESHOLD {
-        matmul_nt_rows(a, b, out, 0, k, n);
+        matmul_nt_rows(isa, a, b, out, 0, k, n);
         return;
     }
     fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
-        matmul_nt_rows(a, b, chunk, first_row, k, n);
+        matmul_nt_rows(isa, a, b, chunk, first_row, k, n);
     });
 }
 
 /// Computes `chunk = a[first_row.., :] · bᵀ` for `chunk.len() / n` rows.
-fn matmul_nt_rows(a: &[f32], b: &[f32], chunk: &mut [f32], first_row: usize, k: usize, n: usize) {
+fn matmul_nt_rows(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
     for (i, out_row) in chunk.chunks_mut(n).enumerate() {
         let a_row = &a[(first_row + i) * k..(first_row + i) * k + k];
         for (j, out) in out_row.iter_mut().enumerate() {
-            *out = dot(a_row, &b[j * k..j * k + k]);
+            *out = dot(isa, a_row, &b[j * k..j * k + k]);
         }
     }
 }
@@ -426,7 +833,9 @@ mod tests {
     fn dot_is_exact_on_structured_input() {
         let x: Vec<f32> = (0..19).map(|i| i as f32).collect();
         let y = vec![2.0f32; 19];
-        assert_eq!(dot(&x, &y), (0..19).sum::<i32>() as f32 * 2.0);
+        for isa in [Isa::Scalar, Isa::detect()] {
+            assert_eq!(dot(isa, &x, &y), (0..19).sum::<i32>() as f32 * 2.0);
+        }
     }
 
     #[test]
@@ -443,5 +852,184 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut out = [0.0; 4];
         matmul(&[1.0; 3], &[1.0; 4], &mut out, 2, 2, 2);
+    }
+
+    #[test]
+    fn tn_accumulate_is_partition_invariant() {
+        // Regression: a row must produce identical bits whether the thread
+        // partition routes it through the MR tile or the remainder path.
+        // Before the accumulators were seeded from the existing output, the
+        // tile added a zero-based sum in one extra rounding, so chunk
+        // boundaries not aligned to MR changed the result with the thread
+        // count.
+        let (m, k, n) = (16, 64, 32);
+        let a = fill_pattern(k * m, 1.0);
+        let b = fill_pattern(k * n, 1.0);
+        let init = fill_pattern(m * n, 0.5);
+        for isa in [Isa::Scalar, Isa::detect()] {
+            // One chunk of all 16 rows: two full MR=6 groups + 4 remainder
+            // rows (the single-thread partition).
+            let mut whole = init.clone();
+            matmul_tn_rows(isa, &a, &b, &mut whole, 0, m, k, n);
+            // Four 4-row chunks: every row takes the remainder path (the
+            // four-thread partition).
+            let mut split = init.clone();
+            for c in 0..4 {
+                matmul_tn_rows(
+                    isa,
+                    &a,
+                    &b,
+                    &mut split[c * 4 * n..(c + 1) * 4 * n],
+                    c * 4,
+                    m,
+                    k,
+                    n,
+                );
+            }
+            let whole_bits: Vec<u32> = whole.iter().map(|v| v.to_bits()).collect();
+            let split_bits: Vec<u32> = split.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                whole_bits, split_bits,
+                "partition changed TN bits ({isa:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn isa_detect_and_active_are_consistent() {
+        // `active` may only downgrade (env override), never invent an ISA
+        // the hardware lacks.
+        let detected = Isa::detect();
+        let active = Isa::active();
+        assert!(active == detected || active == Isa::Scalar);
+        assert!(!Isa::Scalar.name().is_empty() && !Isa::Avx2Fma.name().is_empty());
+    }
+}
+
+/// SIMD/scalar parity: the intrinsics path and the `mul_add` fallback must
+/// produce *byte-identical* outputs on every shape class the kernels meet —
+/// dense, one-hot, NaN/Inf-laced, and remainder-sized (dimensions that are
+/// not multiples of `MR`/`NR`/the dot lane width). On hosts without AVX2+FMA
+/// these properties degenerate to scalar-vs-scalar and still pass.
+#[cfg(test)]
+mod simd_parity {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random fill, decorrelated by `salt`.
+    fn fill(len: usize, salt: u64) -> Vec<f32> {
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+            })
+            .collect()
+    }
+
+    fn one_hot(rows: usize, cols: usize, salt: usize) -> Vec<f32> {
+        let mut data = vec![0.0; rows * cols];
+        for r in 0..rows {
+            data[r * cols + (r * 7 + salt) % cols] = 1.0;
+        }
+        data
+    }
+
+    /// Sprinkles NaN and infinities at deterministic positions.
+    fn poison(data: &mut [f32]) {
+        for (i, v) in data.iter_mut().enumerate() {
+            match i % 97 {
+                13 => *v = f32::NAN,
+                41 => *v = f32::INFINITY,
+                71 => *v = f32::NEG_INFINITY,
+                _ => {}
+            }
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Runs all three kernels under both ISAs and asserts byte-identity.
+    fn assert_parity(a_nn: &[f32], b_nn: &[f32], m: usize, k: usize, n: usize) {
+        let simd = Isa::detect();
+        // NN: out = a·b.
+        let mut scalar_out = vec![0.0f32; m * n];
+        let mut simd_out = vec![1.0f32; m * n]; // different seed: must be overwritten
+        matmul_with(Isa::Scalar, a_nn, b_nn, &mut scalar_out, m, k, n);
+        matmul_with(simd, a_nn, b_nn, &mut simd_out, m, k, n);
+        assert_eq!(bits(&scalar_out), bits(&simd_out), "NN parity {m}x{k}x{n}");
+
+        // TN: out += aᵀ·b, with a: [k,m] — reuse a_nn as [k,m] storage when
+        // shapes line up (they do: both are m*k elements with k rows of m).
+        let a_tn = fill(k * m, 7);
+        let init = fill(m * n, 11);
+        let mut scalar_acc = init.clone();
+        let mut simd_acc = init;
+        matmul_tn_acc_with(Isa::Scalar, &a_tn, b_nn, &mut scalar_acc, m, k, n);
+        matmul_tn_acc_with(simd, &a_tn, b_nn, &mut simd_acc, m, k, n);
+        assert_eq!(bits(&scalar_acc), bits(&simd_acc), "TN parity {m}x{k}x{n}");
+
+        // NT: out = a·bᵀ, with b: [n,k].
+        let b_nt = fill(n * k, 13);
+        let mut scalar_nt = vec![0.0f32; m * n];
+        let mut simd_nt = vec![2.0f32; m * n];
+        matmul_nt_with(Isa::Scalar, a_nn, &b_nt, &mut scalar_nt, m, k, n);
+        matmul_nt_with(simd, a_nn, &b_nt, &mut simd_nt, m, k, n);
+        assert_eq!(bits(&scalar_nt), bits(&simd_nt), "NT parity {m}x{k}x{n}");
+    }
+
+    proptest! {
+        #[test]
+        fn parity_on_dense_random_shapes(dims in (1usize..40, 1usize..70, 1usize..40), salt in 0u64..1000) {
+            let (m, k, n) = dims;
+            let a = fill(m * k, salt);
+            let b = fill(k * n, salt ^ 0xABCD);
+            assert_parity(&a, &b, m, k, n);
+        }
+
+        #[test]
+        fn parity_on_remainder_hostile_shapes(mr_off in 1usize..4, nr_off in 1usize..16, k_off in 1usize..16) {
+            // Deliberately straddle every remainder path: rows not a multiple
+            // of MR, columns not a multiple of NR, depth not a multiple of
+            // the dot lane width.
+            let (m, k, n) = (8 + mr_off, 16 + k_off, 16 + nr_off);
+            let a = fill(m * k, 3);
+            let b = fill(k * n, 5);
+            assert_parity(&a, &b, m, k, n);
+        }
+
+        #[test]
+        fn parity_on_one_hot_inputs(m in 1usize..48, n in 1usize..48, salt in 0usize..64) {
+            let k = 33; // not a lane multiple
+            let a = one_hot(m, k, salt);
+            let b = fill(k * n, salt as u64);
+            assert_parity(&a, &b, m, k, n);
+        }
+
+        #[test]
+        fn parity_with_nan_and_inf(dims in (1usize..24, 1usize..48, 1usize..24), salt in 0u64..100) {
+            // NaN payloads and Inf·0 products must propagate identically:
+            // fused ops are deterministic even for non-finite inputs.
+            let (m, k, n) = dims;
+            let mut a = fill(m * k, salt);
+            let mut b = fill(k * n, salt ^ 0x5555);
+            poison(&mut a);
+            poison(&mut b);
+            assert_parity(&a, &b, m, k, n);
+        }
+
+        #[test]
+        fn parity_across_parallel_threshold(salt in 0u64..20) {
+            // 128x64x128 crosses PAR_FLOP_THRESHOLD, so the pool fan-out and
+            // the per-chunk tile partition are both in play.
+            let (m, k, n) = (128, 64, 128);
+            let a = fill(m * k, salt);
+            let b = fill(k * n, salt ^ 0xF0F0);
+            assert_parity(&a, &b, m, k, n);
+        }
     }
 }

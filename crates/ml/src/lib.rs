@@ -10,7 +10,9 @@
 //! * [`tensor::Tensor`] — a dense row-major `f32` tensor with the handful of
 //!   operations required by forward/backward passes,
 //! * [`kernels`] — the blocked, thread-parallel matrix kernels behind
-//!   [`tensor::Tensor::matmul`] and its fused variants,
+//!   [`tensor::Tensor::matmul`] and its fused variants, runtime-dispatched
+//!   between AVX2+FMA intrinsics and a bit-identical `mul_add` fallback
+//!   (see [`kernels::Isa`]),
 //! * [`layer::Layer`] implementations (dense, conv2d, max-pool, ReLU, flatten),
 //! * [`loss`] — softmax cross-entropy,
 //! * [`model::Sequential`] — a feed-forward model container exposing its
@@ -32,10 +34,12 @@
 //!    `Aᵀ·B` (accumulating) and `A·Bᵀ` directly on row-major slices, so the
 //!    backward pass never materialises a transpose and weight gradients
 //!    accumulate straight into the layer's gradient buffer.
-//! 2. **Deterministic parallelism.** Large kernels split their *output rows*
-//!    across threads (`fleet_parallel`); every output element is produced by
-//!    a fixed-order loop, so results are bit-for-bit identical for any thread
-//!    count. The async-simulation reproducibility guarantee rests on this.
+//! 2. **Deterministic parallelism and dispatch.** Large kernels split their
+//!    *output rows* across threads (`fleet_parallel`); every output element
+//!    is produced by a fixed-order loop whose per-element operations are
+//!    fused multiply-adds in both [`kernels::Isa`] variants, so results are
+//!    bit-for-bit identical for any thread count *and* either dispatch path.
+//!    The async-simulation reproducibility guarantee rests on this.
 //! 3. **Caller-owned scratch.** Layers reuse per-layer workspaces instead of
 //!    allocating per call: `forward` caches its input via
 //!    [`tensor::Tensor::copy_from`] (reusing the buffer), `zero_gradients`

@@ -2,14 +2,16 @@
 # CI gate for the FLeet reproduction workspace.
 #
 #   scripts/ci.sh           full gate: fmt, clippy, build, tier-1 tests,
-#                           bench smoke writing BENCH_kernels.json and
-#                           BENCH_shards.json
-#   scripts/ci.sh --quick   skip the bench smoke
+#                           determinism digest sweep (threads x SIMD),
+#                           kernel-dispatch test sweep, bench smoke writing
+#                           BENCH_kernels.json and BENCH_shards.json
+#   scripts/ci.sh --quick   skip the sweeps and the bench smoke
 #
 # The bench smoke keeps machine-readable perf records (BENCH_kernels.json and
 # BENCH_shards.json at the repo root) so successive PRs can track the kernel
-# and aggregation-throughput trajectories; timings are per-machine, so compare
-# runs from the same host only.
+# and aggregation-throughput trajectories; timings are per-machine (the JSON
+# meta block records threads + ISA features), so compare runs from the same
+# host only.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +29,39 @@ echo "==> cargo test -q (tier-1)"
 cargo test -q
 
 if [[ "${1:-}" != "--quick" ]]; then
+    # The kernels promise bit-for-bit identical results on any thread count
+    # with SIMD dispatch on or off. Sweep all six combinations and require
+    # one digest: a mismatch means an ISA path or a fan-out partition
+    # reassociated a reduction.
+    echo "==> determinism digest sweep (FLEET_NUM_THREADS x FLEET_SIMD)"
+    digest_ref=""
+    for threads in 1 4 7; do
+        for simd in auto off; do
+            simd_env=""
+            [[ "$simd" == "off" ]] && simd_env="off"
+            line=$(FLEET_NUM_THREADS=$threads FLEET_SIMD=$simd_env \
+                cargo test --release -q -p fleet-tests --test parallel_determinism \
+                -- --nocapture 2>&1 | grep -o 'shard-sweep digest: 0x[0-9a-f]*') || {
+                echo "FAIL: determinism tests at threads=$threads simd=$simd"
+                exit 1
+            }
+            digest=${line##* }
+            echo "    threads=$threads simd=$simd -> $digest"
+            if [[ -z "$digest_ref" ]]; then
+                digest_ref="$digest"
+            elif [[ "$digest" != "$digest_ref" ]]; then
+                echo "FAIL: digest diverged at threads=$threads simd=$simd ($digest != $digest_ref)"
+                exit 1
+            fi
+        done
+    done
+
+    # Kernel correctness + SIMD/scalar parity property tests, once with the
+    # dispatcher auto-detecting and once forced to the scalar fallback.
+    echo "==> kernel tests with SIMD dispatch auto and forced off"
+    cargo test --release -q -p fleet-ml kernels
+    FLEET_SIMD=off cargo test --release -q -p fleet-ml kernels
+
     echo "==> bench smoke (ml_kernels -> BENCH_kernels.json)"
     FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-200}" \
     FLEET_BENCH_JSON="$PWD/BENCH_kernels.json" \

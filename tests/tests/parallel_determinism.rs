@@ -9,9 +9,12 @@
 //! digest is independent of the shard count ({1, 2, 8} swept in-process).
 //! Cross-thread-count equality holds by construction (contiguous-range
 //! splitting with fixed-order accumulation; see the `fleet_parallel` module
-//! docs); to sweep it explicitly, run this binary under
-//! `FLEET_NUM_THREADS=1/4/7` — the env var then wins over the default pin —
-//! and compare the digest that `shard_sweep_digests_are_identical` prints.
+//! docs), and cross-ISA equality holds because both kernel dispatch paths
+//! fuse each multiply-add identically (see `fleet_ml::kernels`). To sweep
+//! both explicitly, run this binary under `FLEET_NUM_THREADS=1/4/7` ×
+//! `FLEET_SIMD=auto/off` — the env vars then win over the default pin — and
+//! compare the digest that `shard_sweep_digests_are_identical` prints;
+//! `scripts/ci.sh` automates the six-way sweep and fails on any divergence.
 
 use fleet_core::{AdaSgd, FedAvg};
 use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution};
