@@ -22,8 +22,17 @@ use fleet_ml::tensor::Tensor;
 use fleet_ml::Gradient;
 
 fn pattern(len: usize, scale: f32) -> Vec<f32> {
+    // Xorshift fill: the old `(i * 2654435761) as f32 / usize::MAX as f32`
+    // form never wrapped the hash to 32 bits, so every value rounded to
+    // -0.5·scale and the benches ran on constant data.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 | 1;
     (0..len)
-        .map(|i| ((i * 2654435761usize) as f32 / usize::MAX as f32 - 0.5) * scale)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * scale
+        })
         .collect()
 }
 

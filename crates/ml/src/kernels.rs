@@ -5,18 +5,43 @@
 //! # Design
 //!
 //! All kernels operate on caller-owned raw slices (no allocation) and come in
-//! the three layouts the layers need, so transposes are never materialised:
+//! the layouts the layers need, so transposes are never materialised:
 //!
-//! * [`matmul`] — `C = A·B` (`A: [m,k]`, `B: [k,n]`): dense forward.
+//! * [`matmul`] — `C = A·B` (`A: [m,k]`, `B: [k,n]`): dense and im2col-conv
+//!   forward.
 //! * [`matmul_tn_acc`] — `C += Aᵀ·B` (`A: [k,m]`, `B: [k,n]`): weight
 //!   gradients, accumulating directly into the layer's gradient buffer.
-//! * [`matmul_nt`] — `C = A·Bᵀ` (`A: [m,k]`, `B: [n,k]`): input gradients.
+//! * [`matmul_nt`] / [`matmul_nt_acc`] — `C = A·Bᵀ` / `C += A·Bᵀ`
+//!   (`A: [m,k]`, `B: [n,k]`): input gradients, and the im2col conv weight
+//!   gradient (which accumulates `dY · colsᵀ` straight into the layer
+//!   buffer).
 //!
-//! The NN/TN kernels run an `MR × NR` register-tiled micro-kernel (partial
-//! sums held in registers, `B` panels L1-resident, remainders falling back to
-//! row-axpy loops); the NT kernel is a 32-lane blocked dot product with a
-//! fixed reduction tree. Work is split across threads by contiguous output
-//! rows via [`fleet_parallel::parallel_chunks_mut`].
+//! All layouts run the same `MR × NR` register-tiled micro-kernel (partial
+//! sums held in registers, remainders falling back to row-axpy loops); the
+//! accumulating variants seed the tile registers from the existing output,
+//! so every element stays one fused chain. Work is split across threads by
+//! contiguous output rows via [`fleet_parallel::parallel_chunks_mut`].
+//!
+//! # B-panel packing
+//!
+//! When a chunk sweeps at least `PACK_MIN_GROUPS` full `MR`-row groups, the
+//! NN kernel first copies each `NR`-wide column panel of `B` into a
+//! contiguous `[k × NR]` thread-local buffer and runs the
+//! whole row sweep against the packed panel: the panel is loaded once from
+//! strided memory and then reread `rows / MR` times from L1 with unit stride.
+//! Packing is a pure *layout* change — the tile performs the identical fused
+//! operations in the identical order — so the packed and unpacked paths are
+//! bit-for-bit interchangeable and the gate can key on chunk size freely.
+//!
+//! The NT kernels pack the *transposed* `B` rows into the same `[k × NR]`
+//! panel shape and then reuse the NN micro-kernel unchanged. This replaces
+//! the former blocked-dot-product formulation (which re-streamed all of `B`
+//! for every output row) with the register-tiled sweep, lifting NT off its
+//! memory-bandwidth plateau. Products with `m < NT_PACK_MIN_ROWS` keep
+//! the blocked-dot formulation: there are not enough row sweeps to amortise
+//! the panel transpose. The branch keys on the full `m` — never the
+//! per-chunk partition — so the numeric structure of each output element is
+//! a function of the shape alone.
 //!
 //! # The SIMD engine and its determinism contract
 //!
@@ -50,6 +75,7 @@
 //! tests compare against. Note the naive kernel multiplies and adds in two
 //! rounding steps, so the fused kernels agree with it to tolerance, not bits.
 
+use std::cell::RefCell;
 use std::sync::OnceLock;
 
 /// Output rows per register tile. Six rows × two AVX2 vectors is the classic
@@ -65,7 +91,7 @@ const MR: usize = 6;
 /// loaded `B` lane `MR` times. A `k × NR` column panel of `B` is ~`4k·NR`
 /// bytes (16 KiB at `k = 256`), so panels stay L1-resident across row groups.
 /// `NR = 16` is also exactly two 256-bit AVX2 vectors per row.
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 
 /// Lanes in the NT kernel's blocked dot product: four AVX2 vectors, i.e.
 /// four independent FMA accumulator chains. Two chains (the old 16-lane
@@ -76,8 +102,72 @@ const DOT_LANES: usize = 32;
 /// Below this many fused multiply-adds (~50 µs of work) the pool fan-out
 /// costs more than the arithmetic; kernels stay on the calling thread.
 /// Fan-out is also suppressed automatically inside `fleet_parallel` workers,
-/// so the simulation's per-task gradients never nest fan-outs.
-const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+/// so the simulation's per-task gradients never nest fan-outs. The im2col
+/// convolution layer reuses the same budget to gate its batch fan-out.
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+
+/// Minimum number of full `MR`-row groups in a chunk before the NN kernel
+/// packs `B` panels: one group reads the panel exactly once, so packing only
+/// amortises from the second sweep on. Gating on chunk size is safe because
+/// packing never changes the arithmetic (see the module docs).
+const PACK_MIN_GROUPS: usize = 2;
+
+/// Minimum total rows `m` before the NT kernels use the packed-tile
+/// formulation instead of the blocked dot product. Packing transposes a
+/// `k × NR` panel with strided writes, so it needs at least two full MR-row
+/// sweeps to beat the dot kernel's contiguous reads (the im2col conv weight
+/// gradient with few output channels and a long position axis is the
+/// motivating small-`m`, large-`k` case). Unlike [`PACK_MIN_GROUPS`] this
+/// gate *changes the numeric structure* (fused chain vs. reduction tree), so
+/// it must key on the full `m` — never the per-chunk partition.
+pub(crate) const NT_PACK_MIN_ROWS: usize = 2 * MR;
+
+/// Column block for the NT kernels' blocked-dot path: this many `B` rows
+/// (`DOT_COL_BLOCK · k` floats) are swept by every `A` row before moving on,
+/// keeping them L1-resident instead of re-streaming all of `B` per output
+/// row — the small-`m`, large-`k` products this path serves (e.g. the im2col
+/// conv weight gradient at few output channels) are memory-bound without it.
+/// Iteration order over *independent* output elements only; never affects
+/// numerics.
+const DOT_COL_BLOCK: usize = 8;
+
+thread_local! {
+    /// Per-thread B-panel scratch, reused across kernel calls. The pool
+    /// workers are persistent, so after warm-up no kernel call allocates;
+    /// the buffer grows to the largest `k × NR` panel the thread has packed.
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on this thread's packing buffer, grown to at least `len`.
+fn with_pack_buf<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    PACK_BUF.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
+
+/// Packs the `NR`-wide column panel `b[:, j0..j0+NR]` of a row-major `[k, n]`
+/// matrix into `panel[p*NR + j] = b[p][j0 + j]`.
+fn pack_b_panel(b: &[f32], panel: &mut [f32], k: usize, n: usize, j0: usize) {
+    for p in 0..k {
+        panel[p * NR..p * NR + NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+    }
+}
+
+/// Packs `NR` rows `b[j0..j0+NR, :]` of a row-major `[n, k]` matrix
+/// *transposed* into the same panel shape: `panel[p*NR + j] = b[j0 + j][p]`.
+/// After this, the NN micro-kernel computes `A·Bᵀ` columns without ever
+/// touching the strided original again.
+fn pack_bt_panel(b: &[f32], panel: &mut [f32], k: usize, j0: usize) {
+    for (j, row) in b[j0 * k..(j0 + NR) * k].chunks_exact(k).enumerate() {
+        for (p, &v) in row.iter().enumerate() {
+            panel[p * NR + j] = v;
+        }
+    }
+}
 
 /// Instruction-set variant a kernel dispatches to.
 ///
@@ -162,39 +252,35 @@ fn axpy(y: &mut [f32], x: &[f32], a: f32) {
 }
 
 /// Dot product with [`DOT_LANES`] independent accumulator lanes combined in
-/// a fixed tree order. The lane accumulation dispatches on `isa`; the
-/// reduction tree and the fused tail are shared, so both paths agree bitwise.
+/// a fixed pairwise tree (`32 -> 16 -> 8 -> 4 -> 2 -> 1`), plus a fused
+/// scalar tail. Both ISA variants accumulate the same lane structure *and*
+/// reduce with the same pairings — the AVX2 tree is vector adds over exactly
+/// the `acc[l] += acc[l + width]` pairs of the scalar loop — so results are
+/// bit-identical.
 #[inline]
 fn dot(isa: Isa, x: &[f32], y: &[f32]) -> f32 {
     const L: usize = DOT_LANES;
     debug_assert_eq!(x.len(), y.len());
     let chunks = x.len() / L;
-    let mut acc = match isa {
+    let main = match isa {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every kernel entry point downgrades the requested ISA via
         // `Isa::effective`, so `Avx2Fma` here implies the CPU has avx2+fma.
-        Isa::Avx2Fma => unsafe { dot_lanes_avx2(x, y, chunks) },
-        _ => dot_lanes_scalar(x, y, chunks),
+        Isa::Avx2Fma => unsafe { dot_main_avx2(x, y, chunks) },
+        _ => dot_main_scalar(x, y, chunks),
     };
     let mut tail = 0.0f32;
     for i in chunks * L..x.len() {
         tail = x[i].mul_add(y[i], tail);
     }
-    // Fixed pairwise reduction tree: 32 -> 16 -> 8 -> 4 -> 2 -> 1.
-    let mut width = L / 2;
-    while width > 0 {
-        for l in 0..width {
-            acc[l] += acc[l + width];
-        }
-        width /= 2;
-    }
-    acc[0] + tail
+    main + tail
 }
 
-/// Scalar lane accumulation for [`dot`]: `lanes[l] += x[c*L+l] * y[c*L+l]`,
-/// fused per element.
+/// Scalar lane accumulation + reduction tree for [`dot`]:
+/// `lanes[l] += x[c*L+l] * y[c*L+l]`, fused per element, then the fixed
+/// pairwise tree.
 #[inline]
-fn dot_lanes_scalar(x: &[f32], y: &[f32], chunks: usize) -> [f32; DOT_LANES] {
+fn dot_main_scalar(x: &[f32], y: &[f32], chunks: usize) -> f32 {
     const L: usize = DOT_LANES;
     let mut lanes = [0.0f32; L];
     for c in 0..chunks {
@@ -204,19 +290,28 @@ fn dot_lanes_scalar(x: &[f32], y: &[f32], chunks: usize) -> [f32; DOT_LANES] {
             lanes[l] = xs[l].mul_add(ys[l], lanes[l]);
         }
     }
-    lanes
+    let mut width = L / 2;
+    while width > 0 {
+        for l in 0..width {
+            lanes[l] += lanes[l + width];
+        }
+        width /= 2;
+    }
+    lanes[0]
 }
 
-/// AVX2+FMA lane accumulation for [`dot`]: the identical lane structure as
-/// [`dot_lanes_scalar`], four `vfmadd` accumulator vectors per 32-element
-/// chunk.
+/// AVX2+FMA lane accumulation + reduction for [`dot`]: the identical lane
+/// structure as [`dot_main_scalar`] (four `vfmadd` accumulator vectors per
+/// 32-element chunk) and the identical tree pairings, executed as vector
+/// adds: `acc0 += acc2` is lanes `0..8 += 16..24`, etc., down to the final
+/// scalar add — no horizontal-sum shortcut that would reassociate.
 ///
 /// # Safety
 ///
 /// The CPU must support AVX2 and FMA.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn dot_lanes_avx2(x: &[f32], y: &[f32], chunks: usize) -> [f32; DOT_LANES] {
+unsafe fn dot_main_avx2(x: &[f32], y: &[f32], chunks: usize) -> f32 {
     use std::arch::x86_64::*;
     unsafe {
         let (xp, yp) = (x.as_ptr(), y.as_ptr());
@@ -231,11 +326,18 @@ unsafe fn dot_lanes_avx2(x: &[f32], y: &[f32], chunks: usize) -> [f32; DOT_LANES
                 );
             }
         }
-        let mut lanes = [0.0f32; DOT_LANES];
-        for (v, lane) in acc.iter().enumerate() {
-            _mm256_storeu_ps(lanes.as_mut_ptr().add(v * 8), *lane);
-        }
-        lanes
+        // width 16: lanes l += l+16  (0..8)+(16..24), (8..16)+(24..32)
+        let a01 = _mm256_add_ps(acc[0], acc[2]);
+        let a23 = _mm256_add_ps(acc[1], acc[3]);
+        // width 8: lanes l += l+8
+        let a = _mm256_add_ps(a01, a23);
+        // width 4: lanes l += l+4
+        let q = _mm_add_ps(_mm256_castps256_ps128(a), _mm256_extractf128_ps(a, 1));
+        // width 2: lanes l += l+2
+        let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        // width 1: lane 0 += lane 1
+        let r = _mm_add_ss(h, _mm_shuffle_ps(h, h, 0b01));
+        _mm_cvtss_f32(r)
     }
 }
 
@@ -279,9 +381,11 @@ pub fn matmul_with(isa: Isa, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k:
 /// Computes `chunk = a[first_row.., :] · b` for `chunk.len() / n` rows.
 ///
 /// Full `MR`-row groups run the register-tiled micro-kernel over `NR`-column
-/// panels; row/column remainders fall back to the (ISA-shared) axpy loop.
-/// Either way each output element accumulates over `p` in ascending order, so
-/// the partition into tiles (and threads) never changes the numerics.
+/// panels — packed into a contiguous thread-local buffer first when the chunk
+/// sweeps each panel at least [`PACK_MIN_GROUPS`] times; row/column remainders
+/// fall back to the (ISA-shared) axpy loop. Either way each output element
+/// accumulates over `p` in ascending order, so neither the partition into
+/// tiles (and threads) nor the packing gate ever changes the numerics.
 fn matmul_rows(
     isa: Isa,
     a: &[f32],
@@ -294,12 +398,62 @@ fn matmul_rows(
     if n == 0 {
         return;
     }
+    let rows = chunk.len() / n;
     let n_main = n - n % NR;
+    let full_groups = rows / MR;
+    if full_groups >= PACK_MIN_GROUPS && n_main > 0 && n > NR {
+        // Panel-outer sweep: pack b[:, j0..j0+NR] once, reuse it for every
+        // MR-row group of the chunk. (With n == NR, `b` already *is* one
+        // contiguous panel — the n > NR gate above skips the no-op copy and
+        // the in-place branch below reads it directly.)
+        with_pack_buf(k * NR, |panel| {
+            for j0 in (0..n_main).step_by(NR) {
+                pack_b_panel(b, panel, k, n, j0);
+                for g in 0..full_groups {
+                    let group = &mut chunk[g * MR * n..(g + 1) * MR * n];
+                    tile_nn(
+                        isa,
+                        a,
+                        panel,
+                        NR,
+                        0,
+                        group,
+                        first_row + g * MR,
+                        k,
+                        n,
+                        j0,
+                        false,
+                    );
+                }
+            }
+        });
+        // Row tail (rows % MR) over the full width, and column tail
+        // (n % NR) of the tiled rows: fused axpy, same per-element chains.
+        for r in full_groups * MR..rows {
+            let a_row = &a[(first_row + r) * k..(first_row + r) * k + k];
+            let out_row = &mut chunk[r * n..(r + 1) * n];
+            out_row.fill(0.0);
+            for (p, &av) in a_row.iter().enumerate() {
+                axpy(out_row, &b[p * n..p * n + n], av);
+            }
+        }
+        if n_main < n {
+            for r in 0..full_groups * MR {
+                let a_row = &a[(first_row + r) * k..(first_row + r) * k + k];
+                let tail = &mut chunk[r * n + n_main..(r + 1) * n];
+                tail.fill(0.0);
+                for (p, &av) in a_row.iter().enumerate() {
+                    axpy(tail, &b[p * n + n_main..(p + 1) * n], av);
+                }
+            }
+        }
+        return;
+    }
     for (group_idx, group) in chunk.chunks_mut(MR * n).enumerate() {
         let row0 = first_row + group_idx * MR;
         if group.len() == MR * n {
             for j0 in (0..n_main).step_by(NR) {
-                tile_nn(isa, a, b, group, row0, k, n, j0);
+                tile_nn(isa, a, b, n, j0, group, row0, k, n, j0, false);
             }
             if n_main < n {
                 for (i, out_row) in group.chunks_mut(n).enumerate() {
@@ -324,51 +478,71 @@ fn matmul_rows(
     }
 }
 
-/// Register-tiled `MR × NR` micro-kernel: `group[.., j0..j0+NR] = Σ_p a·b`,
-/// dispatched on `isa`.
+/// Register-tiled `MR × NR` micro-kernel, dispatched on `isa`:
+/// `group[.., j0..j0+NR] {=, +=} Σ_p a[row][p] · b[p*b_stride + bj + j]`.
+///
+/// `b` may be the full `[k, n]` operand (`b_stride = n`, `bj = j0`) or a
+/// packed `[k × NR]` panel (`b_stride = NR`, `bj = 0`) — the arithmetic is
+/// identical either way. With `acc` set, the accumulators are *seeded from
+/// the existing output* (one fused chain per element, exactly like the
+/// remainder axpy path), which is what the accumulating NT entry point needs.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn tile_nn(
     isa: Isa,
     a: &[f32],
     b: &[f32],
+    b_stride: usize,
+    bj: usize,
     group: &mut [f32],
     row0: usize,
     k: usize,
     n: usize,
     j0: usize,
+    acc: bool,
 ) {
     match isa {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every kernel entry point downgrades the requested ISA via
         // `Isa::effective`, so `Avx2Fma` here implies the CPU has avx2+fma.
-        Isa::Avx2Fma => unsafe { tile_nn_avx2(a, b, group, row0, k, n, j0) },
-        _ => tile_nn_scalar(a, b, group, row0, k, n, j0),
+        Isa::Avx2Fma => unsafe { tile_nn_avx2(a, b, b_stride, bj, group, row0, k, n, j0, acc) },
+        _ => tile_nn_scalar(a, b, b_stride, bj, group, row0, k, n, j0, acc),
     }
 }
 
-/// Portable NN tile: `acc[i][j] = fma(a[i][p], b[p][j0+j], acc[i][j])`.
+/// Portable NN tile: `acc[i][j] = fma(a[i][p], b[p][bj+j], acc[i][j])`.
+#[allow(clippy::too_many_arguments)]
 fn tile_nn_scalar(
     a: &[f32],
     b: &[f32],
+    b_stride: usize,
+    bj: usize,
     group: &mut [f32],
     row0: usize,
     k: usize,
     n: usize,
     j0: usize,
+    acc: bool,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
+    let mut sums = [[0.0f32; NR]; MR];
+    if acc {
+        for (i, lane) in sums.iter_mut().enumerate() {
+            lane.copy_from_slice(&group[i * n + j0..i * n + j0 + NR]);
+        }
+    }
     let a_rows: [&[f32]; MR] = std::array::from_fn(|i| &a[(row0 + i) * k..(row0 + i) * k + k]);
     for p in 0..k {
-        let b_lane: &[f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+        let b_lane: &[f32; NR] = b[p * b_stride + bj..p * b_stride + bj + NR]
+            .try_into()
+            .unwrap();
         for i in 0..MR {
             let av = a_rows[i][p];
             for j in 0..NR {
-                acc[i][j] = av.mul_add(b_lane[j], acc[i][j]);
+                sums[i][j] = av.mul_add(b_lane[j], sums[i][j]);
             }
         }
     }
-    for (i, lane) in acc.iter().enumerate() {
+    for (i, lane) in sums.iter().enumerate() {
         group[i * n + j0..i * n + j0 + NR].copy_from_slice(lane);
     }
 }
@@ -383,18 +557,29 @@ fn tile_nn_scalar(
 /// asserted) kernel dimensions, exactly as in the scalar tile.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
 unsafe fn tile_nn_avx2(
     a: &[f32],
     b: &[f32],
+    b_stride: usize,
+    bj: usize,
     group: &mut [f32],
     row0: usize,
     k: usize,
     n: usize,
     j0: usize,
+    acc: bool,
 ) {
     use std::arch::x86_64::*;
     unsafe {
-        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        let mut sums = [[_mm256_setzero_ps(); 2]; MR];
+        if acc {
+            for (i, lanes) in sums.iter_mut().enumerate() {
+                let out = group.as_ptr().add(i * n + j0);
+                lanes[0] = _mm256_loadu_ps(out);
+                lanes[1] = _mm256_loadu_ps(out.add(8));
+            }
+        }
         let a_base = a.as_ptr();
         let b_base = b.as_ptr();
         // k unrolled by two. Both steps feed the *same* accumulator in
@@ -402,13 +587,13 @@ unsafe fn tile_nn_avx2(
         // hides the FMA latency behind the next pair of B loads.
         let mut p = 0;
         while p + 1 < k {
-            let bp0 = b_base.add(p * n + j0);
-            let bp1 = b_base.add((p + 1) * n + j0);
+            let bp0 = b_base.add(p * b_stride + bj);
+            let bp1 = b_base.add((p + 1) * b_stride + bj);
             let b0_lo = _mm256_loadu_ps(bp0);
             let b0_hi = _mm256_loadu_ps(bp0.add(8));
             let b1_lo = _mm256_loadu_ps(bp1);
             let b1_hi = _mm256_loadu_ps(bp1.add(8));
-            for (i, lanes) in acc.iter_mut().enumerate() {
+            for (i, lanes) in sums.iter_mut().enumerate() {
                 let row = a_base.add((row0 + i) * k);
                 let av0 = _mm256_set1_ps(*row.add(p));
                 lanes[0] = _mm256_fmadd_ps(av0, b0_lo, lanes[0]);
@@ -420,16 +605,16 @@ unsafe fn tile_nn_avx2(
             p += 2;
         }
         if p < k {
-            let bp = b_base.add(p * n + j0);
+            let bp = b_base.add(p * b_stride + bj);
             let b_lo = _mm256_loadu_ps(bp);
             let b_hi = _mm256_loadu_ps(bp.add(8));
-            for (i, lanes) in acc.iter_mut().enumerate() {
+            for (i, lanes) in sums.iter_mut().enumerate() {
                 let av = _mm256_set1_ps(*a_base.add((row0 + i) * k + p));
                 lanes[0] = _mm256_fmadd_ps(av, b_lo, lanes[0]);
                 lanes[1] = _mm256_fmadd_ps(av, b_hi, lanes[1]);
             }
         }
-        for (i, lanes) in acc.iter().enumerate() {
+        for (i, lanes) in sums.iter().enumerate() {
             let out = group.as_mut_ptr().add(i * n + j0);
             _mm256_storeu_ps(out, lanes[0]);
             _mm256_storeu_ps(out.add(8), lanes[1]);
@@ -652,9 +837,10 @@ unsafe fn tile_tn_avx2(
 }
 
 /// `out = a · bᵀ` with `a: [m,k]`, `b: [n,k]`, `out: [m,n]`, row-major — the
-/// fused input-gradient kernel (`dx = dy·Wᵀ`). Both operands are read along
-/// contiguous rows; each output element is one blocked dot product.
-/// Dispatches to [`Isa::active`].
+/// fused input-gradient kernel (`dx = dy·Wᵀ`). `B` rows are packed transposed
+/// into `NR`-wide panels and swept by the register-tiled micro-kernel; see
+/// the module docs for the small-`m` blocked-dot path. Dispatches to
+/// [`Isa::active`].
 ///
 /// # Panics
 ///
@@ -675,30 +861,133 @@ pub fn matmul_nt_with(
     n: usize,
 ) {
     check("matmul_nt", a.len(), b.len(), out.len(), m, k, n);
-    let isa = isa.effective();
+    matmul_nt_dispatch(isa.effective(), a, b, out, m, k, n, false);
+}
+
+/// `out += a · bᵀ` — the accumulating variant of [`matmul_nt`], used by the
+/// im2col convolution's weight gradient (`dW += dY · colsᵀ`), which builds up
+/// across backward calls exactly like [`matmul_tn_acc`] does for dense
+/// layers. Each output element extends its existing value by one fused chain
+/// over ascending `p`. Dispatches to [`Isa::active`].
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the dimensions.
+pub fn matmul_nt_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_nt_acc_with(Isa::active(), a, b, out, m, k, n);
+}
+
+/// [`matmul_nt_acc`] pinned to an explicit [`Isa`]. Bit-identical across
+/// ISAs.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_acc_with(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check("matmul_nt_acc", a.len(), b.len(), out.len(), m, k, n);
+    matmul_nt_dispatch(isa.effective(), a, b, out, m, k, n, true);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matmul_nt_dispatch(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
     if m * k * n < PAR_FLOP_THRESHOLD {
-        matmul_nt_rows(isa, a, b, out, 0, k, n);
+        matmul_nt_rows(isa, a, b, out, 0, m, k, n, acc);
         return;
     }
     fleet_parallel::parallel_chunks_mut(out, n, |first_row, chunk| {
-        matmul_nt_rows(isa, a, b, chunk, first_row, k, n);
+        matmul_nt_rows(isa, a, b, chunk, first_row, m, k, n, acc);
     });
 }
 
-/// Computes `chunk = a[first_row.., :] · bᵀ` for `chunk.len() / n` rows.
+/// Computes `chunk {=, +=} a[first_row.., :] · bᵀ` for `chunk.len() / n`
+/// rows.
+///
+/// Main path: each `NR`-wide group of output columns packs the matching `B`
+/// rows transposed ([`pack_bt_panel`]) and runs the NN micro-kernel over
+/// every `MR`-row group, with row remainders taking the axpy loop over the
+/// same panel (identical fused chains). The column tail (`n % NR`) and the
+/// `m < NT_PACK_MIN_ROWS` case keep the blocked-dot formulation — both
+/// branches key only on the full shape, never the chunk partition, so
+/// results are bit-identical across thread counts.
+#[allow(clippy::too_many_arguments)]
 fn matmul_nt_rows(
     isa: Isa,
     a: &[f32],
     b: &[f32],
     chunk: &mut [f32],
     first_row: usize,
+    m: usize,
     k: usize,
     n: usize,
+    acc: bool,
 ) {
-    for (i, out_row) in chunk.chunks_mut(n).enumerate() {
-        let a_row = &a[(first_row + i) * k..(first_row + i) * k + k];
-        for (j, out) in out_row.iter_mut().enumerate() {
-            *out = dot(isa, a_row, &b[j * k..j * k + k]);
+    if n == 0 {
+        return;
+    }
+    let rows = chunk.len() / n;
+    let n_main = if m < NT_PACK_MIN_ROWS { 0 } else { n - n % NR };
+    if n_main > 0 {
+        let full_groups = rows / MR;
+        with_pack_buf(k * NR, |panel| {
+            for j0 in (0..n_main).step_by(NR) {
+                pack_bt_panel(b, panel, k, j0);
+                for g in 0..full_groups {
+                    let group = &mut chunk[g * MR * n..(g + 1) * MR * n];
+                    tile_nn(
+                        isa,
+                        a,
+                        panel,
+                        NR,
+                        0,
+                        group,
+                        first_row + g * MR,
+                        k,
+                        n,
+                        j0,
+                        acc,
+                    );
+                }
+                for r in full_groups * MR..rows {
+                    let a_row = &a[(first_row + r) * k..(first_row + r) * k + k];
+                    let seg = &mut chunk[r * n + j0..r * n + j0 + NR];
+                    if !acc {
+                        seg.fill(0.0);
+                    }
+                    for (p, &av) in a_row.iter().enumerate() {
+                        axpy(seg, &panel[p * NR..p * NR + NR], av);
+                    }
+                }
+            }
+        });
+    }
+    // Blocked-dot columns, in groups of DOT_COL_BLOCK: the block of `b` rows
+    // stays L1-resident while every `a` row sweeps it, instead of re-
+    // streaming all of `b` per output row. Pure iteration-order change over
+    // independent output elements — bit-identical to the unblocked loop and
+    // independent of the row partition.
+    for jb in (n_main..n).step_by(DOT_COL_BLOCK) {
+        let jend = (jb + DOT_COL_BLOCK).min(n);
+        for i in 0..rows {
+            let a_row = &a[(first_row + i) * k..(first_row + i) * k + k];
+            for j in jb..jend {
+                let d = dot(isa, a_row, &b[j * k..j * k + k]);
+                let out = &mut chunk[i * n + j];
+                *out = if acc { *out + d } else { d };
+            }
         }
     }
 }
@@ -747,8 +1036,17 @@ mod tests {
     use super::*;
 
     fn fill_pattern(len: usize, scale: f32) -> Vec<f32> {
+        // Xorshift fill — the old truncating-hash form produced near-constant
+        // data, which a reference test cannot distinguish from its
+        // index-permuted variants.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 | 1;
         (0..len)
-            .map(|i| ((i * 2654435761usize) as f32 / usize::MAX as f32 - 0.5) * scale)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * scale
+            })
             .collect()
     }
 
@@ -827,6 +1125,117 @@ mod tests {
         matmul(&a, &b, &mut fast, m, k, n);
         matmul_naive(&a, &b, &mut naive, m, k, n);
         assert_close(&fast, &naive, 1e-3);
+    }
+
+    #[test]
+    fn nt_acc_matches_explicit_transpose() {
+        // n > NR so both the packed-panel columns and the dot tail run.
+        let (m, k, n) = (13, 21, 20);
+        let a = fill_pattern(m * k, 1.0);
+        let b = fill_pattern(n * k, 1.0); // stored [n, k]
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut expected = vec![0.0; m * n];
+        matmul_naive(&a, &bt, &mut expected, m, k, n);
+        let mut out = vec![1.0; m * n]; // non-zero: nt_acc accumulates
+        matmul_nt_acc(&a, &b, &mut out, m, k, n);
+        let shifted: Vec<f32> = expected.iter().map(|v| v + 1.0).collect();
+        assert_close(&out, &shifted, 1e-4);
+    }
+
+    #[test]
+    fn nt_small_m_matches_tiled_reference() {
+        // m < NT_PACK_MIN_ROWS keeps the blocked-dot path; it must still
+        // agree with the explicit-transpose reference to tolerance.
+        let (m, k, n) = (3, 37, 29);
+        assert!(m < NT_PACK_MIN_ROWS);
+        let a = fill_pattern(m * k, 1.0);
+        let b = fill_pattern(n * k, 1.0);
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut expected = vec![0.0; m * n];
+        matmul_naive(&a, &bt, &mut expected, m, k, n);
+        let mut out = vec![0.0; m * n];
+        matmul_nt(&a, &b, &mut out, m, k, n);
+        assert_close(&out, &expected, 1e-4);
+    }
+
+    #[test]
+    fn nt_is_partition_invariant() {
+        // A row must produce identical bits whether the thread partition
+        // routes it through the MR tile or the remainder axpy path, for both
+        // the overwriting and the accumulating variant.
+        let (m, k, n) = (16, 40, 35); // n_main = 32, 3 dot-tail columns
+        let a = fill_pattern(m * k, 1.0);
+        let b = fill_pattern(n * k, 1.0);
+        let init = fill_pattern(m * n, 0.5);
+        for isa in [Isa::Scalar, Isa::detect()] {
+            for acc in [false, true] {
+                let mut whole = init.clone();
+                matmul_nt_rows(isa, &a, &b, &mut whole, 0, m, k, n, acc);
+                let mut split = init.clone();
+                for c in 0..4 {
+                    matmul_nt_rows(
+                        isa,
+                        &a,
+                        &b,
+                        &mut split[c * 4 * n..(c + 1) * 4 * n],
+                        c * 4,
+                        m,
+                        k,
+                        n,
+                        acc,
+                    );
+                }
+                let whole_bits: Vec<u32> = whole.iter().map(|v| v.to_bits()).collect();
+                let split_bits: Vec<u32> = split.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    whole_bits, split_bits,
+                    "partition changed NT bits ({isa:?}, acc={acc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_and_unpacked_nn_are_bit_identical() {
+        // The packing gate keys on chunk size, so the two layouts must agree
+        // bitwise. Drive matmul_rows directly: >= PACK_MIN_GROUPS full MR
+        // groups packs, a single group does not.
+        let (m, k, n) = (2 * MR, 33, 37);
+        let a = fill_pattern(m * k, 1.0);
+        let b = fill_pattern(k * n, 1.0);
+        for isa in [Isa::Scalar, Isa::detect()] {
+            let mut packed = vec![0.0f32; m * n];
+            matmul_rows(isa, &a, &b, &mut packed, 0, k, n);
+            let mut unpacked = vec![0.0f32; m * n];
+            for c in 0..2 {
+                // One MR group per chunk: below the packing gate.
+                matmul_rows(
+                    isa,
+                    &a,
+                    &b,
+                    &mut unpacked[c * MR * n..(c + 1) * MR * n],
+                    c * MR,
+                    k,
+                    n,
+                );
+            }
+            let packed_bits: Vec<u32> = packed.iter().map(|v| v.to_bits()).collect();
+            let unpacked_bits: Vec<u32> = unpacked.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                packed_bits, unpacked_bits,
+                "packing changed NN bits ({isa:?})"
+            );
+        }
     }
 
     #[test]
@@ -980,6 +1389,18 @@ mod simd_parity {
         matmul_nt_with(Isa::Scalar, a_nn, &b_nt, &mut scalar_nt, m, k, n);
         matmul_nt_with(simd, a_nn, &b_nt, &mut simd_nt, m, k, n);
         assert_eq!(bits(&scalar_nt), bits(&simd_nt), "NT parity {m}x{k}x{n}");
+
+        // NT-acc: out += a·bᵀ, seeding the packed tiles from the output.
+        let init_nt = fill(m * n, 17);
+        let mut scalar_nta = init_nt.clone();
+        let mut simd_nta = init_nt;
+        matmul_nt_acc_with(Isa::Scalar, a_nn, &b_nt, &mut scalar_nta, m, k, n);
+        matmul_nt_acc_with(simd, a_nn, &b_nt, &mut simd_nta, m, k, n);
+        assert_eq!(
+            bits(&scalar_nta),
+            bits(&simd_nta),
+            "NT-acc parity {m}x{k}x{n}"
+        );
     }
 
     proptest! {

@@ -54,6 +54,40 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
         self.parameters().iter().map(|p| p.len()).sum()
     }
 
+    /// Hands a tensor previously returned by [`Layer::forward`] back to the
+    /// layer once the pipeline is done reading it, so the allocation can back
+    /// the next forward pass. [`crate::model::Sequential`] calls this for
+    /// every intermediate activation; layers with an output workspace
+    /// (convolution, pooling, activations) reclaim the buffer, the default
+    /// implementation simply drops it. Correctness never depends on this
+    /// being called.
+    fn recycle_output(&mut self, output: Tensor) {
+        let _ = output;
+    }
+
+    /// Backward twin of [`Layer::recycle_output`]: hands a tensor previously
+    /// returned by [`Layer::backward`] back to the layer once the upstream
+    /// layer has consumed it, so the allocation can back the next backward
+    /// pass. The default drops it; correctness never depends on this being
+    /// called.
+    fn recycle_grad(&mut self, grad: Tensor) {
+        let _ = grad;
+    }
+
+    /// [`Layer::backward`] for the *first* layer of a model, where the
+    /// returned input gradient has no consumer: layers whose input gradient
+    /// is expensive (convolution: one full GEMM plus a scatter) override this
+    /// to skip computing it. Parameter gradients are accumulated exactly as
+    /// in [`Layer::backward`]. The default runs the full backward pass and
+    /// drops the result.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Layer::backward`].
+    fn backward_input_unneeded(&mut self, grad_output: &Tensor) -> Result<()> {
+        self.backward(grad_output).map(|_| ())
+    }
+
     /// Boxed deep clone of the layer (parameters, gradients and caches).
     ///
     /// Powers `Clone` for [`crate::model::Sequential`], which the parallel

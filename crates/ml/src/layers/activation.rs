@@ -22,13 +22,19 @@ use crate::{MlError, Result};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
+    /// Mask workspace reused across steps ([`Tensor::resize_for`] keeps the
+    /// allocation); `None` only before the first forward pass.
     mask: Option<Tensor>,
+    /// Recycled forward-output allocation (see [`Layer::recycle_output`]).
+    out_spare: Vec<f32>,
+    /// Recycled input-gradient allocation (see [`Layer::recycle_grad`]).
+    grad_spare: Vec<f32>,
 }
 
 impl Relu {
     /// Creates a new ReLU activation layer.
     pub fn new() -> Self {
-        Self { mask: None }
+        Self::default()
     }
 }
 
@@ -38,10 +44,23 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        let out = input.mul(&mask);
-        self.mask = Some(mask);
-        Ok(out)
+        let mask = self.mask.get_or_insert_with(Tensor::default);
+        mask.resize_for(input.shape());
+        let mut out = std::mem::take(&mut self.out_spare);
+        out.resize(input.len(), 0.0);
+        // One fused sweep writing both the mask and the masked output
+        // (`v * m`, like the old two-pass `map` + `mul`, so non-finite
+        // values propagate identically). Indexed over equal-length slices so
+        // the bounds checks hoist and the loop vectorises.
+        let src = input.data();
+        let msk = &mut mask.data_mut()[..src.len()];
+        let dst = &mut out[..src.len()];
+        for i in 0..src.len() {
+            let m = f32::from(src[i] > 0.0);
+            msk[i] = m;
+            dst[i] = src[i] * m;
+        }
+        Ok(Tensor::from_vec(out, input.shape()))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -55,7 +74,12 @@ impl Layer for Relu {
                 context: "Relu::backward".to_string(),
             });
         }
-        Ok(grad_output.mul(mask))
+        let mut grad = std::mem::take(&mut self.grad_spare);
+        grad.resize(grad_output.len(), 0.0);
+        for ((g, &go), &m) in grad.iter_mut().zip(grad_output.data()).zip(mask.data()) {
+            *g = go * m;
+        }
+        Ok(Tensor::from_vec(grad, grad_output.shape()))
     }
 
     fn parameters(&self) -> Vec<&Tensor> {
@@ -71,6 +95,14 @@ impl Layer for Relu {
     }
 
     fn zero_gradients(&mut self) {}
+
+    fn recycle_output(&mut self, output: Tensor) {
+        self.out_spare = output.into_vec();
+    }
+
+    fn recycle_grad(&mut self, grad: Tensor) {
+        self.grad_spare = grad.into_vec();
+    }
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())

@@ -1,13 +1,107 @@
-//! 2-D convolution layer.
+//! 2-D convolution layer, lowered to the SIMD micro-kernel engine.
 //!
-//! Implements the convolutional blocks of the paper's Table 1 models with a
-//! straightforward (non-im2col) loop nest: the mini-batches used by FLeet
-//! workers are small, so clarity wins over raw throughput here.
+//! # The im2col engine
+//!
+//! The paper's Table 1 workloads are CNNs, so `Conv2d` is where the dominant
+//! FLOPs of the benchmark models live. The default [`ConvPath::Im2col`] path
+//! routes them through [`crate::kernels`]:
+//!
+//! * **Forward** lowers each batch image into a persistent, layer-owned
+//!   im2col workspace — one `[K × N]` column matrix per image, where
+//!   `K = in_channels · kernel²` patch rows in `(ic, ky, kx)`-ascending order
+//!   and `N = oh · ow` output positions — and computes
+//!   `out_b = W · cols_b + bias` with the register-tiled
+//!   [`crate::kernels::matmul`] (`W` reshaped `[out_channels, K]`).
+//! * **Backward** reuses the *same* workspace: `dW += dY_b · cols_bᵀ` via the
+//!   fused [`crate::kernels::matmul_nt_acc`] straight into the gradient
+//!   buffer (layers with few output channels compute the bit-identical
+//!   transposed product instead — see [`GW_TRANSPOSE_MAX_OC`]), and
+//!   `d(cols_b) = Wᵀ · dY_b` via [`crate::kernels::matmul_tn_acc`] followed
+//!   by a col2im scatter-add into `grad_input`. As the first layer of a
+//!   model the input-gradient GEMM + scatter is skipped entirely
+//!   ([`Layer::backward_input_unneeded`]).
+//!
+//! After the first step no per-call allocations remain: the column
+//! workspace, the `d(cols)` scratch (thread-local, one per persistent pool
+//! worker) and the forward/backward output buffers (recycled by
+//! [`crate::model::Sequential`] via [`Layer::recycle_output`] /
+//! [`Layer::recycle_grad`]) all persist across steps.
+//!
+//! # Determinism
+//!
+//! The im2col path inherits the kernel engine's bit-for-bit determinism
+//! contract. The `(ic, ky, kx)`-ascending patch-row order makes the GEMM's
+//! ascending-`k` accumulation visit the very same `(input, weight)` products
+//! in the very same order as the direct loop nest, so each output element is
+//! one fixed fused-multiply-add chain — identical across thread counts and
+//! both [`crate::kernels::Isa`] dispatch paths. Batch parallelism (gated on a
+//! work threshold, like the kernels' own fan-out) splits *whole images*
+//! across the persistent pool; per-image work is independent, so the
+//! partition cannot reassociate anything. The direct path rounds each
+//! product and add separately (no FMA) and seeds rows with the bias instead
+//! of adding it last, so direct and im2col agree to tolerance, not bits —
+//! the property tests at the bottom of this file pin that parity across
+//! strides, remainder shapes, one-hot and NaN/Inf inputs.
+
+use std::cell::RefCell;
 
 use crate::init::Initializer;
+use crate::kernels;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
 use crate::{MlError, Result};
+
+/// Output-channel bound under which the weight gradient is computed as the
+/// transposed product `d(Wᵀ) = cols_b · dY_bᵀ` (then transpose-added into the
+/// gradient buffer) instead of `dW += dY_b · cols_bᵀ`: with few output
+/// channels the direct orientation has too few rows to amortise any blocking
+/// and re-streams the whole column matrix, while the transposed orientation
+/// keeps the handful of `dY` rows L1-resident and streams `cols` once. The
+/// two orientations are *bit-identical* — `dot(x, y) == dot(y, x)` because
+/// IEEE multiplication commutes lane by lane — so this is purely a traffic
+/// decision keyed on the layer shape.
+const GW_TRANSPOSE_MAX_OC: usize = 12;
+
+// The bit-identity argument above holds only while *both* orientations stay
+// on the commutative blocked-dot path: the direct orientation needs
+// `out_c < NT_PACK_MIN_ROWS` (else its rows take the fused-chain tiles) and
+// the transposed orientation needs `out_c < NR` (else its columns do).
+// Retuning either kernel constant past this bound must be caught at compile
+// time, because the im2col parity suite is tolerance-based and would not
+// notice the orientations drifting apart in the low bits.
+const _: () = assert!(
+    GW_TRANSPOSE_MAX_OC <= kernels::NT_PACK_MIN_ROWS && GW_TRANSPOSE_MAX_OC <= kernels::NR,
+    "transposed weight-gradient orientation would leave the blocked-dot path"
+);
+
+/// Which convolution algorithm a [`Conv2d`] layer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvPath {
+    /// Lower to column matrices and run the blocked GEMM kernels (default).
+    #[default]
+    Im2col,
+    /// The seed repository's direct loop nest, kept as the reference/baseline
+    /// implementation (like `kernels::matmul_naive`) for parity tests and
+    /// benchmarks.
+    Direct,
+}
+
+thread_local! {
+    /// Per-thread `d(cols)` scratch for the backward pass. Pool workers are
+    /// persistent, so after warm-up the backward fan-out never allocates.
+    static DCOLS_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on this thread's `d(cols)` scratch, grown to at least `len`.
+fn with_dcols<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    DCOLS_BUF.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// A 2-D convolution over `[batch, in_channels, height, width]` inputs with
 /// stride support and no padding ("valid" convolution), as in the paper's
@@ -18,12 +112,28 @@ pub struct Conv2d {
     out_channels: usize,
     kernel: usize,
     stride: usize,
-    /// Weights with shape `[out_channels, in_channels, kernel, kernel]`.
+    /// Weights with shape `[out_channels, in_channels, kernel, kernel]` —
+    /// row-major, so also a `[out_channels, K]` GEMM operand as stored.
     weights: Tensor,
     bias: Tensor,
     grad_weights: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    path: ConvPath,
+    /// Whole-batch im2col workspace: `batch` consecutive `[K × N]` column
+    /// matrices, lowered by the latest im2col forward and reused by the
+    /// backward weight-gradient GEMM.
+    cols: Vec<f32>,
+    /// Batch size the workspace currently holds, or `usize::MAX` when it is
+    /// stale (no im2col forward yet, or a direct forward ran since).
+    cols_batch: usize,
+    /// Scratch for the transposed weight-gradient product (small-`oc`
+    /// layers; see [`GW_TRANSPOSE_MAX_OC`]).
+    gwt_scratch: Vec<f32>,
+    /// Recycled forward-output allocation (see [`Layer::recycle_output`]).
+    out_spare: Vec<f32>,
+    /// Recycled input-gradient allocation (see [`Layer::recycle_grad`]).
+    grad_spare: Vec<f32>,
 }
 
 impl Conv2d {
@@ -60,7 +170,25 @@ impl Conv2d {
             grad_weights: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_input: None,
+            path: ConvPath::default(),
+            cols: Vec::new(),
+            cols_batch: usize::MAX,
+            gwt_scratch: Vec::new(),
+            out_spare: Vec::new(),
+            grad_spare: Vec::new(),
         }
+    }
+
+    /// Selects the convolution algorithm. Set it before `forward`: `backward`
+    /// dispatches on the same flag and the im2col backward consumes the
+    /// workspace the matching forward lowered.
+    pub fn set_path(&mut self, path: ConvPath) {
+        self.path = path;
+    }
+
+    /// The currently selected convolution algorithm.
+    pub fn path(&self) -> ConvPath {
+        self.path
     }
 
     /// Output spatial size for an input spatial size, or `None` if the input
@@ -97,15 +225,35 @@ impl Conv2d {
         })?;
         Ok((shape[0], oh, ow))
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        "conv2d"
+    /// Validates a backward call (forward ran, gradient shape matches) and
+    /// returns `(batch, oh, ow)`.
+    fn check_backward(&self, grad_output: &Tensor) -> Result<(usize, usize, usize)> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            MlError::InvalidArgument("Conv2d::backward called before forward".to_string())
+        })?;
+        let (batch, oh, ow) = self.check_input(input)?;
+        let expected = vec![batch, self.out_channels, oh, ow];
+        if grad_output.shape() != expected.as_slice() {
+            return Err(MlError::ShapeMismatch {
+                expected,
+                actual: grad_output.shape().to_vec(),
+                context: "Conv2d::backward".to_string(),
+            });
+        }
+        Ok((batch, oh, ow))
     }
 
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let (batch, oh, ow) = self.check_input(input)?;
+    /// Takes the recycled output allocation, resized for `len` elements.
+    fn take_out_buf(&mut self, len: usize) -> Vec<f32> {
+        let mut out = std::mem::take(&mut self.out_spare);
+        out.resize(len, 0.0);
+        out
+    }
+
+    /// im2col forward: lower every image, then one GEMM + bias broadcast per
+    /// image, both phases batch-parallel above the work threshold.
+    fn forward_im2col(&mut self, input: &Tensor, batch: usize, oh: usize, ow: usize) -> Tensor {
         let (h, w) = (input.shape()[2], input.shape()[3]);
         let (in_c, out_c, kernel, stride) = (
             self.in_channels,
@@ -113,12 +261,74 @@ impl Layer for Conv2d {
             self.kernel,
             self.stride,
         );
-        let mut out = vec![0.0f32; batch * out_c * oh * ow];
+        let kk = in_c * kernel * kernel;
+        let n = oh * ow;
+        let cols_len = batch * kk * n;
+        if self.cols.len() != cols_len {
+            self.cols.resize(cols_len, 0.0);
+        }
+        self.cols_batch = batch;
+        let parallel = batch * out_c * kk * n >= kernels::PAR_FLOP_THRESHOLD;
+
+        // Phase 1: lower images into the workspace (disjoint per image).
+        let in_data = input.data();
+        let img_len = in_c * h * w;
+        let lower = |first_image: usize, chunk: &mut [f32]| {
+            for (i, cols_b) in chunk.chunks_mut(kk * n).enumerate() {
+                let img = &in_data[(first_image + i) * img_len..][..img_len];
+                im2col_image(img, cols_b, in_c, h, w, kernel, stride, oh, ow);
+            }
+        };
+        if parallel {
+            fleet_parallel::parallel_chunks_mut(&mut self.cols, kk * n, lower);
+        } else {
+            lower(0, &mut self.cols);
+        }
+
+        // Phase 2: out_b = W · cols_b + bias (disjoint per image, workspace
+        // now read-only).
+        let mut out = self.take_out_buf(batch * out_c * n);
+        let w_data = self.weights.data();
+        let bias = self.bias.data();
+        let cols = &self.cols;
+        let gemm = |first_image: usize, chunk: &mut [f32]| {
+            for (i, out_b) in chunk.chunks_mut(out_c * n).enumerate() {
+                let b = first_image + i;
+                kernels::matmul(w_data, &cols[b * kk * n..][..kk * n], out_b, out_c, kk, n);
+                for (row, &bv) in out_b.chunks_mut(n).zip(bias) {
+                    for o in row {
+                        *o += bv;
+                    }
+                }
+            }
+        };
+        if parallel {
+            fleet_parallel::parallel_chunks_mut(&mut out, out_c * n, gemm);
+        } else {
+            gemm(0, &mut out);
+        }
+        Tensor::from_vec(out, &[batch, out_c, oh, ow])
+    }
+
+    /// The seed repository's direct loop nest, kept verbatim as the
+    /// reference/baseline path (bias hoisted out of the channel loop).
+    fn forward_direct(&mut self, input: &Tensor, batch: usize, oh: usize, ow: usize) -> Tensor {
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let (in_c, out_c, kernel, stride) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+        );
+        // A direct forward invalidates the im2col workspace for backward.
+        self.cols_batch = usize::MAX;
+        let mut out = self.take_out_buf(batch * out_c * oh * ow);
         let in_data = input.data();
         let w_data = self.weights.data();
+        let bias_data = self.bias.data();
         for b in 0..batch {
             for oc in 0..out_c {
-                let bias = self.bias.data()[oc];
+                let bias = bias_data[oc];
                 for oy in 0..oh {
                     let out_row = &mut out[((b * out_c + oc) * oh + oy) * ow..][..ow];
                     out_row.fill(bias);
@@ -126,8 +336,8 @@ impl Layer for Conv2d {
                     // whole output row — for stride 1 that is a contiguous
                     // axpy over the input row, which vectorises over `ox`
                     // (the long dimension) instead of the tiny kernel width.
-                    // The (ic, ky, kx)-ascending order matches the seed
-                    // kernel's per-element summation order exactly.
+                    // The (ic, ky, kx)-ascending order matches the im2col
+                    // GEMM's per-element summation order exactly.
                     for ic in 0..in_c {
                         for ky in 0..kernel {
                             let iy = oy * stride + ky;
@@ -150,28 +360,121 @@ impl Layer for Conv2d {
                 }
             }
         }
-        match &mut self.cached_input {
-            Some(cache) => cache.copy_from(input),
-            cache => *cache = Some(input.clone()),
-        }
-        Ok(Tensor::from_vec(out, &[batch, out_c, oh, ow]))
+        Tensor::from_vec(out, &[batch, out_c, oh, ow])
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let (batch, oh, ow) = {
-            let input = self.cached_input.as_ref().ok_or_else(|| {
-                MlError::InvalidArgument("Conv2d::backward called before forward".to_string())
-            })?;
-            self.check_input(input)?
-        };
-        let expected = vec![batch, self.out_channels, oh, ow];
-        if grad_output.shape() != expected.as_slice() {
-            return Err(MlError::ShapeMismatch {
-                expected,
-                actual: grad_output.shape().to_vec(),
-                context: "Conv2d::backward".to_string(),
-            });
+    /// im2col backward: `d(cols) = Wᵀ·dY` + col2im scatter per image
+    /// (batch-parallel), then `dW += dY·colsᵀ` and the bias row sums
+    /// accumulated in image order. With `need_input_grad` unset (first layer
+    /// of a model) the whole input-gradient GEMM + scatter phase is skipped
+    /// and `None` is returned.
+    fn backward_im2col(
+        &mut self,
+        grad_output: &Tensor,
+        batch: usize,
+        oh: usize,
+        ow: usize,
+        need_input_grad: bool,
+    ) -> Result<Option<Tensor>> {
+        let input = self.cached_input.as_ref().expect("checked by backward");
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let (in_c, out_c, kernel, stride) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+        );
+        let kk = in_c * kernel * kernel;
+        let n = oh * ow;
+        if self.cols_batch != batch {
+            return Err(MlError::InvalidArgument(
+                "Conv2d::backward: im2col workspace is stale (the preceding forward \
+                 did not run the im2col path on this batch)"
+                    .to_string(),
+            ));
         }
+        let go = grad_output.data();
+        let w_data = self.weights.data();
+        let img_len = in_c * h * w;
+        let grad_input = if need_input_grad {
+            let mut grad_input = std::mem::take(&mut self.grad_spare);
+            grad_input.resize(input.len(), 0.0);
+            grad_input.fill(0.0);
+            // Per-image input gradients: dcols_b = Wᵀ·dY_b, scattered back
+            // to image geometry. Disjoint per image, so batch-parallel.
+            let scatter = |first_image: usize, chunk: &mut [f32]| {
+                for (i, gi_b) in chunk.chunks_mut(img_len).enumerate() {
+                    let b = first_image + i;
+                    with_dcols(kk * n, |dcols| {
+                        dcols.fill(0.0);
+                        kernels::matmul_tn_acc(
+                            w_data,
+                            &go[b * out_c * n..][..out_c * n],
+                            dcols,
+                            kk,
+                            out_c,
+                            n,
+                        );
+                        col2im_add(dcols, gi_b, in_c, h, w, kernel, stride, oh, ow);
+                    });
+                }
+            };
+            if batch * kk * out_c * n >= kernels::PAR_FLOP_THRESHOLD {
+                fleet_parallel::parallel_chunks_mut(&mut grad_input, img_len, scatter);
+            } else {
+                scatter(0, &mut grad_input);
+            }
+            Some(Tensor::from_vec(grad_input, input.shape()))
+        } else {
+            None
+        };
+
+        // dW/db accumulate serially in image order over the forward-lowered
+        // workspace (the fan-out inside the GEMM still parallelises large
+        // products); the fused accumulating kernel extends the existing
+        // gradient chains in place. Small-`oc` layers compute the product
+        // transposed — bit-identical, far less memory traffic (see
+        // [`GW_TRANSPOSE_MAX_OC`]).
+        let transposed = out_c < GW_TRANSPOSE_MAX_OC && kk >= out_c;
+        if transposed {
+            self.gwt_scratch.resize(kk * out_c, 0.0);
+        }
+        let gw = self.grad_weights.data_mut();
+        let gb = self.grad_bias.data_mut();
+        for b in 0..batch {
+            let go_b = &go[b * out_c * n..][..out_c * n];
+            let cols_b = &self.cols[b * kk * n..][..kk * n];
+            if transposed {
+                kernels::matmul_nt(cols_b, go_b, &mut self.gwt_scratch, kk, n, out_c);
+                for (i, gw_row) in gw.chunks_mut(kk).enumerate() {
+                    for (j, g) in gw_row.iter_mut().enumerate() {
+                        *g += self.gwt_scratch[j * out_c + i];
+                    }
+                }
+            } else {
+                kernels::matmul_nt_acc(go_b, cols_b, gw, out_c, n, kk);
+            }
+            for (g, row) in gb.iter_mut().zip(go_b.chunks(n)) {
+                let mut sum = *g;
+                for &v in row {
+                    sum += v;
+                }
+                *g = sum;
+            }
+        }
+        Ok(grad_input)
+    }
+
+    /// The seed repository's direct backward loop nest, kept as the
+    /// reference path (note its `g == 0.0` skip, which the GEMM path does
+    /// not have — see the module docs).
+    fn backward_direct(
+        &mut self,
+        grad_output: &Tensor,
+        batch: usize,
+        oh: usize,
+        ow: usize,
+    ) -> Result<Tensor> {
         let (in_c, out_c, kernel, stride) = (
             self.in_channels,
             self.out_channels,
@@ -180,9 +483,11 @@ impl Layer for Conv2d {
         );
         // Disjoint field borrows: the cached input is read while the gradient
         // buffers are written, so no clone of the input is needed.
-        let input = self.cached_input.as_ref().expect("checked above");
+        let input = self.cached_input.as_ref().expect("checked by backward");
         let (h, w) = (input.shape()[2], input.shape()[3]);
-        let mut grad_input = vec![0.0f32; input.len()];
+        let mut grad_input = std::mem::take(&mut self.grad_spare);
+        grad_input.resize(input.len(), 0.0);
+        grad_input.fill(0.0);
         let in_data = input.data();
         let go = grad_output.data();
         let w_data = self.weights.data();
@@ -194,8 +499,8 @@ impl Layer for Conv2d {
                     let go_row = &go[((b * out_c + oc) * oh + oy) * ow..][..ow];
                     for (ox, &g) in go_row.iter().enumerate() {
                         // ReLU upstream makes zero gradients common enough
-                        // that this skip pays for itself (unlike the dense
-                        // matmul path — see fleet_ml::kernels module docs).
+                        // that this skip pays for itself in the scalar nest
+                        // (the GEMM path profits more from dense FMA tiles).
                         if g == 0.0 {
                             continue;
                         }
@@ -221,6 +526,135 @@ impl Layer for Conv2d {
         }
         Ok(Tensor::from_vec(grad_input, input.shape()))
     }
+}
+
+/// Lowers one `[in_c, h, w]` image into a `[K × N]` column matrix with patch
+/// rows in `(ic, ky, kx)`-ascending order: `cols[p][oy*ow + ox] =
+/// img[ic][oy*stride + ky][ox*stride + kx]`. Stride-1 rows are straight
+/// `memcpy`s of input-row windows.
+#[allow(clippy::too_many_arguments)]
+fn im2col_image(
+    img: &[f32],
+    cols: &mut [f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let n = oh * ow;
+    let mut p = 0;
+    for ic in 0..in_c {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let col_row = &mut cols[p * n..(p + 1) * n];
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    let in_row = &img[(ic * h + iy) * w..][..w];
+                    let dst = &mut col_row[oy * ow..(oy + 1) * ow];
+                    if stride != 1 {
+                        for (ox, d) in dst.iter_mut().enumerate() {
+                            *d = in_row[ox * stride + kx];
+                        }
+                    } else if ow < 32 {
+                        // Short rows (late conv layers shrink to a few
+                        // positions): a scalar copy loop beats the overhead
+                        // of one memcpy call per row.
+                        for (d, &x) in dst.iter_mut().zip(&in_row[kx..kx + ow]) {
+                            *d = x;
+                        }
+                    } else {
+                        dst.copy_from_slice(&in_row[kx..kx + ow]);
+                    }
+                }
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-adds a `[K × N]` column-gradient matrix back into `[in_c, h, w]`
+/// image geometry — the adjoint of [`im2col_image`]. Rows are visited in the
+/// same `(ic, ky, kx)`-ascending order and positions in ascending `(oy, ox)`,
+/// so overlapping patches accumulate in one fixed order.
+#[allow(clippy::too_many_arguments)]
+fn col2im_add(
+    dcols: &[f32],
+    gi: &mut [f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let n = oh * ow;
+    let mut p = 0;
+    for ic in 0..in_c {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let col_row = &dcols[p * n..(p + 1) * n];
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    let gi_row = &mut gi[(ic * h + iy) * w..][..w];
+                    let src = &col_row[oy * ow..(oy + 1) * ow];
+                    if stride == 1 {
+                        for (g, &s) in gi_row[kx..kx + ow].iter_mut().zip(src) {
+                            *g += s;
+                        }
+                    } else {
+                        for (ox, &s) in src.iter().enumerate() {
+                            gi_row[ox * stride + kx] += s;
+                        }
+                    }
+                }
+                p += 1;
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (batch, oh, ow) = self.check_input(input)?;
+        let out = match self.path {
+            ConvPath::Im2col => self.forward_im2col(input, batch, oh, ow),
+            ConvPath::Direct => self.forward_direct(input, batch, oh, ow),
+        };
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            cache => *cache = Some(input.clone()),
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (batch, oh, ow) = self.check_backward(grad_output)?;
+        match self.path {
+            ConvPath::Im2col => self
+                .backward_im2col(grad_output, batch, oh, ow, true)
+                .map(|gi| gi.expect("requested input gradient")),
+            ConvPath::Direct => self.backward_direct(grad_output, batch, oh, ow),
+        }
+    }
+
+    fn backward_input_unneeded(&mut self, grad_output: &Tensor) -> Result<()> {
+        let (batch, oh, ow) = self.check_backward(grad_output)?;
+        match self.path {
+            ConvPath::Im2col => self
+                .backward_im2col(grad_output, batch, oh, ow, false)
+                .map(|_| ()),
+            // The direct reference path stays the seed loop nest verbatim.
+            ConvPath::Direct => self.backward_direct(grad_output, batch, oh, ow).map(|_| ()),
+        }
+    }
 
     fn parameters(&self) -> Vec<&Tensor> {
         vec![&self.weights, &self.bias]
@@ -237,6 +671,14 @@ impl Layer for Conv2d {
     fn zero_gradients(&mut self) {
         self.grad_weights.fill(0.0);
         self.grad_bias.fill(0.0);
+    }
+
+    fn recycle_output(&mut self, output: Tensor) {
+        self.out_spare = output.into_vec();
+    }
+
+    fn recycle_grad(&mut self, grad: Tensor) {
+        self.grad_spare = grad.into_vec();
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -296,28 +738,31 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let mut conv = Conv2d::new(1, 1, 2, 1, Initializer::Xavier, 5);
-        let input = Tensor::from_vec(
-            vec![0.2, -0.5, 0.1, 0.7, 0.3, -0.2, 0.9, 0.4, -0.6],
-            &[1, 1, 3, 3],
-        );
-        let eps = 1e-2f32;
-        conv.zero_gradients();
-        let out = conv.forward(&input).unwrap();
-        conv.backward(&Tensor::ones(out.shape())).unwrap();
-        let analytic = conv.gradients()[0].data()[0];
+        for path in [ConvPath::Im2col, ConvPath::Direct] {
+            let mut conv = Conv2d::new(1, 1, 2, 1, Initializer::Xavier, 5);
+            conv.set_path(path);
+            let input = Tensor::from_vec(
+                vec![0.2, -0.5, 0.1, 0.7, 0.3, -0.2, 0.9, 0.4, -0.6],
+                &[1, 1, 3, 3],
+            );
+            let eps = 1e-2f32;
+            conv.zero_gradients();
+            let out = conv.forward(&input).unwrap();
+            conv.backward(&Tensor::ones(out.shape())).unwrap();
+            let analytic = conv.gradients()[0].data()[0];
 
-        let original = conv.weights.data()[0];
-        conv.weights.data_mut()[0] = original + eps;
-        let plus = conv.forward(&input).unwrap().sum();
-        conv.weights.data_mut()[0] = original - eps;
-        let minus = conv.forward(&input).unwrap().sum();
-        conv.weights.data_mut()[0] = original;
-        let numeric = (plus - minus) / (2.0 * eps);
-        assert!(
-            (analytic - numeric).abs() < 1e-2,
-            "analytic {analytic} vs numeric {numeric}"
-        );
+            let original = conv.weights.data()[0];
+            conv.weights.data_mut()[0] = original + eps;
+            let plus = conv.forward(&input).unwrap().sum();
+            conv.weights.data_mut()[0] = original - eps;
+            let minus = conv.forward(&input).unwrap().sum();
+            conv.weights.data_mut()[0] = original;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "{path:?}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
     }
 
     #[test]
@@ -333,5 +778,218 @@ mod tests {
     fn parameter_count_matches_formula() {
         let conv = Conv2d::new(3, 16, 3, 1, Initializer::Xavier, 0);
         assert_eq!(conv.parameter_count(), 16 * 3 * 3 * 3 + 16);
+    }
+
+    #[test]
+    fn gw_orientations_are_bit_identical_below_transpose_bound() {
+        // The GW_TRANSPOSE_MAX_OC gate claims dW is *bit*-identical whether
+        // it is accumulated directly (dY·colsᵀ) or as the transposed product
+        // (cols·dYᵀ, transpose-added). Pin that for a sweep of small-oc
+        // shapes on both kernel entry points the two branches use.
+        use crate::kernels;
+        for &(oc, kk, n) in &[(1usize, 25usize, 36usize), (8, 25, 576), (11, 50, 49)] {
+            assert!(oc < GW_TRANSPOSE_MAX_OC);
+            let go: Vec<f32> = (0..oc * n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let cols: Vec<f32> = (0..kk * n).map(|i| (i as f32 * 0.13).cos()).collect();
+            let seed: Vec<f32> = (0..oc * kk).map(|i| (i as f32 * 0.71).sin()).collect();
+
+            let mut direct = seed.clone();
+            kernels::matmul_nt_acc(&go, &cols, &mut direct, oc, n, kk);
+
+            let mut gwt = vec![0.0f32; kk * oc];
+            kernels::matmul_nt(&cols, &go, &mut gwt, kk, n, oc);
+            let mut transposed = seed;
+            for (i, row) in transposed.chunks_mut(kk).enumerate() {
+                for (j, g) in row.iter_mut().enumerate() {
+                    *g += gwt[j * oc + i];
+                }
+            }
+
+            let direct_bits: Vec<u32> = direct.iter().map(|v| v.to_bits()).collect();
+            let transposed_bits: Vec<u32> = transposed.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(direct_bits, transposed_bits, "oc={oc} kk={kk} n={n}");
+        }
+    }
+
+    #[test]
+    fn backward_after_path_flip_errors_instead_of_using_stale_workspace() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, Initializer::Xavier, 0);
+        conv.set_path(ConvPath::Direct);
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let out = conv.forward(&input).unwrap();
+        conv.set_path(ConvPath::Im2col);
+        assert!(conv.backward(&Tensor::ones(out.shape())).is_err());
+    }
+
+    #[test]
+    fn repeated_forwards_are_bit_identical() {
+        // The workspace/output-buffer reuse must not leak state between
+        // calls, including across a batch-size change.
+        let mut conv = Conv2d::new(2, 3, 3, 1, Initializer::He, 9);
+        let big = Tensor::from_vec(
+            (0..2 * 2 * 6 * 6)
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect(),
+            &[2, 2, 6, 6],
+        );
+        let small = Tensor::from_vec(
+            (0..2 * 6 * 6).map(|i| (i as f32 * 0.11).cos()).collect(),
+            &[1, 2, 6, 6],
+        );
+        let first = conv.forward(&big).unwrap();
+        conv.forward(&small).unwrap();
+        let again = conv.forward(&big).unwrap();
+        assert_eq!(first, again);
+    }
+}
+
+/// Direct-vs-im2col parity: the GEMM path must reproduce the reference loop
+/// nest across strides, remainder-hostile shapes, one-hot and NaN/Inf inputs
+/// — to tolerance, since the direct nest rounds multiply and add separately
+/// while the kernels fuse them (same summation order, see the module docs).
+/// `scripts/ci.sh` runs this suite under both `FLEET_SIMD` modes.
+#[cfg(test)]
+mod im2col_parity {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random fill, decorrelated by `salt`.
+    fn fill(len: usize, salt: u64) -> Vec<f32> {
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2.0
+            })
+            .collect()
+    }
+
+    fn one_hot(len: usize, every: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| if i % every == 0 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Sprinkles NaN and infinities at deterministic positions.
+    fn poison(data: &mut [f32]) {
+        for (i, v) in data.iter_mut().enumerate() {
+            match i % 23 {
+                7 => *v = f32::NAN,
+                13 => *v = f32::INFINITY,
+                19 => *v = f32::NEG_INFINITY,
+                _ => {}
+            }
+        }
+    }
+
+    /// NaN-aware closeness: both NaN passes, both same-sign infinite passes,
+    /// otherwise relative-plus-absolute tolerance.
+    fn assert_close(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            if x.is_nan() && y.is_nan() {
+                continue;
+            }
+            if x.is_infinite() || y.is_infinite() {
+                assert!(x == y, "{what}[{i}]: {x} vs {y}");
+                continue;
+            }
+            let tol = 1e-3 + 1e-4 * x.abs().max(y.abs());
+            assert!((x - y).abs() <= tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    /// Builds a pair of identically-initialised layers, runs forward and
+    /// backward on both paths and asserts output/gradient parity.
+    fn assert_parity(
+        (in_c, out_c, kernel, stride): (usize, usize, usize, usize),
+        (batch, h, w): (usize, usize, usize),
+        input_data: Vec<f32>,
+        grad_data: Option<Vec<f32>>,
+    ) {
+        let mut gemm = Conv2d::new(in_c, out_c, kernel, stride, Initializer::He, 33);
+        let mut direct = Conv2d::new(in_c, out_c, kernel, stride, Initializer::He, 33);
+        direct.set_path(ConvPath::Direct);
+        let input = Tensor::from_vec(input_data, &[batch, in_c, h, w]);
+
+        let out_g = gemm.forward(&input).unwrap();
+        let out_d = direct.forward(&input).unwrap();
+        assert_eq!(out_g.shape(), out_d.shape());
+        assert_close(out_g.data(), out_d.data(), "forward");
+
+        let grad = match grad_data {
+            Some(data) => Tensor::from_vec(data, out_g.shape()),
+            None => Tensor::from_vec(fill(out_g.len(), 77), out_g.shape()),
+        };
+        gemm.zero_gradients();
+        direct.zero_gradients();
+        let gi_g = gemm.backward(&grad).unwrap();
+        let gi_d = direct.backward(&grad).unwrap();
+        assert_close(gi_g.data(), gi_d.data(), "grad_input");
+        assert_close(
+            gemm.gradients()[0].data(),
+            direct.gradients()[0].data(),
+            "grad_weights",
+        );
+        assert_close(
+            gemm.gradients()[1].data(),
+            direct.gradients()[1].data(),
+            "grad_bias",
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn parity_across_strides_and_shapes(
+            in_c in 1usize..4,
+            out_c in 1usize..8,
+            kernel in 1usize..5,
+            stride in 1usize..4,
+            extra_h in 0usize..7,
+            extra_w in 0usize..7,
+            batch in 1usize..4,
+            salt in 0u64..500,
+        ) {
+            // Remainder-hostile by construction: oh/ow sweep every residue of
+            // the kernel tile sizes as extra_h/extra_w vary.
+            let h = kernel + extra_h;
+            let w = kernel + extra_w;
+            let input = fill(batch * in_c * h * w, salt);
+            assert_parity((in_c, out_c, kernel, stride), (batch, h, w), input, None);
+        }
+
+        #[test]
+        fn parity_on_one_hot_inputs(
+            stride in 1usize..4,
+            every in 1usize..9,
+            salt in 0u64..100,
+        ) {
+            let (in_c, out_c, kernel) = (2, 5, 3);
+            let (batch, h, w) = (2, 9, 9);
+            let input = one_hot(batch * in_c * h * w, every + salt as usize % 3 + 1);
+            assert_parity((in_c, out_c, kernel, stride), (batch, h, w), input, None);
+        }
+
+        #[test]
+        fn parity_with_nan_and_inf(stride in 1usize..3, salt in 0u64..100) {
+            // Non-finite inputs must propagate the same way through both
+            // paths. The upstream gradient is kept nonzero everywhere: the
+            // direct nest skips g == 0.0 terms while the GEMM adds them, and
+            // adding 0·NaN is NaN — a legitimate divergence the contract
+            // does not cover (finite zero terms are exact either way).
+            let (in_c, out_c, kernel) = (2, 3, 2);
+            let (batch, h, w) = (1, 6, 7);
+            let mut input = fill(batch * in_c * h * w, salt);
+            poison(&mut input);
+            let oh = (h - kernel) / stride + 1;
+            let ow = (w - kernel) / stride + 1;
+            let grad: Vec<f32> = fill(batch * out_c * oh * ow, salt ^ 0xBEEF)
+                .into_iter()
+                .map(|g| if g.abs() < 1e-3 { 0.5 } else { g })
+                .collect();
+            assert_parity((in_c, out_c, kernel, stride), (batch, h, w), input, Some(grad));
+        }
     }
 }

@@ -47,10 +47,19 @@
 //!    ([`tensor::Tensor::matmul_into`], [`tensor::Tensor::matmul_nt_into`],
 //!    [`tensor::Tensor::matmul_tn_acc_into`],
 //!    [`tensor::Tensor::add_scaled_into`]) write into tensors whose
-//!    allocations persist across steps. The convention throughout: a
-//!    `&mut Tensor` out-parameter is resized with
+//!    allocations persist across steps. [`model::Sequential`] closes the
+//!    remaining loop by handing every consumed activation and gradient
+//!    tensor back to the layer that produced it
+//!    ([`layer::Layer::recycle_output`] / [`layer::Layer::recycle_grad`]),
+//!    so a training step runs allocation-free after the first pass. The
+//!    convention throughout: a `&mut Tensor` out-parameter is resized with
 //!    [`tensor::Tensor::resize_for`] (which keeps capacity) and fully
 //!    overwritten unless the method name says it accumulates (`_acc_`).
+//!
+//!    `Conv2d` is the showcase: it lowers batches into a persistent im2col
+//!    workspace and runs forward and backward entirely on the fused GEMM
+//!    kernels (see `layers::conv`), with the seed loop nest preserved
+//!    behind [`layers::ConvPath::Direct`] as the reference/baseline.
 //!
 //! The seed repository's single-threaded kernel (including its `a == 0.0`
 //! sparsity skip, which only pays off for one-hot inputs) survives as

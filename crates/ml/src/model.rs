@@ -56,17 +56,23 @@ impl Sequential {
 
     /// Runs a forward pass through every layer.
     ///
+    /// Each intermediate activation is handed back to the layer that produced
+    /// it via [`Layer::recycle_output`] as soon as the next layer has
+    /// consumed it, so layers with output workspaces (convolution, pooling)
+    /// run allocation-free after the first pass.
+    ///
     /// # Errors
     ///
     /// Propagates shape errors from the layers.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        let mut layers = self.layers.iter_mut();
-        let Some(first) = layers.next() else {
+        if self.layers.is_empty() {
             return Ok(input.clone());
-        };
-        let mut current = first.forward(input)?;
-        for layer in layers {
-            current = layer.forward(&current)?;
+        }
+        let mut current = self.layers[0].forward(input)?;
+        for i in 1..self.layers.len() {
+            let (done, rest) = self.layers.split_at_mut(i);
+            let next = rest[0].forward(&current)?;
+            done[i - 1].recycle_output(std::mem::replace(&mut current, next));
         }
         Ok(current)
     }
@@ -84,8 +90,23 @@ impl Sequential {
     pub fn backward(&mut self, inputs: &Tensor, labels: &[usize]) -> Result<f32> {
         let logits = self.forward(inputs)?;
         let (loss, mut grad) = self.loss.forward(&logits, labels)?;
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad)?;
+        // Mirror of the forward pass: every consumed gradient tensor is
+        // handed back to the layer that produced it ([`Layer::recycle_grad`])
+        // so the backward chain runs allocation-free after the first step.
+        for i in (1..self.layers.len()).rev() {
+            let next = self.layers[i].backward(&grad)?;
+            let consumed = std::mem::replace(&mut grad, next);
+            if i + 1 < self.layers.len() {
+                self.layers[i + 1].recycle_grad(consumed);
+            }
+        }
+        // The first layer's input gradient has no consumer; let the layer
+        // skip computing it (a full GEMM + scatter for convolutions).
+        if let Some(first) = self.layers.first_mut() {
+            first.backward_input_unneeded(&grad)?;
+        }
+        if self.layers.len() > 1 {
+            self.layers[1].recycle_grad(grad);
         }
         Ok(loss)
     }

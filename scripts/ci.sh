@@ -2,14 +2,16 @@
 # CI gate for the FLeet reproduction workspace.
 #
 #   scripts/ci.sh           full gate: fmt, clippy, build, tier-1 tests,
-#                           determinism digest sweep (threads x SIMD),
-#                           kernel-dispatch test sweep, bench smoke writing
-#                           BENCH_kernels.json and BENCH_shards.json
+#                           determinism digest sweep (threads x SIMD, shard
+#                           + CNN-training digests), kernel/conv-dispatch
+#                           test sweep, bench smoke writing
+#                           BENCH_kernels.json, BENCH_shards.json and
+#                           BENCH_conv.json
 #   scripts/ci.sh --quick   skip the sweeps and the bench smoke
 #
-# The bench smoke keeps machine-readable perf records (BENCH_kernels.json and
-# BENCH_shards.json at the repo root) so successive PRs can track the kernel
-# and aggregation-throughput trajectories; timings are per-machine (the JSON
+# The bench smoke keeps machine-readable perf records (BENCH_kernels.json,
+# BENCH_shards.json and BENCH_conv.json at the repo root) so successive PRs
+# can track the kernel, aggregation-throughput and convolution trajectories; timings are per-machine (the JSON
 # meta block records threads + ISA features), so compare runs from the same
 # host only.
 
@@ -31,36 +33,50 @@ cargo test -q
 if [[ "${1:-}" != "--quick" ]]; then
     # The kernels promise bit-for-bit identical results on any thread count
     # with SIMD dispatch on or off. Sweep all six combinations and require
-    # one digest: a mismatch means an ISA path or a fan-out partition
-    # reassociated a reduction.
+    # one digest per contract — the sharded-simulation digest and the CNN
+    # training digest (which drives the im2col convolution engine, pooling
+    # and the batch fan-out): a mismatch means an ISA path or a fan-out
+    # partition reassociated a reduction.
     echo "==> determinism digest sweep (FLEET_NUM_THREADS x FLEET_SIMD)"
-    digest_ref=""
+    shard_ref=""
+    cnn_ref=""
     for threads in 1 4 7; do
         for simd in auto off; do
             simd_env=""
             [[ "$simd" == "off" ]] && simd_env="off"
-            line=$(FLEET_NUM_THREADS=$threads FLEET_SIMD=$simd_env \
+            out=$(FLEET_NUM_THREADS=$threads FLEET_SIMD=$simd_env \
                 cargo test --release -q -p fleet-tests --test parallel_determinism \
-                -- --nocapture 2>&1 | grep -o 'shard-sweep digest: 0x[0-9a-f]*') || {
+                -- --nocapture 2>&1) || {
                 echo "FAIL: determinism tests at threads=$threads simd=$simd"
                 exit 1
             }
-            digest=${line##* }
-            echo "    threads=$threads simd=$simd -> $digest"
-            if [[ -z "$digest_ref" ]]; then
-                digest_ref="$digest"
-            elif [[ "$digest" != "$digest_ref" ]]; then
-                echo "FAIL: digest diverged at threads=$threads simd=$simd ($digest != $digest_ref)"
+            shard=$(grep -o 'shard-sweep digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            cnn=$(grep -o 'cnn-train digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            if [[ -z "$shard" || -z "$cnn" ]]; then
+                echo "FAIL: missing digest line at threads=$threads simd=$simd"
+                exit 1
+            fi
+            shard=${shard##* }
+            cnn=${cnn##* }
+            echo "    threads=$threads simd=$simd -> shard $shard cnn $cnn"
+            if [[ -z "$shard_ref" ]]; then
+                shard_ref="$shard"
+                cnn_ref="$cnn"
+            elif [[ "$shard" != "$shard_ref" || "$cnn" != "$cnn_ref" ]]; then
+                echo "FAIL: digest diverged at threads=$threads simd=$simd"
                 exit 1
             fi
         done
     done
 
-    # Kernel correctness + SIMD/scalar parity property tests, once with the
-    # dispatcher auto-detecting and once forced to the scalar fallback.
-    echo "==> kernel tests with SIMD dispatch auto and forced off"
+    # Kernel correctness + SIMD/scalar parity property tests, and the
+    # direct-vs-im2col convolution parity suite, once with the dispatcher
+    # auto-detecting and once forced to the scalar fallback.
+    echo "==> kernel + conv parity tests with SIMD dispatch auto and forced off"
     cargo test --release -q -p fleet-ml kernels
     FLEET_SIMD=off cargo test --release -q -p fleet-ml kernels
+    cargo test --release -q -p fleet-ml conv
+    FLEET_SIMD=off cargo test --release -q -p fleet-ml conv
 
     echo "==> bench smoke (ml_kernels -> BENCH_kernels.json)"
     FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-200}" \
@@ -73,6 +89,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     FLEET_BENCH_JSON="$PWD/BENCH_shards.json" \
         cargo bench --bench shards
     echo "==> wrote BENCH_shards.json"
+
+    echo "==> bench smoke (conv -> BENCH_conv.json)"
+    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-400}" \
+    FLEET_BENCH_JSON="$PWD/BENCH_conv.json" \
+        cargo bench --bench conv
+    echo "==> wrote BENCH_conv.json"
 fi
 
 echo "==> CI gate passed"

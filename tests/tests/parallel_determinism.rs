@@ -119,6 +119,44 @@ fn shard_sweep_digests_are_identical() {
 }
 
 #[test]
+fn cnn_training_digest_is_stable() {
+    pin_threads();
+    // A small CNN training loop (conv + pool + dense, forward and backward)
+    // so the im2col convolution path joins the cross-thread/SIMD
+    // bit-stability contract: `scripts/ci.sh` reruns this binary under
+    // FLEET_NUM_THREADS=1/4/7 x FLEET_SIMD=auto/off and compares the digest
+    // this test prints. The batch is sized so the conv layer's per-image
+    // fan-out crosses its work threshold (64 images x 8 filters x 9 weights
+    // x 196 positions ≈ 0.9M fused multiply-adds per forward), exercising
+    // the batch-parallel lowering/GEMM/scatter phases, not just the serial
+    // path.
+    use fleet_ml::models::small_cnn;
+    use fleet_ml::tensor::Tensor;
+    let (batch, size, classes) = (64usize, 16usize, 10usize);
+    let x = Tensor::from_vec(
+        (0..batch * size * size)
+            .map(|i| (i as f32 * 0.013).sin())
+            .collect(),
+        &[batch, 1, size, size],
+    );
+    let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+    let train = || {
+        let mut model = small_cnn(1, size, classes, 7);
+        for _ in 0..4 {
+            let (_, grad) = model.compute_gradient(&x, &labels).unwrap();
+            model.apply_gradient(&grad, 0.05).unwrap();
+        }
+        digest(&model.parameters())
+    };
+    let first = train();
+    println!(
+        "cnn-train digest: {first:#018x} (threads={})",
+        fleet_parallel::max_threads()
+    );
+    assert_eq!(first, train(), "repeated CNN training runs diverged");
+}
+
+#[test]
 fn parallel_large_kernels_are_reproducible() {
     pin_threads();
     // 256-cubed crosses the kernels' parallel threshold, so the row fan-out
