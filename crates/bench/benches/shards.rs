@@ -10,7 +10,7 @@
 //! this bench only measures how much wall-clock the fan-out buys.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use fleet_core::{DynSgd, ParameterServer, WorkerUpdate};
+use fleet_core::{ApplyMode, DynSgd, ParameterServer, WorkerUpdate};
 use fleet_data::LabelDistribution;
 use fleet_ml::Gradient;
 
@@ -43,22 +43,39 @@ fn shard_benches(c: &mut Criterion) {
 
     // K = 4 on the large model: the apply pass folds four pending segments
     // per shard, so the fan-out amortises the spawn cost over more work.
+    // Lockstep-vs-per-shard pairs at each shard count: the per-shard mode
+    // pays the vector-clock staleness attribution (one Λ(τ_s) evaluation
+    // per shard, against the read clock the update carries) on top of the
+    // identical split/scale/apply work, so the pair isolates that overhead.
     for shards in [1usize, 8] {
-        c.bench_with_input(
-            BenchmarkId::new("sharded_submit_1m_k4", shards),
-            &shards,
-            |b, &shards| {
+        for (name, mode) in [
+            ("sharded_submit_1m_k4", ApplyMode::Lockstep),
+            ("pershard_submit_1m_k4", ApplyMode::PerShard),
+        ] {
+            c.bench_with_input(BenchmarkId::new(name, shards), &shards, |b, &shards| {
                 let mut server =
                     ParameterServer::new(vec![0.0; LARGE_MODEL], DynSgd::new(), 0.01, 4)
-                        .with_shards(shards);
+                        .with_shards(shards)
+                        .with_apply_mode(mode);
                 let template = Gradient::from_vec(vec![0.01; LARGE_MODEL]);
                 let labels = LabelDistribution::from_labels(&[0, 1, 2, 3, 4], 10);
                 b.iter(|| {
-                    let update = WorkerUpdate::new(template.clone(), 3, labels.clone(), 100, 7);
+                    let mut update = WorkerUpdate::new(template.clone(), 3, labels.clone(), 100, 7);
+                    if mode == ApplyMode::PerShard {
+                        // A coherent read three updates in the past — the
+                        // steady-state shape of a mildly stale worker.
+                        update.read_clock = Some(
+                            server
+                                .shard_clocks()
+                                .iter()
+                                .map(|c| c.saturating_sub(3))
+                                .collect(),
+                        );
+                    }
                     black_box(server.submit(update))
                 });
-            },
-        );
+            });
+        }
     }
 }
 

@@ -212,10 +212,23 @@ fn render_json(results: &[BenchResult]) -> String {
     let parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    // Whether the workspace's fan-outs (shard application, kernel rows,
+    // simulation rounds) ran inline during this record: FLEET_NUM_THREADS
+    // wins when set (mirroring fleet_parallel::max_threads), else the host's
+    // parallelism decides. A single-core artifact's multi-shard/multi-thread
+    // numbers measure the serial path — flag it so downstream comparisons
+    // (scripts/bench_compare.py) can say so instead of misreading flat
+    // scaling curves.
+    let effective_threads = std::env::var("FLEET_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(parallelism);
+    let fan_out_inline = effective_threads <= 1;
     let mut out = String::from("{\n  \"schema\": \"fleet-bench-v2\",\n  \"meta\": {\n");
     let _ = writeln!(
         out,
-        "    \"fleet_num_threads\": {},\n    \"fleet_simd\": {},\n    \"available_parallelism\": {parallelism},\n    \"isa_features\": [{features}]\n  }},",
+        "    \"fleet_num_threads\": {},\n    \"fleet_simd\": {},\n    \"available_parallelism\": {parallelism},\n    \"fan_out_inline\": {fan_out_inline},\n    \"isa_features\": [{features}]\n  }},",
         json_env("FLEET_NUM_THREADS"),
         json_env("FLEET_SIMD"),
     );
@@ -282,6 +295,7 @@ mod tests {
         assert!(json.contains("\"fleet_num_threads\""));
         assert!(json.contains("\"isa_features\""));
         assert!(json.contains("\"available_parallelism\""));
+        assert!(json.contains("\"fan_out_inline\""));
         assert!(json.ends_with("}\n"));
     }
 }

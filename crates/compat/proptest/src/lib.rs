@@ -224,6 +224,34 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option`s whose `Some` values come from `inner`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` strategy: `None` roughly half the time, `Some(inner)`
+    /// otherwise (upstream defaults to a 50% `Some` probability too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// Everything a property-test module needs.
 pub mod prelude {
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};

@@ -21,8 +21,19 @@ pub trait Aggregator: std::fmt::Debug + Send {
     /// Short human-readable name (used by the experiment harnesses).
     fn name(&self) -> &'static str;
 
-    /// The scalar weight for an incoming update, in `[0, 1]`.
-    fn scaling_factor(&self, update: &WorkerUpdate) -> f64;
+    /// The scalar weight for an incoming update, in `[0, 1]`, at the
+    /// staleness the update itself carries.
+    fn scaling_factor(&self, update: &WorkerUpdate) -> f64 {
+        self.scaling_factor_at(update, update.staleness)
+    }
+
+    /// The weight for `update` evaluated at an explicit `staleness` instead
+    /// of the one the update carries. This is the per-shard entry point: a
+    /// server in [`crate::server::ApplyMode::PerShard`] attributes a
+    /// different staleness `τ_s` to each shard slice of one gradient (vector
+    /// clock semantics) and weights every slice with
+    /// `scaling_factor_at(update, τ_s)` — same Eq. 3, per shard.
+    fn scaling_factor_at(&self, update: &WorkerUpdate, staleness: u64) -> f64;
 
     /// Records that `update` has been applied to the model, letting the
     /// aggregator refresh its staleness statistics and global label
@@ -129,8 +140,8 @@ impl Aggregator for AdaSgd {
         "AdaSGD"
     }
 
-    fn scaling_factor(&self, update: &WorkerUpdate) -> f64 {
-        let dampening = self.current_policy().factor(update.staleness);
+    fn scaling_factor_at(&self, update: &WorkerUpdate, staleness: u64) -> f64 {
+        let dampening = self.current_policy().factor(staleness);
         let weight = if self.boost_enabled {
             let sim = self.similarity(update).max(MIN_SIMILARITY);
             dampening / sim
@@ -170,8 +181,8 @@ impl Aggregator for DynSgd {
         "DynSGD"
     }
 
-    fn scaling_factor(&self, update: &WorkerUpdate) -> f64 {
-        DampeningPolicy::Inverse.factor(update.staleness)
+    fn scaling_factor_at(&self, _update: &WorkerUpdate, staleness: u64) -> f64 {
+        DampeningPolicy::Inverse.factor(staleness)
     }
 
     fn record(&mut self, _update: &WorkerUpdate) {}
@@ -195,7 +206,7 @@ impl Aggregator for FedAvg {
         "FedAvg"
     }
 
-    fn scaling_factor(&self, _update: &WorkerUpdate) -> f64 {
+    fn scaling_factor_at(&self, _update: &WorkerUpdate, _staleness: u64) -> f64 {
         1.0
     }
 
@@ -221,7 +232,7 @@ impl Aggregator for Ssgd {
         "SSGD"
     }
 
-    fn scaling_factor(&self, _update: &WorkerUpdate) -> f64 {
+    fn scaling_factor_at(&self, _update: &WorkerUpdate, _staleness: u64) -> f64 {
         1.0
     }
 
@@ -344,6 +355,34 @@ mod tests {
     fn fallback_tau_thres_is_used_before_observations() {
         let ada = AdaSgd::new(10, 99.7).with_fallback_tau_thres(20);
         assert_eq!(ada.tau_thres(), 20);
+    }
+
+    #[test]
+    fn scaling_factor_at_matches_the_carried_staleness() {
+        // The per-shard entry point evaluated at the update's own staleness
+        // must be exactly the scalar path — the lockstep/per-shard
+        // equivalence (no clock divergence => identical weights) rests on it.
+        let mut ada = AdaSgd::new(10, 99.7);
+        for _ in 0..40 {
+            ada.record(&update(12, &[0, 1], 10));
+        }
+        let u = update(48, &[0, 1], 10);
+        for agg in [
+            &ada as &dyn Aggregator,
+            &DynSgd::new(),
+            &FedAvg::new(),
+            &Ssgd::new(),
+        ] {
+            assert_eq!(
+                agg.scaling_factor(&u).to_bits(),
+                agg.scaling_factor_at(&u, 48).to_bits(),
+                "{}",
+                agg.name()
+            );
+        }
+        // And a larger per-shard staleness dampens more (for the aware ones).
+        assert!(ada.scaling_factor_at(&u, 96) < ada.scaling_factor_at(&u, 48));
+        assert!((DynSgd::new().scaling_factor_at(&u, 9) - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -27,9 +27,14 @@
 //! parameter vector with a configurable aggregation parameter `K`
 //! (the number of gradients per model update). The vector is
 //! range-partitioned into shards (see [`server::ParameterServer::with_shards`])
-//! so aggregation fans out across cores, with results bit-for-bit identical
-//! at every shard and thread count — the `server` module docs spell out the
-//! layout and the determinism contract.
+//! so aggregation fans out across cores. In the default
+//! [`server::ApplyMode::Lockstep`] every shard applies on the same K-th
+//! submission and results are bit-for-bit identical at every shard and
+//! thread count; in [`server::ApplyMode::PerShard`] each shard applies on
+//! its own trigger (pending reaching K, or an explicit flush), the shard
+//! clocks form a vector clock, and staleness — hence the Λ(τ) weight — is
+//! evaluated per shard slice. The `server` module docs spell out the layout
+//! and the determinism contract of each mode.
 //!
 //! # Example
 //!
@@ -59,6 +64,6 @@ pub mod update;
 
 pub use aggregator::{AdaSgd, Aggregator, DynSgd, FedAvg, Ssgd};
 pub use dampening::DampeningPolicy;
-pub use server::{ParameterServer, SubmitOutcome};
+pub use server::{ApplyMode, ParameterServer, ParameterServerConfig, SubmitOutcome};
 pub use staleness::StalenessTracker;
 pub use update::WorkerUpdate;

@@ -6,26 +6,47 @@
 //! The global model is one flat `Vec<f32>`, range-partitioned into
 //! `num_shards` contiguous segments of near-equal length (the first
 //! `len % num_shards` shards hold one extra element). Each shard owns a
-//! pending buffer of scaled gradient segments and its own logical clock; the
-//! server keeps the *global* logical clock that staleness `τ = t − t_i` is
-//! measured against, so the staleness semantics (and the Λ(τ) dampening of
-//! Fig. 8) are independent of the shard count. Today every shard applies its
-//! pending run on the same K-th submission, so the per-shard clocks advance
-//! in lockstep with the global one; they exist so a future per-shard
-//! scheduler can advance shards independently.
+//! pending buffer of scaled gradient segments and its own logical clock.
+//!
+//! # Apply modes
+//!
+//! [`ApplyMode`] decides how the shard clocks relate to each other:
+//!
+//! * **[`ApplyMode::Lockstep`]** (default): every shard applies its pending
+//!   run on the same K-th submission, so the per-shard clocks advance in
+//!   lockstep with the server's global clock and the sharding buys parallel
+//!   bandwidth but no scheduling freedom. Staleness `τ = t − t_i` is
+//!   measured against the global clock, so the semantics (and the Λ(τ)
+//!   dampening of Fig. 8) are independent of the shard count.
+//! * **[`ApplyMode::PerShard`]**: each shard owns an independent apply
+//!   trigger — its own pending buffer reaching `K`, or an explicit
+//!   [`ParameterServer::flush_shard`] — and the shard clocks become a
+//!   genuine *vector clock*. Staleness is then defined **per shard** as the
+//!   applied-update count on that shard between the worker's read (the
+//!   [`crate::update::WorkerUpdate::read_clock`] snapshot) and its write:
+//!   `τ_s = clock_s − read_clock[s]`. Λ(τ_s) — and the dampening floor —
+//!   are evaluated per shard slice with the existing clamp, via
+//!   [`crate::aggregator::Aggregator::scaling_factor_at`]. The global clock
+//!   degrades to a *round counter* (it still advances on every K-th
+//!   submission) while [`ParameterServer::shard_clocks`] carries the real
+//!   per-shard state.
 //!
 //! # Determinism contract
 //!
 //! [`ParameterServer::submit`] splits each incoming gradient by shard range,
-//! scales every element exactly once, and — on the K-th gradient — applies
-//! each shard's pending buffer *in submission order*, element by element.
-//! Shards are disjoint ranges processed via
-//! [`fleet_parallel::parallel_uneven_zip_mut`], which assigns every range to
-//! exactly one thread, so the per-element sequence of floating-point
-//! operations is identical to the serial single-shard loop. Model parameters
-//! are therefore **bit-for-bit identical for any shard count and any thread
-//! count** (the workspace digest tests sweep {1, 2, 8} shards; run them under
-//! `FLEET_NUM_THREADS=1/4/7` to sweep threads).
+//! scales every element exactly once, and applies each shard's pending
+//! buffer *in submission order*, element by element. Shards are disjoint
+//! ranges processed via [`fleet_parallel::parallel_uneven_zip_mut`], which
+//! assigns every range to exactly one thread, so the per-element sequence of
+//! floating-point operations is identical to the serial single-shard loop.
+//! In lockstep mode, model parameters are therefore **bit-for-bit identical
+//! for any shard count and any thread count** (the workspace digest tests
+//! sweep {1, 2, 8} shards; run them under `FLEET_NUM_THREADS=1/4/7` to sweep
+//! threads). In per-shard mode the *shard count is part of the semantics*
+//! (each shard slice carries its own τ), but results remain bit-for-bit
+//! identical at any **thread** count for a fixed shard count and submission
+//! schedule: applies are ordered on (shard, submission index) — never on
+//! wall-clock arrival — and flushes are caller-ordered.
 
 use crate::aggregator::Aggregator;
 use crate::update::WorkerUpdate;
@@ -36,20 +57,66 @@ use std::ops::Range;
 /// shards run inline (in the same order, producing the same bits).
 const FAN_OUT_MIN_SHARD_LEN: usize = 32 * 1024;
 
+/// How shard applies are scheduled relative to each other (see the module
+/// docs for the full semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyMode {
+    /// Every shard applies on the same K-th submission; per-shard clocks
+    /// advance in lockstep with the global clock. Bit-identical to the
+    /// pre-`ApplyMode` server at any shard count.
+    #[default]
+    Lockstep,
+    /// Each shard applies on its own trigger (pending reaching K, or an
+    /// explicit flush); staleness is evaluated per shard against the vector
+    /// clock.
+    PerShard,
+}
+
+/// Construction-time knobs of a [`ParameterServer`], bundled so callers that
+/// thread configuration through layers (the FLeet server, the simulation
+/// driver) don't grow one builder call per knob.
+#[derive(Debug, Clone)]
+pub struct ParameterServerConfig {
+    /// Learning rate γ applied to weighted gradients.
+    pub learning_rate: f32,
+    /// Aggregation parameter K (gradients per update trigger).
+    pub aggregation_k: usize,
+    /// Number of range-partitioned shards.
+    pub shards: usize,
+    /// How shard applies are scheduled.
+    pub apply_mode: ApplyMode,
+}
+
+impl Default for ParameterServerConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 5e-2,
+            aggregation_k: 1,
+            shards: 1,
+            apply_mode: ApplyMode::Lockstep,
+        }
+    }
+}
+
 /// Result of submitting one worker update to the [`ParameterServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubmitOutcome {
-    /// The weight `min(1, Λ(τ)·1/sim)` that was attached to the gradient, as
-    /// the aggregator computed it in f64.
+    /// The weight `min(1, Λ(τ)·1/sim)` that was attached to the gradient at
+    /// the update's *scalar* staleness, as the aggregator computed it in f64.
+    /// In per-shard mode each shard slice may carry a different weight (see
+    /// [`ParameterServer::last_shard_weights`]); this field then reports the
+    /// scalar-staleness reference value.
     pub scaling_factor: f64,
-    /// The f32 weight actually multiplied into the gradient: the f64
-    /// `scaling_factor` cast to f32 and clamped at `f32::MIN_POSITIVE`, so
-    /// the dampening floor survives the cast (an unclamped cast underflows to
-    /// an exact 0.0 around staleness 10⁴, nullifying the gradient — precisely
-    /// what the floor exists to prevent).
+    /// The f32 weight actually multiplied into the gradient (at the scalar
+    /// staleness): the f64 `scaling_factor` cast to f32 and clamped at
+    /// `f32::MIN_POSITIVE`, so the dampening floor survives the cast (an
+    /// unclamped cast underflows to an exact 0.0 around staleness 10⁴,
+    /// nullifying the gradient — precisely what the floor exists to
+    /// prevent). Per-shard weights get the identical clamp.
     pub applied_weight: f32,
-    /// Whether this submission triggered a model update (the K-th gradient of
-    /// the current aggregation round).
+    /// Whether this submission triggered a model update — in lockstep mode
+    /// the K-th gradient of the aggregation round; in per-shard mode whether
+    /// *any* shard applied on this submission.
     pub applied: bool,
     /// The server's global logical clock after the submission.
     pub clock: u64,
@@ -64,11 +131,14 @@ struct Shard {
     start: usize,
     /// Number of parameters in the shard's range.
     len: usize,
-    /// Scaled gradient segments awaiting the K-th submission, in submission
-    /// order.
+    /// Scaled gradient segments awaiting the shard's apply trigger, in
+    /// submission order.
     pending: Vec<Vec<f32>>,
-    /// Number of model updates this shard has applied.
+    /// Number of model updates this shard has applied (the shard's entry in
+    /// the vector clock).
     clock: u64,
+    /// Number of gradient segments folded into this shard's range.
+    applied: u64,
 }
 
 /// A parameter server holding the flat model parameters — range-partitioned
@@ -76,8 +146,9 @@ struct Shard {
 /// gradients per update (§2.3: `K` can be 1 for maximum update frequency, or
 /// larger / time-window based). [`ParameterServer::new`] starts with a single
 /// shard; [`ParameterServer::with_shards`] re-partitions so the aggregation
-/// hot path fans out across cores. See the module docs for the layout and the
-/// determinism contract.
+/// hot path fans out across cores, and [`ParameterServer::with_apply_mode`]
+/// (or [`ParameterServer::from_config`]) picks the scheduling mode. See the
+/// module docs for the layout and the determinism contract.
 #[derive(Debug)]
 pub struct ParameterServer<A: Aggregator> {
     parameters: Vec<f32>,
@@ -88,15 +159,21 @@ pub struct ParameterServer<A: Aggregator> {
     aggregator: A,
     learning_rate: f32,
     aggregation_k: usize,
+    apply_mode: ApplyMode,
     pending_count: usize,
     clock: u64,
-    updates_applied: u64,
     updates_received: u64,
+    /// Per-shard staleness values attributed to the most recent submission
+    /// (per-shard mode only; empty in lockstep).
+    last_shard_staleness: Vec<u64>,
+    /// Per-shard f32 weights applied to the most recent submission
+    /// (per-shard mode only; empty in lockstep).
+    last_shard_weights: Vec<f32>,
 }
 
 impl<A: Aggregator> ParameterServer<A> {
     /// Creates a server over an initial flat parameter vector, with a single
-    /// shard.
+    /// shard in lockstep mode.
     ///
     /// # Panics
     ///
@@ -119,19 +196,44 @@ impl<A: Aggregator> ParameterServer<A> {
             aggregator,
             learning_rate,
             aggregation_k,
+            apply_mode: ApplyMode::Lockstep,
             pending_count: 0,
             clock: 0,
-            updates_applied: 0,
             updates_received: 0,
+            last_shard_staleness: Vec::new(),
+            last_shard_weights: Vec::new(),
         };
         server.partition(1);
         server
     }
 
+    /// Creates a server from a bundled [`ParameterServerConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's learning rate is not positive or its `K` or
+    /// shard count is zero.
+    pub fn from_config(
+        initial_parameters: Vec<f32>,
+        aggregator: A,
+        config: &ParameterServerConfig,
+    ) -> Self {
+        Self::new(
+            initial_parameters,
+            aggregator,
+            config.learning_rate,
+            config.aggregation_k,
+        )
+        .with_shards(config.shards)
+        .with_apply_mode(config.apply_mode)
+    }
+
     /// Re-partitions the parameters into `num_shards` near-equal contiguous
     /// ranges. Shard counts above the parameter length leave the excess
-    /// shards empty (harmless no-ops). The partition does not affect results:
-    /// outputs are bit-for-bit identical for every shard count.
+    /// shards empty (harmless no-ops). In lockstep mode the partition does
+    /// not affect results — outputs are bit-for-bit identical for every
+    /// shard count; in per-shard mode the shard count is part of the
+    /// semantics (each shard carries its own τ).
     ///
     /// # Panics
     ///
@@ -139,19 +241,69 @@ impl<A: Aggregator> ParameterServer<A> {
     /// before submitting, not mid-round).
     pub fn with_shards(mut self, num_shards: usize) -> Self {
         assert!(num_shards > 0, "shard count must be positive");
-        assert_eq!(
-            self.pending_count, 0,
+        assert!(
+            !self.has_pending(),
             "cannot re-partition with pending gradients"
         );
         self.partition(num_shards);
         self
     }
 
+    /// Switches the apply-scheduling mode (see [`ApplyMode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if gradients are pending — the two modes account for pending
+    /// runs differently, so switching mid-round would misattribute them —
+    /// or if the shard clocks have diverged (lockstep's invariant is that
+    /// every shard clock equals the global clock; adopting diverged clocks
+    /// would silently break it).
+    pub fn with_apply_mode(mut self, mode: ApplyMode) -> Self {
+        assert!(
+            !self.has_pending(),
+            "cannot switch apply mode with pending gradients"
+        );
+        assert!(
+            self.shards.windows(2).all(|w| w[0].clock == w[1].clock),
+            "cannot switch apply mode with diverged shard clocks"
+        );
+        // Adopting lockstep also requires the (undiverged) shard clocks to
+        // sit *at* the global clock: in per-shard mode flushes can push
+        // every shard collectively past the round counter, and lockstep
+        // guarantees shard_clock() == clock() from then on.
+        assert!(
+            mode != ApplyMode::Lockstep || self.shards.iter().all(|s| s.clock == self.clock),
+            "cannot adopt lockstep with shard clocks ahead of the global clock"
+        );
+        self.apply_mode = mode;
+        self
+    }
+
+    fn has_pending(&self) -> bool {
+        self.pending_count != 0 || self.shards.iter().any(|s| !s.pending.is_empty())
+    }
+
     fn partition(&mut self, num_shards: usize) {
         let len = self.parameters.len();
         let base = len / num_shards;
         let extra = len % num_shards;
-        let clock = self.clock;
+        // Seed the new shards from the most advanced existing clock, not the
+        // global one: in per-shard mode the global clock is only a round
+        // counter, and a flush-diverged shard may sit *above* it. Resetting
+        // to the round counter would move the vector clock backwards, and a
+        // worker holding a pre-partition read snapshot would then be
+        // attributed spuriously fresh per-shard staleness (saturating_sub of
+        // a regressed clock). Monotone-but-collapsed is the sound choice: a
+        // re-partition redraws the shard boundaries, so the only staleness
+        // every new shard can honestly inherit is the maximum any slice of
+        // it may have reached.
+        let clock = self
+            .shards
+            .iter()
+            .map(|s| s.clock)
+            .max()
+            .unwrap_or(self.clock);
+        let applied = self.updates_applied();
         self.shards.clear();
         self.shard_lens.clear();
         let mut start = 0;
@@ -162,6 +314,7 @@ impl<A: Aggregator> ParameterServer<A> {
                 len: shard_len,
                 pending: Vec::new(),
                 clock,
+                applied,
             });
             self.shard_lens.push(shard_len);
             start += shard_len;
@@ -174,10 +327,18 @@ impl<A: Aggregator> ParameterServer<A> {
         &self.parameters
     }
 
-    /// The server's global logical clock `t`: the number of model updates so
-    /// far.
+    /// The server's global logical clock `t`. In lockstep mode this is the
+    /// number of model updates so far; in per-shard mode it degrades to a
+    /// round counter (it advances on every K-th submission, whatever the
+    /// individual shards did) and [`Self::shard_clocks`] carries the real
+    /// per-shard state.
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// The apply-scheduling mode in force.
+    pub fn apply_mode(&self) -> ApplyMode {
+        self.apply_mode
     }
 
     /// Number of shards the parameters are partitioned into.
@@ -193,8 +354,9 @@ impl<A: Aggregator> ParameterServer<A> {
             .collect()
     }
 
-    /// The logical clock of one shard (today always equal to [`Self::clock`],
-    /// since every shard applies on the same K-th submission).
+    /// The logical clock of one shard: the number of updates that shard has
+    /// applied. In lockstep mode always equal to [`Self::clock`]; in
+    /// per-shard mode the shards advance independently.
     ///
     /// # Panics
     ///
@@ -203,14 +365,39 @@ impl<A: Aggregator> ParameterServer<A> {
         self.shards[shard].clock
     }
 
+    /// The full vector clock, in shard order — what a worker snapshots at
+    /// model-read time so a per-shard server can attribute per-shard
+    /// staleness to its gradient.
+    pub fn shard_clocks(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.clock).collect()
+    }
+
+    /// The per-shard staleness values `τ_s` attributed to the most recent
+    /// submission (empty before the first submission and in lockstep mode,
+    /// where the scalar staleness applies to every shard).
+    pub fn last_shard_staleness(&self) -> &[u64] {
+        &self.last_shard_staleness
+    }
+
+    /// The per-shard f32 weights applied to the most recent submission
+    /// (empty before the first submission and in lockstep mode, where
+    /// [`SubmitOutcome::applied_weight`] applies to every shard).
+    pub fn last_shard_weights(&self) -> &[f32] {
+        &self.last_shard_weights
+    }
+
     /// Number of gradients received (applied or pending).
     pub fn updates_received(&self) -> u64 {
         self.updates_received
     }
 
-    /// Number of gradients that have been folded into the model.
+    /// Number of gradients that have been folded into the model on *every*
+    /// shard — the fully-applied frontier. In lockstep mode all shards apply
+    /// together, so this is simply the number of applied gradients; in
+    /// per-shard mode a gradient applied on some shards but still pending on
+    /// others does not count yet.
     pub fn updates_applied(&self) -> u64 {
-        self.updates_applied
+        self.shards.iter().map(|s| s.applied).min().unwrap_or(0)
     }
 
     /// The configured learning rate γ.
@@ -224,17 +411,21 @@ impl<A: Aggregator> ParameterServer<A> {
     }
 
     /// Submits one worker update. The gradient is split by shard range,
-    /// scaled once by the aggregator's weight and buffered per shard; once
-    /// `K` gradients have accumulated every shard applies its pending run (in
-    /// submission order) and the global clock advances. With more than one
-    /// shard — and segments long enough to beat the spawn cost — the split,
-    /// scale and apply all fan out across threads via [`fleet_parallel`]; see
-    /// the module docs for why the result is bit-for-bit independent of both
-    /// shard and thread count.
+    /// scaled by the aggregator's weight and buffered per shard; shards
+    /// apply their pending runs (in submission order) when their trigger
+    /// fires — the same K-th submission for every shard in lockstep mode,
+    /// each shard's own pending count reaching K in per-shard mode. With
+    /// more than one shard — and segments long enough to beat the spawn
+    /// cost — the split, scale and apply all fan out across threads via
+    /// [`fleet_parallel`]; see the module docs for the determinism contract
+    /// of each mode.
     ///
     /// # Panics
     ///
-    /// Panics if the gradient length differs from the parameter length.
+    /// Panics if the gradient length differs from the parameter length, or
+    /// if the update carries a [`WorkerUpdate::read_clock`] whose length
+    /// differs from the shard count (in per-shard mode; lockstep ignores the
+    /// read clock).
     pub fn submit(&mut self, update: WorkerUpdate) -> SubmitOutcome {
         assert_eq!(
             update.gradient.len(),
@@ -244,6 +435,14 @@ impl<A: Aggregator> ParameterServer<A> {
             self.parameters.len()
         );
         let scaling = self.aggregator.scaling_factor(&update);
+        // Per-shard staleness and weights must be evaluated against the same
+        // aggregator state as the scalar factor — i.e. *before* `record`
+        // refreshes the staleness statistics and global label distribution —
+        // or an undiverged per-shard run would drift from lockstep.
+        let shard_weights = match self.apply_mode {
+            ApplyMode::Lockstep => None,
+            ApplyMode::PerShard => Some(self.shard_staleness_weights(&update)),
+        };
         self.aggregator.record(&update);
         self.updates_received += 1;
 
@@ -253,6 +452,73 @@ impl<A: Aggregator> ParameterServer<A> {
         // after the cast so extreme staleness keeps a nonzero weight.
         let weight = (scaling as f32).max(f32::MIN_POSITIVE);
 
+        match shard_weights {
+            None => self.submit_lockstep(&update, scaling, weight),
+            Some((taus, weights)) => self.submit_per_shard(&update, scaling, weight, taus, weights),
+        }
+    }
+
+    /// Attributes a staleness `τ_s` and an Eq. 3 weight to every shard slice
+    /// of `update`, against the current vector clock: `τ_s` is the number of
+    /// updates shard `s` applied since the worker's read
+    /// ([`WorkerUpdate::read_clock`]; a missing read clock falls back to the
+    /// scalar staleness for every shard, so wire peers that predate vector
+    /// clocks keep working). The weight gets the same post-cast clamp as the
+    /// scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the update carries a read clock whose length differs from
+    /// the shard count.
+    fn shard_staleness_weights(&self, update: &WorkerUpdate) -> (Vec<u64>, Vec<f32>) {
+        if let Some(read_clock) = update.read_clock.as_deref() {
+            assert_eq!(
+                read_clock.len(),
+                self.shards.len(),
+                "read clock length {} does not match shard count {}",
+                read_clock.len(),
+                self.shards.len()
+            );
+        }
+        let mut taus = Vec::with_capacity(self.shards.len());
+        let mut weights = Vec::with_capacity(self.shards.len());
+        // Evaluate Λ(τ) once per *distinct* τ, not once per shard: for
+        // AdaSGD a single evaluation re-estimates τ_thres (a percentile over
+        // the staleness window) and the label similarity, so per-shard calls
+        // would multiply that cost by the shard count — and in the common
+        // undiverged case every shard shares one τ anyway. Shard counts are
+        // small, so a linear scan beats hashing.
+        let mut distinct: Vec<(u64, f32)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let tau = match update.read_clock.as_deref() {
+                Some(read_clock) => shard.clock.saturating_sub(read_clock[i]),
+                None => update.staleness,
+            };
+            let shard_weight = match distinct.iter().find(|(t, _)| *t == tau) {
+                Some(&(_, w)) => w,
+                None => {
+                    let w = (self.aggregator.scaling_factor_at(update, tau) as f32)
+                        .max(f32::MIN_POSITIVE);
+                    distinct.push((tau, w));
+                    w
+                }
+            };
+            taus.push(tau);
+            weights.push(shard_weight);
+        }
+        (taus, weights)
+    }
+
+    /// The lockstep apply path: every shard applies on the same K-th
+    /// submission. This is the pre-`ApplyMode` hot path, float-op for
+    /// float-op — the digest contract (`0xcca852d1696df74f` in the ci.sh
+    /// sweep) pins it.
+    fn submit_lockstep(
+        &mut self,
+        update: &WorkerUpdate,
+        scaling: f64,
+        weight: f32,
+    ) -> SubmitOutcome {
         self.pending_count += 1;
         let apply_now = self.pending_count >= self.aggregation_k;
         let learning_rate = self.learning_rate;
@@ -271,6 +537,7 @@ impl<A: Aggregator> ParameterServer<A> {
                         *p -= learning_rate * g;
                     }
                 }
+                shard.applied += shard.pending.len() as u64 + 1;
                 shard.pending.clear();
                 for (p, g) in segment.iter_mut().zip(incoming) {
                     *p -= learning_rate * (g * weight);
@@ -282,10 +549,87 @@ impl<A: Aggregator> ParameterServer<A> {
                     .push(incoming.iter().map(|g| g * weight).collect());
             }
         };
-        // Fan out only when each shard carries enough elements to beat the
-        // per-submit thread-spawn cost; below that, the same body runs inline
-        // in shard order (identical op order either way, so this is purely a
-        // latency decision).
+        self.fan_out_shards(body);
+        if apply_now {
+            self.pending_count = 0;
+            self.clock += 1;
+        }
+        SubmitOutcome {
+            scaling_factor: scaling,
+            applied_weight: weight,
+            applied: apply_now,
+            clock: self.clock,
+        }
+    }
+
+    /// The per-shard apply path: staleness (and therefore the Eq. 3 weight)
+    /// is evaluated per shard slice against the vector clock, and each shard
+    /// applies when *its own* pending run reaches K. Applies are ordered on
+    /// (shard, submission index) — a shard's pending segments drain in the
+    /// order they were submitted, and each shard belongs to exactly one
+    /// fan-out thread — so the result is bit-for-bit reproducible at any
+    /// thread count for a fixed schedule.
+    fn submit_per_shard(
+        &mut self,
+        update: &WorkerUpdate,
+        scaling: f64,
+        weight: f32,
+        taus: Vec<u64>,
+        weights: Vec<f32>,
+    ) -> SubmitOutcome {
+        self.pending_count += 1;
+        // The global clock stays a deterministic round counter: it advances
+        // on every K-th submission no matter which shards applied.
+        let round_complete = self.pending_count >= self.aggregation_k;
+        let applied_any = self
+            .shards
+            .iter()
+            .any(|s| s.pending.len() + 1 >= self.aggregation_k);
+        let aggregation_k = self.aggregation_k;
+        let learning_rate = self.learning_rate;
+        let gradient = update.gradient.as_slice();
+        let shard_weights = &weights;
+        let body = |i: usize, shard: &mut Shard, segment: &mut [f32]| {
+            let incoming = &gradient[shard.start..shard.start + shard.len];
+            let weight = shard_weights[i];
+            if shard.pending.len() + 1 >= aggregation_k {
+                for scaled in &shard.pending {
+                    for (p, g) in segment.iter_mut().zip(scaled) {
+                        *p -= learning_rate * g;
+                    }
+                }
+                shard.applied += shard.pending.len() as u64 + 1;
+                shard.pending.clear();
+                for (p, g) in segment.iter_mut().zip(incoming) {
+                    *p -= learning_rate * (g * weight);
+                }
+                shard.clock += 1;
+            } else {
+                shard
+                    .pending
+                    .push(incoming.iter().map(|g| g * weight).collect());
+            }
+        };
+        self.fan_out_shards(body);
+        if round_complete {
+            self.pending_count = 0;
+            self.clock += 1;
+        }
+        self.last_shard_staleness = taus;
+        self.last_shard_weights = weights;
+        SubmitOutcome {
+            scaling_factor: scaling,
+            applied_weight: weight,
+            applied: applied_any,
+            clock: self.clock,
+        }
+    }
+
+    /// Runs `body` once per (shard, parameter segment) pair — across threads
+    /// when each shard carries enough elements to beat the per-submit
+    /// thread-spawn cost, inline in shard order below that (identical op
+    /// order either way, so this is purely a latency decision).
+    fn fan_out_shards(&mut self, body: impl Fn(usize, &mut Shard, &mut [f32]) + Sync) {
         let fan_out = self.shards.len() > 1
             && self.parameters.len() / self.shards.len() >= FAN_OUT_MIN_SHARD_LEN;
         if fan_out {
@@ -303,17 +647,53 @@ impl<A: Aggregator> ParameterServer<A> {
                 body(i, shard, segment);
             }
         }
-        if apply_now {
-            self.updates_applied += self.pending_count as u64;
-            self.pending_count = 0;
-            self.clock += 1;
+    }
+
+    /// Applies one shard's pending run immediately (in submission order),
+    /// without waiting for its pending buffer to reach K — the second apply
+    /// trigger a per-shard scheduler owns. Advances the shard's clock when
+    /// anything was pending; an empty flush is a no-op (the clock counts
+    /// applied updates, not trigger attempts). Returns whether the shard
+    /// applied anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is in lockstep mode (lockstep accounts pending
+    /// gradients globally, so draining one shard would desynchronise the
+    /// round) or `shard` is out of range.
+    pub fn flush_shard(&mut self, shard: usize) -> bool {
+        assert_eq!(
+            self.apply_mode,
+            ApplyMode::PerShard,
+            "flush_shard requires ApplyMode::PerShard"
+        );
+        let learning_rate = self.learning_rate;
+        let s = &mut self.shards[shard];
+        if s.pending.is_empty() {
+            return false;
         }
-        SubmitOutcome {
-            scaling_factor: scaling,
-            applied_weight: weight,
-            applied: apply_now,
-            clock: self.clock,
+        let segment = &mut self.parameters[s.start..s.start + s.len];
+        for scaled in &s.pending {
+            for (p, g) in segment.iter_mut().zip(scaled) {
+                *p -= learning_rate * g;
+            }
         }
+        s.applied += s.pending.len() as u64;
+        s.pending.clear();
+        s.clock += 1;
+        true
+    }
+
+    /// Flushes every shard's pending run (see [`Self::flush_shard`]), in
+    /// shard order. Returns the number of shards that applied anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is in lockstep mode.
+    pub fn flush(&mut self) -> usize {
+        (0..self.shards.len())
+            .filter(|&i| self.flush_shard(i))
+            .count()
     }
 }
 
@@ -436,6 +816,9 @@ mod tests {
         for shard in 0..server.num_shards() {
             assert_eq!(server.shard_clock(shard), 3);
         }
+        assert_eq!(server.shard_clocks(), vec![3; 4]);
+        assert!(server.last_shard_staleness().is_empty());
+        assert!(server.last_shard_weights().is_empty());
     }
 
     /// The acceptance criterion in miniature: identical submission sequences
@@ -495,11 +878,190 @@ mod tests {
         );
     }
 
+    /// The per-shard path gets the identical post-cast clamp, per slice: a
+    /// shard whose τ_s underflows the f32 weight keeps `f32::MIN_POSITIVE`
+    /// while a fresh shard keeps full weight.
+    #[test]
+    fn dampening_floor_survives_per_shard_too() {
+        // Pinned τ_thres (no percentile sorting) and no boost, so the weight
+        // is exactly Λ(τ_s) — which underflows the f32 cast around τ = 10⁴.
+        let aggregator = AdaSgd::new(4, 99.7)
+            .with_fixed_tau_thres(12)
+            .without_similarity_boost();
+        let mut server = ParameterServer::new(vec![0.0, 0.0], aggregator, 1.0, 1)
+            .with_shards(2)
+            .with_apply_mode(ApplyMode::PerShard);
+        // Drive both shard clocks to 10_000 with zero gradients (K = 1: every
+        // submission applies immediately on both shards).
+        for _ in 0..10_000 {
+            server.submit(update(vec![0.0, 0.0], 0).with_read_clock(server.shard_clocks()));
+        }
+        assert_eq!(server.shard_clocks(), vec![10_000, 10_000]);
+        // A worker whose read of shard 0 is 10_000 updates old while its read
+        // of shard 1 is current: τ = [10_000, 0].
+        let stale = update(vec![1.0, -1.0], 0).with_read_clock(vec![0, 10_000]);
+        let raw = server.aggregator().scaling_factor_at(&stale, 10_000);
+        assert!(raw > 0.0 && raw as f32 == 0.0, "cast must underflow");
+        server.submit(stale);
+        assert_eq!(server.last_shard_staleness(), &[10_000, 0]);
+        assert_eq!(
+            server.last_shard_weights(),
+            &[f32::MIN_POSITIVE, 1.0],
+            "the floor must survive the cast on the stale shard slice"
+        );
+        // The extremely stale slice still leaves a (tiny) nonzero trace.
+        assert!(server.parameters()[0] < 0.0);
+        assert_eq!(server.parameters()[1], 1.0);
+    }
+
     #[test]
     fn fresh_updates_keep_full_weight_after_the_clamp() {
         let mut server = ParameterServer::new(vec![0.0], FedAvg::new(), 1.0, 1);
         let outcome = server.submit(update(vec![1.0], 0));
         assert_eq!(outcome.applied_weight, 1.0);
+    }
+
+    /// Without clock divergence (no flushes) the per-shard mode is the
+    /// lockstep mode, bit for bit: every shard's τ_s equals the scalar
+    /// staleness, so every slice gets the identical weight and the apply
+    /// triggers coincide.
+    #[test]
+    fn per_shard_without_divergence_matches_lockstep_bitwise() {
+        let len = 41;
+        let init: Vec<f32> = (0..len).map(|i| (i as f32 * 0.23).sin()).collect();
+        for k in [1usize, 3] {
+            let mut lockstep =
+                ParameterServer::new(init.clone(), DynSgd::new(), 0.05, k).with_shards(4);
+            let mut per_shard = ParameterServer::new(init.clone(), DynSgd::new(), 0.05, k)
+                .with_shards(4)
+                .with_apply_mode(ApplyMode::PerShard);
+            for step in 0..12u64 {
+                let gradient: Vec<f32> = (0..len)
+                    .map(|i| ((i as f32 + step as f32) * 0.7).cos())
+                    .collect();
+                // Clamp like the simulation planner: a worker cannot have
+                // read a model more updates old than have happened.
+                let staleness = (step % 4).min(lockstep.clock());
+                // The per-shard server reads a coherent vector clock whose
+                // entries all lag by the scalar staleness.
+                let read_clock: Vec<u64> = per_shard
+                    .shard_clocks()
+                    .iter()
+                    .map(|c| c - staleness)
+                    .collect();
+                let a = lockstep.submit(update(gradient.clone(), staleness));
+                let b = per_shard.submit(update(gradient, staleness).with_read_clock(read_clock));
+                assert_eq!(a, b, "k={k} step={step}");
+                assert_eq!(lockstep.parameters(), per_shard.parameters());
+            }
+            assert_eq!(lockstep.updates_applied(), per_shard.updates_applied());
+        }
+    }
+
+    /// The scripted-divergence core of the per-shard semantics: flushing one
+    /// shard twice makes the vector clock diverge by 2, and a subsequent
+    /// submission is weighted per shard — exact values asserted.
+    #[test]
+    fn flushes_diverge_shard_clocks_and_staleness() {
+        let mut server = ParameterServer::new(vec![0.0; 2], DynSgd::new(), 1.0, 3)
+            .with_shards(2)
+            .with_apply_mode(ApplyMode::PerShard);
+
+        // Two submissions, flushing shard 0 after each: shard 0 applies each
+        // buffered segment immediately, shard 1 keeps buffering.
+        server.submit(update(vec![1.0, 1.0], 0).with_read_clock(vec![0, 0]));
+        assert!(server.flush_shard(0));
+        server.submit(update(vec![1.0, 1.0], 0).with_read_clock(vec![0, 0]));
+        assert!(server.flush_shard(0));
+        assert_eq!(server.shard_clocks(), vec![2, 0], "diverged by 2 ticks");
+
+        // The second submission already saw the divergence: shard 0 had
+        // applied once since the read, shard 1 had not.
+        assert_eq!(server.last_shard_staleness(), &[1, 0]);
+        assert_eq!(server.last_shard_weights(), &[0.5, 1.0]);
+
+        // A third submission against the same read snapshot: shard 0 is two
+        // updates ahead (τ=2, weight 1/3), shard 1 still fresh (τ=0, weight
+        // 1) — and it is the K=3rd pending on shard 1, which applies.
+        let outcome = server.submit(update(vec![1.0, 1.0], 0).with_read_clock(vec![0, 0]));
+        assert_eq!(server.last_shard_staleness(), &[2, 0]);
+        assert_eq!(
+            server.last_shard_weights(),
+            &[(1.0f64 / 3.0) as f32, 1.0],
+            "DynSGD per-shard weights must be exactly 1/(τ_s+1)"
+        );
+        assert!(outcome.applied, "shard 1 reached K on this submission");
+        assert_eq!(server.shard_clocks(), vec![2, 1]);
+        // Shard 1 applied its three buffered segments at weight 1 each
+        // (lr=1): parameter trace is exactly -3. Shard 0 applied the first at
+        // weight 1 and the second at weight 1/2 via the flushes; the third is
+        // pending (weight 1/3).
+        assert_eq!(server.parameters()[1], -3.0);
+        assert_eq!(server.parameters()[0], -1.5);
+        assert_eq!(server.updates_applied(), 2, "fully-applied frontier");
+
+        // An explicit flush drains shard 0's remaining pending segment.
+        assert_eq!(server.flush(), 1);
+        assert_eq!(server.shard_clocks(), vec![3, 1]);
+        assert_eq!(server.parameters()[0], -1.5 - (1.0f64 / 3.0) as f32);
+        assert_eq!(server.updates_applied(), 3);
+        // Flushing with nothing pending is a no-op.
+        assert_eq!(server.flush(), 0);
+        assert_eq!(server.shard_clocks(), vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush_shard requires ApplyMode::PerShard")]
+    fn lockstep_flush_panics() {
+        let mut server = ParameterServer::new(vec![0.0], FedAvg::new(), 0.1, 2);
+        server.flush_shard(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read clock length")]
+    fn mismatched_read_clock_panics() {
+        let mut server = ParameterServer::new(vec![0.0; 4], FedAvg::new(), 0.1, 1)
+            .with_shards(2)
+            .with_apply_mode(ApplyMode::PerShard);
+        server.submit(update(vec![0.0; 4], 0).with_read_clock(vec![0, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch apply mode with pending gradients")]
+    fn mode_switch_with_pending_panics() {
+        let mut server = ParameterServer::new(vec![0.0], FedAvg::new(), 0.1, 2);
+        server.submit(update(vec![1.0], 0));
+        let _ = server.with_apply_mode(ApplyMode::PerShard);
+    }
+
+    #[test]
+    fn from_config_wires_every_knob() {
+        let config = ParameterServerConfig {
+            learning_rate: 0.25,
+            aggregation_k: 2,
+            shards: 3,
+            apply_mode: ApplyMode::PerShard,
+        };
+        let server = ParameterServer::from_config(vec![0.0; 9], FedAvg::new(), &config);
+        assert_eq!(server.learning_rate(), 0.25);
+        assert_eq!(server.num_shards(), 3);
+        assert_eq!(server.apply_mode(), ApplyMode::PerShard);
+        assert_eq!(
+            ParameterServerConfig::default().apply_mode,
+            ApplyMode::Lockstep
+        );
+    }
+
+    /// A per-shard server with a missing read clock falls back to the scalar
+    /// staleness on every shard (wire peers predating vector clocks).
+    #[test]
+    fn missing_read_clock_falls_back_to_scalar_staleness() {
+        let mut server = ParameterServer::new(vec![0.0; 4], DynSgd::new(), 1.0, 1)
+            .with_shards(2)
+            .with_apply_mode(ApplyMode::PerShard);
+        server.submit(update(vec![1.0; 4], 9));
+        assert_eq!(server.last_shard_staleness(), &[9, 9]);
+        assert_eq!(server.last_shard_weights(), &[0.1, 0.1]);
     }
 
     proptest! {
@@ -524,6 +1086,39 @@ mod tests {
                 let b = sharded.submit(update(gradient, staleness));
                 prop_assert_eq!(a, b);
                 prop_assert_eq!(reference.parameters(), sharded.parameters());
+            }
+        }
+
+        /// Per-shard mode with a coherent (undiverged) read clock is the
+        /// lockstep run, bit for bit — over random schedules.
+        #[test]
+        fn prop_per_shard_coherent_reads_match_lockstep(
+            len in 1usize..60,
+            shards in 1usize..8,
+            k in 1usize..4,
+            seeds in proptest::collection::vec((0u64..20, -1.0f32..1.0), 1..16),
+        ) {
+            let init: Vec<f32> = (0..len).map(|i| (i as f32 * 0.19).cos()).collect();
+            let mut lockstep =
+                ParameterServer::new(init.clone(), DynSgd::new(), 0.1, k).with_shards(shards);
+            let mut per_shard = ParameterServer::new(init, DynSgd::new(), 0.1, k)
+                .with_shards(shards)
+                .with_apply_mode(ApplyMode::PerShard);
+            for &(staleness, scale) in &seeds {
+                let gradient: Vec<f32> =
+                    (0..len).map(|i| scale * ((i as f32) * 0.5).sin()).collect();
+                // Clamp like the simulation planner: staleness cannot exceed
+                // the number of updates that have happened.
+                let staleness = staleness.min(lockstep.clock());
+                let read_clock: Vec<u64> = per_shard
+                    .shard_clocks()
+                    .iter()
+                    .map(|c| c - staleness)
+                    .collect();
+                let a = lockstep.submit(update(gradient.clone(), staleness));
+                let b = per_shard.submit(update(gradient, staleness).with_read_clock(read_clock));
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(lockstep.parameters(), per_shard.parameters());
             }
         }
     }

@@ -20,6 +20,13 @@ pub struct WorkerUpdate {
     pub num_samples: usize,
     /// Identifier of the worker that produced the update.
     pub worker_id: u64,
+    /// The per-shard vector clock observed when the worker pulled the model,
+    /// for servers running [`crate::server::ApplyMode::PerShard`]: entry `s`
+    /// is the applied-update count of shard `s` at read time, so the server
+    /// can attribute a *per-shard* staleness `τ_s = clock_s − read_clock[s]`
+    /// to the gradient. `None` (and any server in lockstep mode) falls back
+    /// to the scalar [`WorkerUpdate::staleness`] for every shard.
+    pub read_clock: Option<Vec<u64>>,
 }
 
 impl WorkerUpdate {
@@ -37,7 +44,15 @@ impl WorkerUpdate {
             label_distribution,
             num_samples,
             worker_id,
+            read_clock: None,
         }
+    }
+
+    /// Attaches the per-shard vector clock the worker observed when it pulled
+    /// the model (see [`WorkerUpdate::read_clock`]).
+    pub fn with_read_clock(mut self, read_clock: Vec<u64>) -> Self {
+        self.read_clock = Some(read_clock);
+        self
     }
 
     /// A fresh (staleness 0) update — convenient for synchronous baselines
@@ -68,5 +83,17 @@ mod tests {
         let f = WorkerUpdate::fresh(g, ld, 16);
         assert_eq!(f.staleness, 0);
         assert_eq!(f.worker_id, 0);
+        assert_eq!(f.read_clock, None);
+    }
+
+    #[test]
+    fn read_clock_rides_along() {
+        let u = WorkerUpdate::fresh(
+            Gradient::from_vec(vec![1.0]),
+            LabelDistribution::uniform(2),
+            4,
+        )
+        .with_read_clock(vec![3, 5]);
+        assert_eq!(u.read_clock.as_deref(), Some(&[3, 5][..]));
     }
 }

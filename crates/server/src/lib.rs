@@ -28,6 +28,7 @@ pub mod wire;
 pub mod worker;
 
 pub use controller::{Controller, ControllerThresholds};
+pub use fleet_core::ApplyMode;
 pub use server::{FleetServer, FleetServerConfig};
 pub use simulation::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
 pub use worker::Worker;

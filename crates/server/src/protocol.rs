@@ -39,6 +39,13 @@ pub struct TaskAssignment {
     pub model_parameters: Vec<f32>,
     /// The server's logical clock at the time the model was handed out.
     pub model_version: u64,
+    /// The per-shard vector clock at hand-out time, when the server runs the
+    /// parameter shards asynchronously (`ApplyMode::PerShard`); empty in
+    /// lockstep mode, where [`TaskAssignment::model_version`] carries the
+    /// whole story. The worker echoes it back as
+    /// [`TaskResult::read_clock`] so the server can attribute a *per-shard*
+    /// staleness to the gradient.
+    pub shard_clocks: Vec<u64>,
     /// The mini-batch size the worker should process.
     pub mini_batch_size: usize,
 }
@@ -77,6 +84,11 @@ pub struct TaskResult {
     pub computation_seconds: f32,
     /// Measured energy, in percent of battery (fed back to I-Prof).
     pub energy_pct: f32,
+    /// The per-shard vector clock the worker observed when it pulled the
+    /// model (echoed from [`TaskAssignment::shard_clocks`]); `None` when the
+    /// server hands out lockstep assignments, or from wire peers that
+    /// predate vector clocks (wire format v1).
+    pub read_clock: Option<Vec<u64>>,
 }
 
 /// The server's acknowledgement of a result.
@@ -111,6 +123,7 @@ mod tests {
         let assignment = TaskAssignment {
             model_parameters: vec![0.0; 4],
             model_version: 7,
+            shard_clocks: vec![7, 7],
             mini_batch_size: 100,
         };
         let resp = TaskResponse::Assignment(assignment.clone());

@@ -5,7 +5,7 @@ use crate::controller::{Controller, ControllerThresholds};
 use crate::protocol::{ResultAck, TaskAssignment, TaskRequest, TaskResponse, TaskResult};
 use crate::wire::{self, WireError};
 use bytes::Bytes;
-use fleet_core::{AdaSgd, ParameterServer, WorkerUpdate};
+use fleet_core::{AdaSgd, ApplyMode, ParameterServer, ParameterServerConfig, WorkerUpdate};
 use fleet_profiler::{IProf, Slo, WorkloadProfiler};
 use std::collections::HashMap;
 
@@ -17,9 +17,15 @@ pub struct FleetServerConfig {
     /// Aggregation parameter K (gradients per model update).
     pub aggregation_k: usize,
     /// Number of range-partitioned parameter-server shards aggregation fans
-    /// out across (results are identical at any shard count; more shards buy
-    /// throughput on multi-core for large models).
+    /// out across (in lockstep mode results are identical at any shard
+    /// count; more shards buy throughput on multi-core for large models).
     pub shards: usize,
+    /// How the shards schedule their applies: [`ApplyMode::Lockstep`]
+    /// (default, every shard applies on the same K-th submission) or
+    /// [`ApplyMode::PerShard`] (each shard applies independently;
+    /// assignments then carry the shard vector clock, and staleness is
+    /// attributed per shard from the echoed read clock).
+    pub apply_mode: ApplyMode,
     /// Expected percentage of non-stragglers (AdaSGD's s%).
     pub s_percentile: f64,
     /// Number of classes of the learning task (for the global label
@@ -37,6 +43,7 @@ impl Default for FleetServerConfig {
             learning_rate: 5e-2,
             aggregation_k: 1,
             shards: 1,
+            apply_mode: ApplyMode::Lockstep,
             s_percentile: 99.7,
             num_classes: 10,
             slo: Slo::paper_latency_default(),
@@ -62,13 +69,16 @@ impl FleetServer {
     pub fn new(initial_parameters: Vec<f32>, config: FleetServerConfig) -> Self {
         let aggregator = AdaSgd::new(config.num_classes, config.s_percentile);
         Self {
-            parameter_server: ParameterServer::new(
+            parameter_server: ParameterServer::from_config(
                 initial_parameters,
                 aggregator,
-                config.learning_rate,
-                config.aggregation_k,
-            )
-            .with_shards(config.shards.max(1)),
+                &ParameterServerConfig {
+                    learning_rate: config.learning_rate,
+                    aggregation_k: config.aggregation_k,
+                    shards: config.shards.max(1),
+                    apply_mode: config.apply_mode,
+                },
+            ),
             iprof: IProf::new(config.slo),
             controller: Controller::new(config.thresholds),
             device_models: HashMap::new(),
@@ -86,9 +96,36 @@ impl FleetServer {
         self.parameter_server.parameters()
     }
 
-    /// The server's logical clock (number of model updates so far).
+    /// The server's logical clock (number of model updates so far in
+    /// lockstep mode; the aggregation-round counter in per-shard mode).
     pub fn clock(&self) -> u64 {
         self.parameter_server.clock()
+    }
+
+    /// The per-shard vector clock (see
+    /// [`fleet_core::ParameterServer::shard_clocks`]).
+    pub fn shard_clocks(&self) -> Vec<u64> {
+        self.parameter_server.shard_clocks()
+    }
+
+    /// The per-shard staleness attributed to the most recent result
+    /// (per-shard mode; empty in lockstep — see
+    /// [`fleet_core::ParameterServer::last_shard_staleness`]).
+    pub fn last_shard_staleness(&self) -> &[u64] {
+        self.parameter_server.last_shard_staleness()
+    }
+
+    /// Applies one shard's pending gradients immediately (per-shard mode
+    /// only) — the scheduling freedom knob: a deployment can drain a shard
+    /// ahead of its K-th submission when e.g. its segment is about to be
+    /// handed to pull-heavy workers. See
+    /// [`fleet_core::ParameterServer::flush_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in lockstep mode or when `shard` is out of range.
+    pub fn flush_shard(&mut self, shard: usize) -> bool {
+        self.parameter_server.flush_shard(shard)
     }
 
     /// Access to the controller statistics.
@@ -120,6 +157,13 @@ impl FleetServer {
             Ok(()) => TaskResponse::Assignment(TaskAssignment {
                 model_parameters: self.parameter_server.parameters().to_vec(),
                 model_version: self.parameter_server.clock(),
+                // Per-shard servers hand out the vector clock so the worker
+                // can echo it back and get per-shard staleness attribution;
+                // lockstep assignments stay as before (empty).
+                shard_clocks: match self.config.apply_mode {
+                    ApplyMode::Lockstep => Vec::new(),
+                    ApplyMode::PerShard => self.parameter_server.shard_clocks(),
+                },
                 mini_batch_size: batch,
             }),
             Err(reason) => TaskResponse::Rejected(reason),
@@ -163,13 +207,24 @@ impl FleetServer {
             .parameter_server
             .clock()
             .saturating_sub(result.model_version);
-        let update = WorkerUpdate::new(
+        let mut update = WorkerUpdate::new(
             result.gradient,
             staleness,
             result.label_distribution,
             result.num_samples,
             result.worker_id,
         );
+        // A result carrying the read-time vector clock gets per-shard
+        // staleness attribution (per-shard mode; a lockstep server ignores
+        // it). Results from v1 peers fall back to the scalar staleness.
+        if self.config.apply_mode == ApplyMode::PerShard
+            && result
+                .read_clock
+                .as_ref()
+                .is_some_and(|rc| rc.len() == self.parameter_server.num_shards())
+        {
+            update.read_clock = result.read_clock;
+        }
         let outcome = self.parameter_server.submit(update);
         // Record the execution for the profiler (device features omitted from
         // the result message; use the slope directly via a synthetic feature
@@ -339,6 +394,49 @@ mod tests {
             }
         }
         assert_eq!(reference.clock(), sharded.clock());
+    }
+
+    #[test]
+    fn per_shard_mode_attributes_vector_clock_staleness_end_to_end() {
+        let (base, mut workers, _) = build_world(2);
+        let mut server = FleetServer::new(
+            base.parameters().to_vec(),
+            FleetServerConfig {
+                shards: 4,
+                aggregation_k: 2,
+                apply_mode: ApplyMode::PerShard,
+                ..base.config().clone()
+            },
+        );
+        // Both workers pull at vector clock [0, 0, 0, 0].
+        let pull = |server: &mut FleetServer, worker: &mut Worker| {
+            let request = worker.request();
+            match server.handle_request(&request) {
+                TaskResponse::Assignment(a) => a,
+                TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+            }
+        };
+        let a0 = pull(&mut server, &mut workers[0]);
+        let a1 = pull(&mut server, &mut workers[1]);
+        assert_eq!(a0.shard_clocks, vec![0; 4]);
+
+        // First result buffers on every shard (K = 2) ...
+        let r0 = workers[0].execute(&a0).unwrap();
+        assert!(r0.read_clock.is_some(), "worker must echo the vector clock");
+        let ack0 = server.handle_result(r0);
+        assert!(!ack0.model_updated);
+        // ... then shard 0 is drained ahead of its K-th submission.
+        assert!(server.flush_shard(0));
+        assert_eq!(server.shard_clocks(), vec![1, 0, 0, 0]);
+
+        // The second result sees the divergence: shard 0 applied one update
+        // since the worker's read, the others none.
+        let r1 = workers[1].execute(&a1).unwrap();
+        let ack1 = server.handle_result(r1);
+        assert!(ack1.model_updated, "shards 1–3 reach K on this result");
+        assert_eq!(server.last_shard_staleness(), &[1, 0, 0, 0]);
+        assert_eq!(server.shard_clocks(), vec![1, 1, 1, 1]);
+        assert!(ack1.scaling_factor > 0.0 && ack1.scaling_factor <= 1.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::protocol::TaskResult;
 use crate::wire;
-use fleet_core::{Aggregator, ParameterServer, WorkerUpdate};
+use fleet_core::{Aggregator, ApplyMode, ParameterServer, WorkerUpdate};
 use fleet_data::partition::UserPartition;
 use fleet_data::sampling::MiniBatchSampler;
 use fleet_data::{Dataset, LabelDistribution};
@@ -94,10 +94,25 @@ pub struct SimulationConfig {
     /// Track the accuracy of this class separately (Fig. 9a).
     pub track_class: Option<usize>,
     /// Number of range-partitioned parameter-server shards the K-gradient
-    /// aggregation fans out across. Results are bit-for-bit identical at any
-    /// shard count; more shards buy aggregation throughput on multi-core for
-    /// large models.
+    /// aggregation fans out across. In lockstep mode results are bit-for-bit
+    /// identical at any shard count; more shards buy aggregation throughput
+    /// on multi-core for large models. In per-shard mode the shard count is
+    /// part of the semantics (each shard slice carries its own τ).
     pub shards: usize,
+    /// How the parameter-server shards schedule their applies:
+    /// [`ApplyMode::Lockstep`] (default; bit-identical to the pre-`ApplyMode`
+    /// engine) or [`ApplyMode::PerShard`], where each shard applies on its
+    /// own trigger, workers read and echo the shard vector clock through the
+    /// wire codec, and staleness — hence Λ(τ) — is attributed per shard.
+    pub apply_mode: ApplyMode,
+    /// In per-shard mode, flush one shard (round-robin) after the first
+    /// submission of every `flush_every`-th round — a deterministic stand-in
+    /// for the divergent shard cadences a deployed scheduler would produce
+    /// under uneven load, which is what makes the vector clock actually
+    /// diverge in a simulation whose submissions all span the full model.
+    /// `0` disables; ignored in lockstep mode. Needs `aggregation_k ≥ 2` to
+    /// have any effect (with K = 1 nothing is ever pending to flush).
+    pub flush_every: usize,
     /// RNG seed for user selection, mini-batch sampling and staleness.
     pub seed: u64,
 }
@@ -116,6 +131,8 @@ impl Default for SimulationConfig {
             eval_examples: 512,
             track_class: None,
             shards: 1,
+            apply_mode: ApplyMode::Lockstep,
+            flush_every: 0,
             seed: 0,
         }
     }
@@ -226,12 +243,21 @@ impl<'a> AsyncSimulation<'a> {
             cfg.learning_rate,
             cfg.aggregation_k,
         )
-        .with_shards(cfg.shards.max(1));
+        .with_shards(cfg.shards.max(1))
+        .with_apply_mode(cfg.apply_mode);
+        let per_shard = cfg.apply_mode == ApplyMode::PerShard;
 
         // Bounded history of past parameter snapshots; index 0 is the oldest.
         let max_history = self.max_history();
         let mut history: VecDeque<Vec<f32>> = VecDeque::with_capacity(max_history);
         history.push_back(server.parameters().to_vec());
+        // In per-shard mode, the shard vector clock at each snapshot — what a
+        // worker pulling that snapshot observed, kept index-aligned with
+        // `history` so the read clock ships with the gradient.
+        let mut clock_history: VecDeque<Vec<u64>> = VecDeque::new();
+        if per_shard {
+            clock_history.push_back(server.shard_clocks());
+        }
 
         let mut result = TrainingHistory {
             algorithm,
@@ -321,7 +347,7 @@ impl<'a> AsyncSimulation<'a> {
             // protocol does, and submit in fixed worker-index order so noise
             // draws and aggregator state updates replay identically.
             // Serialization cost is therefore part of every simulation bench.
-            for (task, mut gradient) in tasks.into_iter().zip(gradients) {
+            for (index, (task, mut gradient)) in tasks.into_iter().zip(gradients).enumerate() {
                 if let Some(mechanism) = dp.as_mut() {
                     mechanism.privatize(gradient.as_mut_slice(), task.labels.len());
                 }
@@ -339,29 +365,55 @@ impl<'a> AsyncSimulation<'a> {
                     num_samples: task.labels.len(),
                     computation_seconds: 0.0,
                     energy_pct: 0.0,
+                    // Per-shard mode: ship the vector clock the worker
+                    // observed at its snapshot, exactly as a deployed worker
+                    // echoes `TaskAssignment::shard_clocks`.
+                    read_clock: per_shard.then(|| clock_history[task.snapshot_index].clone()),
                 };
                 let decoded = wire::decode_result(wire::encode_result(&task_result))
                     .expect("self-encoded worker results always decode");
                 // Staleness as the server derives it in the real protocol:
                 // clock now minus the model version the gradient was computed
                 // on. Within a round the clock is constant (the model only
-                // updates on the round's last submission), so this equals
+                // updates — in per-shard mode, the round counter only
+                // advances — on the round's last submission), so this equals
                 // `task.staleness` exactly.
                 let staleness = server.clock() - decoded.model_version;
-                let update = WorkerUpdate::new(
+                let mut update = WorkerUpdate::new(
                     decoded.gradient,
                     staleness,
                     decoded.label_distribution,
                     decoded.num_samples,
                     decoded.worker_id,
                 );
+                update.read_clock = decoded.read_clock;
                 let outcome = server.submit(update);
                 result.scaling_factors.push(outcome.scaling_factor);
+
+                // The deterministic divergence schedule: after the round's
+                // first submission, flush one shard round-robin every
+                // `flush_every`-th round. The flushed shard applies its
+                // pending run early and its clock pulls ahead — the scripted
+                // stand-in for shards draining at different cadences.
+                if per_shard
+                    && cfg.flush_every > 0
+                    && index == 0
+                    && (step + 1) % cfg.flush_every == 0
+                {
+                    let target = (step + 1) / cfg.flush_every % server.num_shards();
+                    server.flush_shard(target);
+                }
             }
 
             history.push_back(server.parameters().to_vec());
+            if per_shard {
+                clock_history.push_back(server.shard_clocks());
+            }
             if history.len() > max_history {
                 history.pop_front();
+                if per_shard {
+                    clock_history.pop_front();
+                }
             }
 
             if (step + 1) % cfg.eval_every == 0 || step + 1 == cfg.steps {
@@ -577,6 +629,61 @@ mod tests {
         assert_eq!(histories[0], histories[2]);
         assert_eq!(params[0], params[1]);
         assert_eq!(params[0], params[2]);
+    }
+
+    #[test]
+    fn per_shard_without_flushes_matches_lockstep_bitwise() {
+        // With no scripted flushes the shard clocks never diverge, every
+        // per-shard τ_s equals the scalar staleness, and the whole engine —
+        // vector clocks through the wire codec included — reproduces the
+        // lockstep run bit for bit.
+        let (train, test, users) = world();
+        let mut runs = Vec::new();
+        for mode in [ApplyMode::Lockstep, ApplyMode::PerShard] {
+            let mut cfg = fast_config(StalenessDistribution::d1());
+            cfg.aggregation_k = 4;
+            cfg.steps = 30;
+            cfg.shards = 4;
+            cfg.apply_mode = mode;
+            let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+            let mut model = mlp_classifier(8, &[16], 5, 3);
+            runs.push((
+                sim.run(&mut model, AdaSgd::new(5, 99.7)),
+                model.parameters(),
+            ));
+        }
+        assert_eq!(runs[0].0, runs[1].0);
+        assert_eq!(runs[0].1, runs[1].1);
+    }
+
+    #[test]
+    fn per_shard_flush_schedule_diverges_and_replays() {
+        // The scripted flush schedule makes the shard clocks genuinely
+        // diverge — the per-shard run must differ from lockstep — while
+        // staying bit-for-bit reproducible for the fixed seed.
+        let (train, test, users) = world();
+        let run = |mode: ApplyMode, flush_every: usize| {
+            let mut cfg = fast_config(StalenessDistribution::d1());
+            cfg.aggregation_k = 4;
+            cfg.steps = 30;
+            cfg.shards = 4;
+            cfg.apply_mode = mode;
+            cfg.flush_every = flush_every;
+            let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+            let mut model = mlp_classifier(8, &[16], 5, 3);
+            (
+                sim.run(&mut model, AdaSgd::new(5, 99.7)),
+                model.parameters(),
+            )
+        };
+        let lockstep = run(ApplyMode::Lockstep, 0);
+        let a = run(ApplyMode::PerShard, 2);
+        let b = run(ApplyMode::PerShard, 2);
+        assert_eq!(a, b, "per-shard runs must replay exactly");
+        assert_ne!(
+            a.1, lockstep.1,
+            "flush-diverged shard clocks must change the trajectory"
+        );
     }
 
     #[test]

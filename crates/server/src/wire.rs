@@ -14,8 +14,16 @@ use fleet_ml::Gradient;
 use std::error::Error;
 use std::fmt;
 
-/// Current wire-format version.
+/// Baseline wire-format version (requests, and results without a vector
+/// clock).
 const WIRE_VERSION: u8 = 1;
+
+/// Wire-format version 2: a [`TaskResult`] carrying the per-shard vector
+/// clock the worker observed at model-read time (`ApplyMode::PerShard`
+/// servers attribute per-shard staleness from it). The encoder emits the
+/// *oldest* version able to carry the message — results without a read
+/// clock stay byte-identical to v1 — and the decoder accepts both.
+const WIRE_VERSION_READ_CLOCK: u8 = 2;
 
 /// Errors produced while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +72,21 @@ fn checked_field_len(len: usize) -> u32 {
          the message would not survive the roundtrip"
     );
     len as u32
+}
+
+fn put_u64_slice(buf: &mut BytesMut, values: &[u64]) {
+    buf.put_u32_le(checked_field_len(values.len()));
+    for &v in values {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_u64_vec(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
+    let len = get_len(buf)?;
+    if buf.remaining() < len * 8 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok((0..len).map(|_| buf.get_u64_le()).collect())
 }
 
 fn put_f32_slice(buf: &mut BytesMut, values: &[f32]) {
@@ -193,7 +216,15 @@ pub fn decode_request(mut buf: Bytes) -> Result<TaskRequest, WireError> {
 /// [`MAX_FIELD_LEN`] — such a message could never decode.
 pub fn encode_result(result: &TaskResult) -> Bytes {
     let mut buf = BytesMut::new();
-    buf.put_u8(WIRE_VERSION);
+    // Emit the oldest version able to carry the message: a result without a
+    // read clock is byte-identical to the v1 encoding, so v1 peers keep
+    // decoding everything a lockstep deployment produces.
+    let version = if result.read_clock.is_some() {
+        WIRE_VERSION_READ_CLOCK
+    } else {
+        WIRE_VERSION
+    };
+    buf.put_u8(version);
     buf.put_u64_le(result.worker_id);
     buf.put_u64_le(result.model_version);
     put_f32_slice(&mut buf, result.gradient.as_slice());
@@ -201,6 +232,9 @@ pub fn encode_result(result: &TaskResult) -> Bytes {
     buf.put_u64_le(result.num_samples as u64);
     buf.put_f32_le(result.computation_seconds);
     buf.put_f32_le(result.energy_pct);
+    if let Some(read_clock) = &result.read_clock {
+        put_u64_slice(&mut buf, read_clock);
+    }
     buf.freeze()
 }
 
@@ -213,7 +247,7 @@ pub fn encode_result(result: &TaskResult) -> Bytes {
 pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
     need(&buf, 1)?;
     let version = buf.get_u8();
-    if version != WIRE_VERSION {
+    if version != WIRE_VERSION && version != WIRE_VERSION_READ_CLOCK {
         return Err(WireError::UnsupportedVersion(version));
     }
     need(&buf, 16)?;
@@ -233,6 +267,11 @@ pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
     let num_samples = buf.get_u64_le() as usize;
     let computation_seconds = buf.get_f32_le();
     let energy_pct = buf.get_f32_le();
+    let read_clock = if version >= WIRE_VERSION_READ_CLOCK {
+        Some(get_u64_vec(&mut buf)?)
+    } else {
+        None
+    };
     Ok(TaskResult {
         worker_id,
         model_version,
@@ -241,6 +280,7 @@ pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
         num_samples,
         computation_seconds,
         energy_pct,
+        read_clock,
     })
 }
 
@@ -268,6 +308,7 @@ mod tests {
             num_samples: 3,
             computation_seconds: 2.75,
             energy_pct: 0.06,
+            read_clock: None,
         }
     }
 
@@ -296,6 +337,40 @@ mod tests {
         assert_eq!(decoded.model_version, original.model_version);
         assert_eq!(decoded.num_samples, original.num_samples);
         assert!((decoded.computation_seconds - original.computation_seconds).abs() < 1e-6);
+        assert_eq!(decoded.read_clock, None);
+        // A read-clock-free result stays on the v1 wire format, byte for
+        // byte, so peers that predate vector clocks keep decoding it.
+        assert_eq!(encode_result(&original).to_vec()[0], WIRE_VERSION);
+    }
+
+    #[test]
+    fn result_with_read_clock_roundtrips_as_v2() {
+        let mut original = sample_result();
+        original.read_clock = Some(vec![17, 15, 18, 17]);
+        let encoded = encode_result(&original);
+        assert_eq!(encoded.to_vec()[0], WIRE_VERSION_READ_CLOCK);
+        let decoded = decode_result(encoded).unwrap();
+        assert_eq!(decoded.read_clock, original.read_clock);
+        assert_eq!(decoded.gradient, original.gradient);
+
+        // An *empty* vector clock is still "present" (v2), distinct from a
+        // v1 result with no clock at all.
+        original.read_clock = Some(Vec::new());
+        let decoded = decode_result(encode_result(&original)).unwrap();
+        assert_eq!(decoded.read_clock, Some(Vec::new()));
+    }
+
+    #[test]
+    fn v2_truncation_errors_at_every_offset() {
+        let mut result = sample_result();
+        result.read_clock = Some(vec![3, 1, 4, 1, 5]);
+        let encoded = encode_result(&result);
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_result(encoded.slice(0..cut)).is_err(),
+                "v2 result cut at {cut} should fail"
+            );
+        }
     }
 
     #[test]
@@ -399,7 +474,9 @@ mod tests {
         #[test]
         fn prop_result_roundtrip(gradient in proptest::collection::vec(-10.0f32..10.0, 0..128),
                                  version in 0u64..10_000,
-                                 samples in 1usize..10_000) {
+                                 samples in 1usize..10_000,
+                                 read_clock in proptest::option::of(
+                                     proptest::collection::vec(0u64..1_000, 0..16))) {
             let original = TaskResult {
                 worker_id: 7,
                 model_version: version,
@@ -408,11 +485,13 @@ mod tests {
                 num_samples: samples,
                 computation_seconds: 1.5,
                 energy_pct: 0.01,
+                read_clock,
             };
             let decoded = decode_result(encode_result(&original)).unwrap();
             prop_assert_eq!(decoded.gradient, original.gradient);
             prop_assert_eq!(decoded.model_version, original.model_version);
             prop_assert_eq!(decoded.num_samples, original.num_samples);
+            prop_assert_eq!(decoded.read_clock, original.read_clock);
         }
 
         #[test]

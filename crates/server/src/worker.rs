@@ -135,6 +135,11 @@ impl Worker {
             num_samples: batch_indices.len(),
             computation_seconds: execution.computation_seconds,
             energy_pct: execution.energy_pct,
+            // Echo the per-shard vector clock the assignment carried (empty
+            // for lockstep servers), so an `ApplyMode::PerShard` server can
+            // attribute per-shard staleness to this gradient.
+            read_clock: (!assignment.shard_clocks.is_empty())
+                .then(|| assignment.shard_clocks.clone()),
         })
     }
 }
@@ -167,6 +172,7 @@ mod tests {
         TaskAssignment {
             model_parameters: replica.parameters(),
             model_version: 3,
+            shard_clocks: Vec::new(),
             mini_batch_size: batch,
         }
     }
@@ -209,6 +215,7 @@ mod tests {
         let a = TaskAssignment {
             model_parameters: vec![0.0; 3],
             model_version: 0,
+            shard_clocks: Vec::new(),
             mini_batch_size: 8,
         };
         assert!(w.execute(&a).is_err());
@@ -229,6 +236,7 @@ mod tests {
         let a = TaskAssignment {
             model_parameters: mlp_classifier(6, &[8], 4, 0).parameters(),
             model_version: 0,
+            shard_clocks: Vec::new(),
             mini_batch_size: 8,
         };
         assert!(w.execute(&a).is_err());
@@ -247,6 +255,20 @@ mod tests {
         assert_eq!(result.worker_id, 7);
         assert_eq!(result.model_version, 3);
         assert_eq!(result.num_samples, 8);
+    }
+
+    #[test]
+    fn shard_clocks_are_echoed_as_read_clock() {
+        let mut w = worker();
+        let mut a = assignment(&w, 8);
+        assert_eq!(w.execute(&a).unwrap().read_clock, None);
+        a.shard_clocks = vec![4, 2, 3];
+        let result = w.execute(&a).unwrap();
+        assert_eq!(result.read_clock.as_deref(), Some(&[4, 2, 3][..]));
+        // And it survives the wire roundtrip.
+        let raw = w.execute_wire(&a).unwrap();
+        let decoded = crate::wire::decode_result(raw).unwrap();
+        assert_eq!(decoded.read_clock.as_deref(), Some(&[4, 2, 3][..]));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh fleet-bench JSON artifact against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json FRESH.json [--max-slowdown R]
+
+Exits non-zero when any benchmark present in both files slowed down by more
+than the threshold (relative: fresh_mean / baseline_mean > R). Benchmarks
+present on only one side are reported but never fail the gate (they are new
+or retired, not regressed). Stdlib only — this runs inside the CI container.
+
+The threshold defaults to 1.5 (50% slowdown) and can be overridden with
+--max-slowdown or the FLEET_BENCH_MAX_SLOWDOWN environment variable; bench
+smokes run with short measurement windows on shared CI hosts, so tight
+thresholds would flake.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    benchmarks = {b["name"]: float(b["mean_ns"]) for b in doc.get("benchmarks", [])}
+    return doc, benchmarks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=float(os.environ.get("FLEET_BENCH_MAX_SLOWDOWN", "1.5")),
+        help="maximum allowed fresh/baseline mean ratio (default 1.5)",
+    )
+    args = parser.parse_args()
+
+    base_doc, base = load(args.baseline)
+    fresh_doc, fresh = load(args.fresh)
+
+    meta = fresh_doc.get("meta", {})
+    if meta.get("fan_out_inline", meta.get("available_parallelism") == 1):
+        print(
+            "bench_compare: NOTE: this host runs the shard/kernel fan-out "
+            "inline (single effective core), so multi-shard and multi-thread "
+            "numbers measure the serial path — absolute comparisons against "
+            "multi-core baselines are meaningless (see the PR 2 caveat in "
+            "ROADMAP.md)."
+        )
+    base_meta = base_doc.get("meta", {})
+    for key in ("available_parallelism", "fleet_num_threads", "fleet_simd"):
+        if base_meta.get(key) != meta.get(key):
+            print(
+                f"bench_compare: NOTE: meta '{key}' differs "
+                f"(baseline={base_meta.get(key)!r}, fresh={meta.get(key)!r}); "
+                "ratios may reflect configuration, not code."
+            )
+
+    failures = []
+    for name in sorted(set(base) | set(fresh)):
+        if name not in base:
+            print(f"bench_compare: new benchmark {name}: {fresh[name]:.1f} ns (no baseline)")
+            continue
+        if name not in fresh:
+            print(f"bench_compare: benchmark {name} retired (baseline {base[name]:.1f} ns)")
+            continue
+        if base[name] <= 0.0:
+            print(f"bench_compare: skipping {name}: non-positive baseline mean")
+            continue
+        ratio = fresh[name] / base[name]
+        marker = "OK"
+        if ratio > args.max_slowdown:
+            marker = "REGRESSION"
+            failures.append((name, ratio))
+        print(
+            f"bench_compare: {marker:>10} {name}: {base[name]:.1f} -> "
+            f"{fresh[name]:.1f} ns ({ratio:.2f}x)"
+        )
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(
+            f"bench_compare: FAIL: {len(failures)} benchmark(s) exceeded the "
+            f"{args.max_slowdown:.2f}x slowdown threshold "
+            f"(worst: {worst[0]} at {worst[1]:.2f}x)"
+        )
+        return 1
+    print(f"bench_compare: all shared benchmarks within {args.max_slowdown:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,18 +2,39 @@
 # CI gate for the FLeet reproduction workspace.
 #
 #   scripts/ci.sh           full gate: fmt, clippy, build, tier-1 tests,
-#                           determinism digest sweep (threads x SIMD, shard
-#                           + CNN-training digests), kernel/conv-dispatch
-#                           test sweep, bench smoke writing
-#                           BENCH_kernels.json, BENCH_shards.json and
-#                           BENCH_conv.json
-#   scripts/ci.sh --quick   skip the sweeps and the bench smoke
+#                           scalar-forced parity suites, determinism digest
+#                           sweep (threads x SIMD; shard + CNN-training +
+#                           per-shard digests, checked against the pinned
+#                           values in scripts/expected_digests.txt), bench
+#                           smoke writing BENCH_kernels.json,
+#                           BENCH_shards.json and BENCH_conv.json
+#   scripts/ci.sh --quick   skip the digest sweep and the bench smoke (the
+#                           scalar-forced parity suites still run: on hosts
+#                           whose dispatcher auto-selects AVX2, tier-1 alone
+#                           never exercises the fallback path)
+#
+# Env knobs:
+#   FLEET_BENCH_COMPARE=1       diff each fresh BENCH_*.json against the
+#                               committed baseline via
+#                               scripts/bench_compare.py and fail above the
+#                               relative-slowdown threshold
+#   FLEET_BENCH_MAX_SLOWDOWN=R  threshold for the comparison (default 1.5)
+#   FLEET_BENCH_TIME_MS=N       per-benchmark measurement window
+#   FLEET_PIN_DIGESTS=1         re-pin scripts/expected_digests.txt from this
+#                               host's sweep instead of failing on drift (the
+#                               cross-combination identity check still
+#                               applies). The digests flow through f32
+#                               exp/ln, whose bit patterns depend on the
+#                               host's libm — use this, deliberately, when
+#                               moving the reference host, and commit the
+#                               rewritten file with an explanation.
 #
 # The bench smoke keeps machine-readable perf records (BENCH_kernels.json,
 # BENCH_shards.json and BENCH_conv.json at the repo root) so successive PRs
-# can track the kernel, aggregation-throughput and convolution trajectories; timings are per-machine (the JSON
-# meta block records threads + ISA features), so compare runs from the same
-# host only.
+# can track the kernel, aggregation-throughput and convolution trajectories;
+# timings are per-machine (the JSON meta block records threads + ISA features
+# and whether the fan-out ran inline), so compare runs from the same host
+# only.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,16 +51,69 @@ cargo build --release
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 
+# Kernel correctness + SIMD/scalar parity property tests, and the
+# direct-vs-im2col convolution parity suite, forced onto the scalar fallback.
+# This runs in quick mode too: on hosts where dispatch auto-selects AVX2 the
+# tier-1 suite never touches the scalar path, so skipping this here would
+# leave that path entirely uncovered on PR builds.
+echo "==> kernel + conv parity tests with SIMD dispatch forced off"
+FLEET_SIMD=off cargo test --release -q -p fleet-ml kernels
+FLEET_SIMD=off cargo test --release -q -p fleet-ml conv
+
+# Reads one pinned digest (by name) from scripts/expected_digests.txt.
+expected_digest() {
+    awk -v key="$1" '$1 == key { print $2 }' scripts/expected_digests.txt
+}
+
+# Runs one benchmark and writes its JSON artifact; with FLEET_BENCH_COMPARE=1
+# the previous artifact (the committed baseline) is diffed against the fresh
+# numbers and a relative slowdown beyond the threshold fails the gate.
+run_bench() {
+    local bench="$1" json="$PWD/$2" time_ms="$3" baseline=""
+    if [[ "${FLEET_BENCH_COMPARE:-0}" == "1" && -f "$json" ]]; then
+        baseline="$json.baseline"
+        cp "$json" "$baseline"
+    fi
+    echo "==> bench smoke ($bench -> $2)"
+    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-$time_ms}" \
+    FLEET_BENCH_JSON="$json" \
+        cargo bench --bench "$bench"
+    echo "==> wrote $2"
+    if [[ -n "$baseline" ]]; then
+        echo "==> bench compare ($2 vs committed baseline)"
+        python3 scripts/bench_compare.py "$baseline" "$json"
+        rm -f "$baseline"
+    fi
+}
+
 if [[ "${1:-}" != "--quick" ]]; then
     # The kernels promise bit-for-bit identical results on any thread count
     # with SIMD dispatch on or off. Sweep all six combinations and require
-    # one digest per contract — the sharded-simulation digest and the CNN
-    # training digest (which drives the im2col convolution engine, pooling
-    # and the batch fan-out): a mismatch means an ISA path or a fan-out
-    # partition reassociated a reduction.
+    # one digest per contract — the lockstep sharded-simulation digest, the
+    # CNN training digest (which drives the im2col convolution engine,
+    # pooling and the batch fan-out) and the per-shard asynchronous-apply
+    # digest (vector-clock staleness over the scripted flush schedule). Each
+    # must also match the value pinned in scripts/expected_digests.txt: a
+    # cross-combination mismatch means an ISA path or a fan-out partition
+    # reassociated a reduction; a drift from the pinned value means the
+    # numeric trajectory changed silently.
     echo "==> determinism digest sweep (FLEET_NUM_THREADS x FLEET_SIMD)"
-    shard_ref=""
-    cnn_ref=""
+    if [[ "${FLEET_PIN_DIGESTS:-0}" == "1" ]]; then
+        # Re-pin mode: the first combination becomes the reference (the
+        # cross-combination identity check below still applies) and the file
+        # is rewritten at the end of the sweep.
+        shard_ref=""
+        cnn_ref=""
+        pershard_ref=""
+    else
+        shard_ref=$(expected_digest shard)
+        cnn_ref=$(expected_digest cnn)
+        pershard_ref=$(expected_digest pershard)
+        if [[ -z "$shard_ref" || -z "$cnn_ref" || -z "$pershard_ref" ]]; then
+            echo "FAIL: scripts/expected_digests.txt is missing a pinned digest"
+            exit 1
+        fi
+    fi
     for threads in 1 4 7; do
         for simd in auto off; do
             simd_env=""
@@ -52,49 +126,57 @@ if [[ "${1:-}" != "--quick" ]]; then
             }
             shard=$(grep -o 'shard-sweep digest: 0x[0-9a-f]*' <<<"$out" | head -1)
             cnn=$(grep -o 'cnn-train digest: 0x[0-9a-f]*' <<<"$out" | head -1)
-            if [[ -z "$shard" || -z "$cnn" ]]; then
+            pershard=$(grep -o 'pershard digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            if [[ -z "$shard" || -z "$cnn" || -z "$pershard" ]]; then
                 echo "FAIL: missing digest line at threads=$threads simd=$simd"
                 exit 1
             fi
             shard=${shard##* }
             cnn=${cnn##* }
-            echo "    threads=$threads simd=$simd -> shard $shard cnn $cnn"
+            pershard=${pershard##* }
+            echo "    threads=$threads simd=$simd -> shard $shard cnn $cnn pershard $pershard"
             if [[ -z "$shard_ref" ]]; then
                 shard_ref="$shard"
                 cnn_ref="$cnn"
-            elif [[ "$shard" != "$shard_ref" || "$cnn" != "$cnn_ref" ]]; then
-                echo "FAIL: digest diverged at threads=$threads simd=$simd"
+                pershard_ref="$pershard"
+                continue
+            fi
+            if [[ "$shard" != "$shard_ref" ]]; then
+                echo "FAIL: shard digest drifted from $shard_ref at threads=$threads simd=$simd"
+                exit 1
+            fi
+            if [[ "$cnn" != "$cnn_ref" ]]; then
+                echo "FAIL: cnn digest drifted from $cnn_ref at threads=$threads simd=$simd"
+                exit 1
+            fi
+            if [[ "$pershard" != "$pershard_ref" ]]; then
+                echo "FAIL: pershard digest drifted from $pershard_ref at threads=$threads simd=$simd"
                 exit 1
             fi
         done
     done
+    if [[ "${FLEET_PIN_DIGESTS:-0}" == "1" ]]; then
+        # Keep the header comments, replace the pinned values.
+        tmp=$(mktemp)
+        grep '^#' scripts/expected_digests.txt > "$tmp" || true
+        {
+            echo "shard $shard_ref"
+            echo "cnn $cnn_ref"
+            echo "pershard $pershard_ref"
+        } >> "$tmp"
+        mv "$tmp" scripts/expected_digests.txt
+        echo "==> re-pinned scripts/expected_digests.txt (commit it deliberately)"
+    fi
 
-    # Kernel correctness + SIMD/scalar parity property tests, and the
-    # direct-vs-im2col convolution parity suite, once with the dispatcher
-    # auto-detecting and once forced to the scalar fallback.
-    echo "==> kernel + conv parity tests with SIMD dispatch auto and forced off"
+    # The parity suites again, this time with the dispatcher auto-detecting
+    # (the scalar-forced run already happened above, in both modes).
+    echo "==> kernel + conv parity tests with SIMD dispatch auto"
     cargo test --release -q -p fleet-ml kernels
-    FLEET_SIMD=off cargo test --release -q -p fleet-ml kernels
     cargo test --release -q -p fleet-ml conv
-    FLEET_SIMD=off cargo test --release -q -p fleet-ml conv
 
-    echo "==> bench smoke (ml_kernels -> BENCH_kernels.json)"
-    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-200}" \
-    FLEET_BENCH_JSON="$PWD/BENCH_kernels.json" \
-        cargo bench --bench ml_kernels
-    echo "==> wrote BENCH_kernels.json"
-
-    echo "==> bench smoke (shards -> BENCH_shards.json)"
-    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-200}" \
-    FLEET_BENCH_JSON="$PWD/BENCH_shards.json" \
-        cargo bench --bench shards
-    echo "==> wrote BENCH_shards.json"
-
-    echo "==> bench smoke (conv -> BENCH_conv.json)"
-    FLEET_BENCH_TIME_MS="${FLEET_BENCH_TIME_MS:-400}" \
-    FLEET_BENCH_JSON="$PWD/BENCH_conv.json" \
-        cargo bench --bench conv
-    echo "==> wrote BENCH_conv.json"
+    run_bench ml_kernels BENCH_kernels.json 200
+    run_bench shards BENCH_shards.json 200
+    run_bench conv BENCH_conv.json 400
 fi
 
 echo "==> CI gate passed"

@@ -17,7 +17,7 @@
 //! `scripts/ci.sh` automates the six-way sweep and fails on any divergence.
 
 use fleet_core::{AdaSgd, FedAvg};
-use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution};
+use fleet_server::{ApplyMode, AsyncSimulation, SimulationConfig, StalenessDistribution};
 use fleet_tests::{small_model, small_world};
 
 /// Forces the parallel path (even on single-core CI) before the thread count
@@ -116,6 +116,46 @@ fn shard_sweep_digests_are_identical() {
         assert_eq!(runs[0].1, run.1, "digest diverged at {} shards", run.0);
         assert_eq!(runs[0].2, run.2, "history diverged at {} shards", run.0);
     }
+}
+
+#[test]
+fn per_shard_digest_is_stable() {
+    pin_threads();
+    // The asynchronous per-shard apply mode: 4 shards advancing on
+    // independent triggers (the scripted flush schedule diverges the vector
+    // clock every other round), with per-shard staleness attribution flowing
+    // through the v2 wire codec. Unlike lockstep, the shard count is part of
+    // the semantics here, so the digest is pinned for this *fixed* config
+    // and must be identical across threads and SIMD paths only —
+    // `scripts/ci.sh` sweeps FLEET_NUM_THREADS=1/4/7 x FLEET_SIMD=auto/off
+    // and compares the digest this test prints against the pinned value in
+    // scripts/expected_digests.txt.
+    let (train, test, users) = small_world(800, 12, 5);
+    let make = |mode: ApplyMode, flush_every: usize| {
+        let mut cfg = config(4, None);
+        cfg.shards = 4;
+        cfg.apply_mode = mode;
+        cfg.flush_every = flush_every;
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let mut model = small_model(2);
+        let history = sim.run(&mut model, AdaSgd::new(10, 99.7));
+        (digest(&model.parameters()), history)
+    };
+    let (first, history_a) = make(ApplyMode::PerShard, 2);
+    println!(
+        "pershard digest: {first:#018x} (threads={})",
+        fleet_parallel::max_threads()
+    );
+    let (second, history_b) = make(ApplyMode::PerShard, 2);
+    assert_eq!(first, second, "per-shard runs with one seed diverged");
+    assert_eq!(history_a, history_b);
+    // The flush schedule must actually diverge the trajectory from lockstep
+    // — otherwise the mode under test silently degenerated to lockstep.
+    let (lockstep, _) = make(ApplyMode::Lockstep, 0);
+    assert_ne!(
+        first, lockstep,
+        "per-shard digest must differ from lockstep"
+    );
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests of the staleness-aware learning algorithms
 //! under the asynchronous simulation engine (the §3.2 experiments at test
-//! scale).
+//! scale), and of the per-shard vector-clock staleness attribution.
 
-use fleet_core::{AdaSgd, DynSgd, FedAvg, Ssgd};
+use fleet_core::{AdaSgd, ApplyMode, DynSgd, FedAvg, ParameterServer, Ssgd, WorkerUpdate};
 use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
 use fleet_tests::{small_model, small_world};
 
@@ -65,6 +65,71 @@ fn staleness_hurts_but_dampening_helps() {
         ada.best_accuracy(),
         fed.best_accuracy()
     );
+}
+
+/// Per-shard staleness regression: a scripted schedule in which two shards
+/// diverge by more than one clock tick must produce per-shard τ values (and
+/// dampening weights) that differ from the lockstep run — asserted exactly.
+#[test]
+fn per_shard_staleness_diverges_from_lockstep_exactly() {
+    use fleet_data::LabelDistribution;
+    use fleet_ml::Gradient;
+
+    let update = |staleness: u64| {
+        WorkerUpdate::new(
+            Gradient::from_vec(vec![1.0; 4]),
+            staleness,
+            LabelDistribution::uniform(4),
+            10,
+            0,
+        )
+    };
+    let make = |mode: ApplyMode| {
+        ParameterServer::new(vec![0.0; 4], DynSgd::new(), 1.0, 3)
+            .with_shards(2)
+            .with_apply_mode(mode)
+    };
+
+    // The scripted schedule: three submissions, all computed against the
+    // same read snapshot (vector clock [0, 0]); shard 0 is flushed after
+    // each of the first two, so its clock runs 2 ticks ahead of shard 1's
+    // by the third submission.
+    let mut per_shard = make(ApplyMode::PerShard);
+    per_shard.submit(update(0).with_read_clock(vec![0, 0]));
+    per_shard.flush_shard(0);
+    per_shard.submit(update(0).with_read_clock(vec![0, 0]));
+    per_shard.flush_shard(0);
+    assert_eq!(per_shard.shard_clocks(), vec![2, 0], "diverged by 2 ticks");
+    per_shard.submit(update(0).with_read_clock(vec![0, 0]));
+
+    // Per-shard τ at the third submission: shard 0 applied twice since the
+    // read, shard 1 never. DynSGD weights are exactly 1/(τ_s + 1).
+    assert_eq!(per_shard.last_shard_staleness(), &[2, 0]);
+    assert_eq!(
+        per_shard.last_shard_weights(),
+        &[(1.0f64 / 3.0) as f32, 1.0]
+    );
+
+    // The lockstep run of the *same* submissions sees scalar staleness 0
+    // everywhere: weight 1 for every gradient on every shard, applied on the
+    // K=3rd submission.
+    let mut lockstep = make(ApplyMode::Lockstep);
+    for _ in 0..3 {
+        let outcome = lockstep.submit(update(0));
+        assert_eq!(outcome.applied_weight, 1.0);
+    }
+    assert_eq!(lockstep.parameters(), &[-3.0; 4]);
+
+    // The per-shard trajectory differs: shard 1's range matches lockstep
+    // (its clock never diverged), shard 0's does not — its second gradient
+    // was dampened at τ=1 (weight 1/2) and its third (τ=2, weight 1/3) is
+    // still pending at this point of the schedule.
+    assert_eq!(&per_shard.parameters()[2..4], &[-3.0, -3.0]);
+    assert_eq!(&per_shard.parameters()[0..2], &[-1.5, -1.5]);
+    per_shard.flush();
+    let expected = -1.5 - (1.0f64 / 3.0) as f32;
+    assert_eq!(&per_shard.parameters()[0..2], &[expected, expected]);
+    assert_ne!(per_shard.parameters(), lockstep.parameters());
 }
 
 #[test]
