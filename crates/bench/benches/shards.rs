@@ -13,6 +13,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fleet_core::{ApplyMode, DynSgd, ParameterServer, WorkerUpdate};
 use fleet_data::LabelDistribution;
 use fleet_ml::Gradient;
+use fleet_server::TaskTable;
 
 /// 1M parameters (4 MB): large enough that splitting, scaling and applying
 /// dominate the per-submit cost.
@@ -76,6 +77,33 @@ fn shard_benches(c: &mut Criterion) {
                 });
             });
         }
+    }
+
+    // The chaos-overhead pair: the fault-tolerant protocol wraps every
+    // submit in a lease issue + result classification (dedup against the
+    // completed set, expiry against the deadline). Benchmarked against the
+    // identical plain submit at 8 shards, the pair isolates what the
+    // lease/dedup bookkeeping costs per update — it should be noise next to
+    // the 4 MB split/scale/apply work.
+    for (name, leased) in [("plain_submit_1m", false), ("leased_submit_1m", true)] {
+        c.bench_with_input(BenchmarkId::new(name, 8usize), &8usize, |b, &shards| {
+            let mut server = ParameterServer::new(vec![0.0; LARGE_MODEL], DynSgd::new(), 0.01, 1)
+                .with_shards(shards);
+            let mut table = TaskTable::new();
+            let template = Gradient::from_vec(vec![0.01; LARGE_MODEL]);
+            let labels = LabelDistribution::from_labels(&[0, 1, 2, 3, 4], 10);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let update = WorkerUpdate::new(template.clone(), 3, labels.clone(), 100, 7);
+                if leased {
+                    let task_id = table.issue(7, round, 6);
+                    table.reclaim_expired(round);
+                    black_box(table.classify(task_id, 7));
+                }
+                black_box(server.submit(update))
+            });
+        });
     }
 }
 

@@ -16,10 +16,35 @@ use crate::staleness::StalenessTracker;
 use crate::update::WorkerUpdate;
 use fleet_data::GlobalLabelDistribution;
 
+/// The mutable state of an [`Aggregator`], exported as plain data for
+/// checkpoint/restore. Stateless aggregators (DynSGD, FedAvg, SSGD) export
+/// empty vectors; AdaSGD exports its staleness window and the accumulated
+/// global label counts — everything `Λ(τ)` calibration and similarity
+/// boosting depend on. The byte encoding lives with the wire codec
+/// (`fleet-server`); this struct keeps the crates below it codec-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AggregatorState {
+    /// Observed staleness values, in observation order.
+    pub staleness_values: Vec<u64>,
+    /// Accumulated per-class sample counts of the global label distribution.
+    pub label_counts: Vec<u64>,
+}
+
 /// Decides the weight of each worker gradient and observes applied updates.
 pub trait Aggregator: std::fmt::Debug + Send {
     /// Short human-readable name (used by the experiment harnesses).
     fn name(&self) -> &'static str;
+
+    /// Exports the aggregator's mutable state (see [`AggregatorState`]).
+    /// Stateless aggregators use this default.
+    fn export_state(&self) -> AggregatorState {
+        AggregatorState::default()
+    }
+
+    /// Restores state captured with [`Aggregator::export_state`] into an
+    /// aggregator constructed with the same parameters. Stateless
+    /// aggregators ignore it.
+    fn import_state(&mut self, _state: AggregatorState) {}
 
     /// The scalar weight for an incoming update, in `[0, 1]`, at the
     /// staleness the update itself carries.
@@ -138,6 +163,22 @@ impl AdaSgd {
 impl Aggregator for AdaSgd {
     fn name(&self) -> &'static str {
         "AdaSGD"
+    }
+
+    fn export_state(&self) -> AggregatorState {
+        AggregatorState {
+            staleness_values: self.staleness.values().to_vec(),
+            label_counts: self.global_labels.counts().to_vec(),
+        }
+    }
+
+    fn import_state(&mut self, state: AggregatorState) {
+        self.staleness.restore_values(state.staleness_values);
+        let num_classes = self.global_labels.counts().len();
+        self.global_labels = GlobalLabelDistribution::new(num_classes);
+        for (class, &count) in state.label_counts.iter().enumerate() {
+            self.global_labels.record(class, count);
+        }
     }
 
     fn scaling_factor_at(&self, update: &WorkerUpdate, staleness: u64) -> f64 {

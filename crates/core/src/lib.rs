@@ -62,8 +62,10 @@ pub mod server;
 pub mod staleness;
 pub mod update;
 
-pub use aggregator::{AdaSgd, Aggregator, DynSgd, FedAvg, Ssgd};
+pub use aggregator::{AdaSgd, Aggregator, AggregatorState, DynSgd, FedAvg, Ssgd};
 pub use dampening::DampeningPolicy;
-pub use server::{ApplyMode, ParameterServer, ParameterServerConfig, SubmitOutcome};
+pub use server::{
+    ApplyMode, ParameterServer, ParameterServerConfig, ParameterServerState, SubmitOutcome,
+};
 pub use staleness::StalenessTracker;
 pub use update::WorkerUpdate;

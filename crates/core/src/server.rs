@@ -48,7 +48,7 @@
 //! schedule: applies are ordered on (shard, submission index) — never on
 //! wall-clock arrival — and flushes are caller-ordered.
 
-use crate::aggregator::Aggregator;
+use crate::aggregator::{Aggregator, AggregatorState};
 use crate::update::WorkerUpdate;
 use std::ops::Range;
 
@@ -85,6 +85,14 @@ pub struct ParameterServerConfig {
     pub shards: usize,
     /// How shard applies are scheduled.
     pub apply_mode: ApplyMode,
+    /// Backpressure bound on a shard's pending buffer: when any shard holds
+    /// this many unapplied gradient segments, [`ParameterServer::is_saturated`]
+    /// reports overload so admission layers can shed new tasks instead of
+    /// growing the buffer without bound. `0` disables the bound. Only
+    /// meaningful below `aggregation_k` in lockstep mode (the buffer never
+    /// exceeds `K − 1` there); in per-shard mode flush-starved shards can
+    /// otherwise queue arbitrarily deep.
+    pub max_pending: usize,
 }
 
 impl Default for ParameterServerConfig {
@@ -94,8 +102,39 @@ impl Default for ParameterServerConfig {
             aggregation_k: 1,
             shards: 1,
             apply_mode: ApplyMode::Lockstep,
+            max_pending: 0,
         }
     }
+}
+
+/// The full mutable state of a [`ParameterServer`], exported as plain data
+/// for checkpoint/restore (the byte encoding lives with the wire codec in
+/// `fleet-server`). Configuration — learning rate, K, shard count, apply
+/// mode — is *not* part of the state: restore targets a server constructed
+/// with the same configuration, and [`ParameterServer::restore_state`]
+/// asserts the shapes agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterServerState {
+    /// The flat model parameters.
+    pub parameters: Vec<f32>,
+    /// Per-shard pending buffers of scaled gradient segments, in shard order.
+    pub shard_pending: Vec<Vec<Vec<f32>>>,
+    /// Per-shard logical clocks (the vector clock), in shard order.
+    pub shard_clocks: Vec<u64>,
+    /// Per-shard applied-gradient counts, in shard order.
+    pub shard_applied: Vec<u64>,
+    /// Submissions since the last K-trigger (the global pending count).
+    pub pending_count: usize,
+    /// The global logical clock.
+    pub clock: u64,
+    /// Total gradients received.
+    pub updates_received: u64,
+    /// Per-shard staleness of the most recent submission (per-shard mode).
+    pub last_shard_staleness: Vec<u64>,
+    /// Per-shard weights of the most recent submission (per-shard mode).
+    pub last_shard_weights: Vec<f32>,
+    /// The aggregator's exported state.
+    pub aggregator: AggregatorState,
 }
 
 /// Result of submitting one worker update to the [`ParameterServer`].
@@ -160,6 +199,7 @@ pub struct ParameterServer<A: Aggregator> {
     learning_rate: f32,
     aggregation_k: usize,
     apply_mode: ApplyMode,
+    max_pending: usize,
     pending_count: usize,
     clock: u64,
     updates_received: u64,
@@ -197,6 +237,7 @@ impl<A: Aggregator> ParameterServer<A> {
             learning_rate,
             aggregation_k,
             apply_mode: ApplyMode::Lockstep,
+            max_pending: 0,
             pending_count: 0,
             clock: 0,
             updates_received: 0,
@@ -226,6 +267,14 @@ impl<A: Aggregator> ParameterServer<A> {
         )
         .with_shards(config.shards)
         .with_apply_mode(config.apply_mode)
+        .with_max_pending(config.max_pending)
+    }
+
+    /// Sets the backpressure bound on per-shard pending buffers (see
+    /// [`ParameterServerConfig::max_pending`]). `0` disables the bound.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
     }
 
     /// Re-partitions the parameters into `num_shards` near-equal contiguous
@@ -398,6 +447,102 @@ impl<A: Aggregator> ParameterServer<A> {
     /// others does not count yet.
     pub fn updates_applied(&self) -> u64 {
         self.shards.iter().map(|s| s.applied).min().unwrap_or(0)
+    }
+
+    /// Number of scaled gradient segments waiting in one shard's pending
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_pending_len(&self, shard: usize) -> usize {
+        self.shards[shard].pending.len()
+    }
+
+    /// The configured backpressure bound (`0` = unbounded).
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// The first shard whose pending buffer has reached the
+    /// [`ParameterServerConfig::max_pending`] bound, if any — the overload
+    /// signal an admission layer turns into backpressure (shed the task now
+    /// rather than queue a gradient the saturated shard cannot absorb).
+    /// Always `None` when the bound is disabled.
+    pub fn saturated_shard(&self) -> Option<usize> {
+        if self.max_pending == 0 {
+            return None;
+        }
+        self.shards
+            .iter()
+            .position(|s| s.pending.len() >= self.max_pending)
+    }
+
+    /// Whether any shard's pending buffer has reached the backpressure bound.
+    pub fn is_saturated(&self) -> bool {
+        self.saturated_shard().is_some()
+    }
+
+    /// Exports the server's full mutable state (parameters, per-shard pending
+    /// buffers and clocks, counters, aggregator state) for checkpointing.
+    pub fn export_state(&self) -> ParameterServerState {
+        ParameterServerState {
+            parameters: self.parameters.clone(),
+            shard_pending: self.shards.iter().map(|s| s.pending.clone()).collect(),
+            shard_clocks: self.shards.iter().map(|s| s.clock).collect(),
+            shard_applied: self.shards.iter().map(|s| s.applied).collect(),
+            pending_count: self.pending_count,
+            clock: self.clock,
+            updates_received: self.updates_received,
+            last_shard_staleness: self.last_shard_staleness.clone(),
+            last_shard_weights: self.last_shard_weights.clone(),
+            aggregator: self.aggregator.export_state(),
+        }
+    }
+
+    /// Restores state captured with [`ParameterServer::export_state`] into a
+    /// server constructed with the same configuration (learning rate, K,
+    /// shard count, apply mode). After the restore, every subsequent
+    /// submission produces bit-for-bit the outputs the checkpointed server
+    /// would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's parameter length or shard count does not match
+    /// this server's partition, or a pending segment's length does not match
+    /// its shard's range.
+    pub fn restore_state(&mut self, state: ParameterServerState) {
+        assert_eq!(
+            state.parameters.len(),
+            self.parameters.len(),
+            "checkpoint parameter length does not match the server's"
+        );
+        assert_eq!(
+            state.shard_pending.len(),
+            self.shards.len(),
+            "checkpoint shard count does not match the server's partition"
+        );
+        assert_eq!(state.shard_clocks.len(), self.shards.len());
+        assert_eq!(state.shard_applied.len(), self.shards.len());
+        self.parameters = state.parameters;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            for segment in &state.shard_pending[i] {
+                assert_eq!(
+                    segment.len(),
+                    shard.len,
+                    "pending segment length does not match shard {i}'s range"
+                );
+            }
+            shard.pending = state.shard_pending[i].clone();
+            shard.clock = state.shard_clocks[i];
+            shard.applied = state.shard_applied[i];
+        }
+        self.pending_count = state.pending_count;
+        self.clock = state.clock;
+        self.updates_received = state.updates_received;
+        self.last_shard_staleness = state.last_shard_staleness;
+        self.last_shard_weights = state.last_shard_weights;
+        self.aggregator.import_state(state.aggregator);
     }
 
     /// The configured learning rate γ.
@@ -1041,11 +1186,13 @@ mod tests {
             aggregation_k: 2,
             shards: 3,
             apply_mode: ApplyMode::PerShard,
+            max_pending: 5,
         };
         let server = ParameterServer::from_config(vec![0.0; 9], FedAvg::new(), &config);
         assert_eq!(server.learning_rate(), 0.25);
         assert_eq!(server.num_shards(), 3);
         assert_eq!(server.apply_mode(), ApplyMode::PerShard);
+        assert_eq!(server.max_pending(), 5);
         assert_eq!(
             ParameterServerConfig::default().apply_mode,
             ApplyMode::Lockstep
@@ -1062,6 +1209,101 @@ mod tests {
         server.submit(update(vec![1.0; 4], 9));
         assert_eq!(server.last_shard_staleness(), &[9, 9]);
         assert_eq!(server.last_shard_weights(), &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn saturation_reports_the_full_pending_buffer() {
+        let mut server =
+            ParameterServer::new(vec![0.0; 4], FedAvg::new(), 1.0, 3).with_max_pending(2);
+        assert_eq!(server.saturated_shard(), None);
+        server.submit(update(vec![1.0; 4], 0));
+        assert!(!server.is_saturated());
+        server.submit(update(vec![1.0; 4], 0));
+        assert_eq!(server.saturated_shard(), Some(0));
+        assert_eq!(server.shard_pending_len(0), 2);
+        // The third submission reaches K and drains the buffer.
+        server.submit(update(vec![1.0; 4], 0));
+        assert!(!server.is_saturated());
+        assert_eq!(server.shard_pending_len(0), 0);
+    }
+
+    #[test]
+    fn unbounded_server_never_saturates() {
+        let mut server = ParameterServer::new(vec![0.0; 2], FedAvg::new(), 1.0, 100);
+        for _ in 0..50 {
+            server.submit(update(vec![1.0; 2], 0));
+        }
+        assert_eq!(server.max_pending(), 0);
+        assert_eq!(server.saturated_shard(), None);
+    }
+
+    /// Exporting state mid-round (pending buffers non-empty, clocks diverged)
+    /// and restoring it into a fresh server reproduces the remainder of the
+    /// run bit for bit.
+    #[test]
+    fn state_roundtrip_resumes_bitwise() {
+        let config = ParameterServerConfig {
+            learning_rate: 0.5,
+            aggregation_k: 3,
+            shards: 3,
+            apply_mode: ApplyMode::PerShard,
+            max_pending: 0,
+        };
+        let build = || ParameterServer::from_config(vec![0.1; 7], AdaSgd::new(4, 99.0), &config);
+        let updates: Vec<WorkerUpdate> = (0..11)
+            .map(|i| update(vec![(i as f32 * 0.3).sin(); 7], i % 4))
+            .collect();
+
+        // Uninterrupted reference run.
+        let mut reference = build();
+        for u in &updates {
+            reference.submit(u.clone().with_read_clock(reference.shard_clocks()));
+        }
+        reference.flush_shard(1);
+        for u in &updates {
+            reference.submit(u.clone().with_read_clock(reference.shard_clocks()));
+        }
+
+        // Interrupted run: checkpoint mid-stream, restore into a new server.
+        let mut first = build();
+        for u in &updates {
+            first.submit(u.clone().with_read_clock(first.shard_clocks()));
+        }
+        first.flush_shard(1);
+        let state = first.export_state();
+        assert!(state.shard_pending.iter().any(|p| !p.is_empty()));
+        drop(first);
+        let mut resumed = build();
+        resumed.restore_state(state);
+        for u in &updates {
+            resumed.submit(u.clone().with_read_clock(resumed.shard_clocks()));
+        }
+
+        assert_eq!(
+            reference
+                .parameters()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+            resumed
+                .parameters()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(reference.shard_clocks(), resumed.shard_clocks());
+        assert_eq!(reference.updates_received(), resumed.updates_received());
+        assert_eq!(reference.updates_applied(), resumed.updates_applied());
+        assert_eq!(reference.export_state(), resumed.export_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn restore_rejects_mismatched_partition() {
+        let server = ParameterServer::new(vec![0.0; 4], FedAvg::new(), 1.0, 1).with_shards(2);
+        let state = server.export_state();
+        let mut other = ParameterServer::new(vec![0.0; 4], FedAvg::new(), 1.0, 1).with_shards(4);
+        other.restore_state(state);
     }
 
     proptest! {

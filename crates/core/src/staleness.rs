@@ -37,6 +37,19 @@ impl StalenessTracker {
         self.values.push(staleness);
     }
 
+    /// The recorded staleness values, in observation order — the tracker's
+    /// whole mutable state, exported for checkpointing.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Replaces the recorded values with a sequence captured via
+    /// [`StalenessTracker::values`]; percentiles, bootstrap status and the
+    /// mean all continue exactly as if the values had been recorded live.
+    pub fn restore_values(&mut self, values: Vec<u64>) {
+        self.values = values;
+    }
+
     /// Number of recorded values.
     pub fn len(&self) -> usize {
         self.values.len()

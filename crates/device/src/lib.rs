@@ -30,4 +30,5 @@ pub mod thermal;
 
 pub use device::{Device, TaskExecution};
 pub use features::DeviceFeatures;
+pub use network::NetworkKind;
 pub use profile::DeviceProfile;

@@ -29,6 +29,35 @@ pub struct BatchPrediction {
     pub personalized: bool,
 }
 
+/// Checkpointed mutable state of one [`SlopePredictor`]. Configuration
+/// (ε, slope floor, retrain period) is not part of the state; it comes from
+/// the constructor of the predictor the state is imported into.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlopePredictorState {
+    /// Coefficients of the cold-start global model.
+    pub global: Vec<f32>,
+    /// Personalised models as `(device_model, coefficients, update_count)`,
+    /// sorted by device model name so the export is deterministic regardless
+    /// of `HashMap` iteration order.
+    pub personal: Vec<(String, Vec<f32>, u64)>,
+    /// Accumulated calibration observations (feature vector, slope).
+    pub calibration: Vec<(Vec<f32>, f32)>,
+    /// Range of slopes seen so far.
+    pub seen_range: Option<(f32, f32)>,
+    /// Observations since the last global re-train.
+    pub since_retrain: u64,
+}
+
+/// Checkpointed mutable state of an [`IProf`] instance: one
+/// [`SlopePredictorState`] per predicted dimension.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IProfState {
+    /// State of the computation-time predictor.
+    pub latency: SlopePredictorState,
+    /// State of the energy predictor.
+    pub energy: SlopePredictorState,
+}
+
 /// One predictor (computation time *or* energy): a cold-start global linear
 /// regression plus one personalised passive-aggressive model per device model.
 #[derive(Debug, Clone)]
@@ -122,6 +151,39 @@ impl SlopePredictor {
             self.since_retrain = 0;
         }
     }
+
+    fn export_state(&self) -> SlopePredictorState {
+        let mut personal: Vec<(String, Vec<f32>, u64)> = self
+            .personal
+            .iter()
+            .map(|(name, pa)| (name.clone(), pa.coefficients().to_vec(), pa.updates()))
+            .collect();
+        personal.sort_by(|a, b| a.0.cmp(&b.0));
+        SlopePredictorState {
+            global: self.global.coefficients().to_vec(),
+            personal,
+            calibration: self.calibration.clone(),
+            seen_range: self.seen_range,
+            since_retrain: self.since_retrain as u64,
+        }
+    }
+
+    fn import_state(&mut self, state: SlopePredictorState) {
+        self.global = LinearRegression::from_coefficients(state.global);
+        self.personal = state
+            .personal
+            .into_iter()
+            .map(|(name, theta, updates)| {
+                (
+                    name,
+                    PassiveAggressiveRegressor::restore(theta, self.pa_epsilon, updates),
+                )
+            })
+            .collect();
+        self.calibration = state.calibration;
+        self.seen_range = state.seen_range;
+        self.since_retrain = state.since_retrain as usize;
+    }
 }
 
 /// The I-Prof profiler: one [`SlopePredictor`] for computation time and one
@@ -180,6 +242,24 @@ impl IProf {
     /// Number of device models with a personalised latency model.
     pub fn personalized_models(&self) -> usize {
         self.latency.personal.len().max(self.energy.personal.len())
+    }
+
+    /// Exports the profiler's full mutable state for checkpointing. Personal
+    /// models are sorted by device-model name, so the export is deterministic.
+    pub fn export_state(&self) -> IProfState {
+        IProfState {
+            latency: self.latency.export_state(),
+            energy: self.energy.export_state(),
+        }
+    }
+
+    /// Restores state captured with [`IProf::export_state`] into a profiler
+    /// built with the same constructor arguments (SLO, ε sensitivities).
+    /// Subsequent predictions and observations proceed exactly as they would
+    /// have on the exporting instance.
+    pub fn import_state(&mut self, state: IProfState) {
+        self.latency.import_state(state.latency);
+        self.energy.import_state(state.energy);
     }
 
     /// Predicts the mini-batch size and the expected cost for a request.
@@ -349,6 +429,41 @@ mod tests {
         let mut iprof = IProf::new(Slo::latency(3.0));
         let batch = iprof.predict("Anything", &features(8.0, 30.0));
         assert!((1..=MAX_BATCH).contains(&batch));
+    }
+
+    /// Export mid-run, import into a fresh instance, and feed both the same
+    /// follow-up observations: predictions and exported state must stay
+    /// identical — the personalised models' update counts included.
+    #[test]
+    fn state_roundtrip_resumes_the_prediction_stream() {
+        let build = || {
+            let mut iprof = IProf::new(Slo::latency(3.0));
+            iprof.pretrain_latency(&calibration());
+            iprof
+        };
+        let mut original = build();
+        let f = features(9.0, 33.0);
+        for i in 0..5 {
+            let pred = original.predict_batch("Phone-Z", &f);
+            original.observe("Phone-Z", &f, pred.batch_size, 0.003 * (i + 1) as f32, 0.01);
+        }
+        let state = original.export_state();
+        assert!(!state.latency.personal.is_empty());
+        assert_eq!(state.latency.personal[0].2, 5, "update count must survive");
+
+        let mut restored = build();
+        restored.import_state(state.clone());
+        assert_eq!(restored.export_state(), state);
+        for i in 0..5 {
+            let a = original.predict_batch("Phone-Z", &f);
+            let b = restored.predict_batch("Phone-Z", &f);
+            assert_eq!(a, b);
+            assert!(b.personalized);
+            let secs = 0.002 * (i + 1) as f32;
+            original.observe("Phone-Z", &f, a.batch_size, secs, 0.01);
+            restored.observe("Phone-Z", &f, b.batch_size, secs, 0.01);
+        }
+        assert_eq!(original.export_state(), restored.export_state());
     }
 
     #[test]

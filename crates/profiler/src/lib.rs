@@ -34,7 +34,7 @@ pub mod passive_aggressive;
 pub mod slo;
 pub mod training;
 
-pub use iprof::{BatchPrediction, IProf};
+pub use iprof::{BatchPrediction, IProf, IProfState, SlopePredictorState};
 pub use maui::Maui;
 pub use slo::Slo;
 

@@ -49,6 +49,23 @@ impl PassiveAggressiveRegressor {
         }
     }
 
+    /// Rebuilds a regressor from checkpointed state, preserving the update
+    /// count (unlike [`PassiveAggressiveRegressor::with_initial`], which
+    /// resets it — the count decides whether a personalised model has seen
+    /// real observations and may override the cold-start global model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative.
+    pub fn restore(theta: Vec<f32>, epsilon: f32, updates: u64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        Self {
+            theta,
+            epsilon,
+            updates,
+        }
+    }
+
     /// The current coefficients.
     pub fn coefficients(&self) -> &[f32] {
         &self.theta

@@ -1,0 +1,381 @@
+//! Binary checkpoint codec for the FLeet server.
+//!
+//! Serialises a [`FleetServerState`] — parameters, vector clocks, per-shard
+//! pending buffers, aggregator + I-Prof state, controller counters, the lease
+//! table and the worker routing map — with the same idiom as [`crate::wire`]:
+//! a one-byte version tag, `u32` little-endian length prefixes bounded by
+//! [`MAX_FIELD_LEN`](crate::wire::MAX_FIELD_LEN), raw little-endian scalars.
+//! A checkpoint taken mid-run and restored into a freshly constructed server
+//! resumes bit-identically (see the crash-restart test in
+//! `tests/parallel_determinism.rs`).
+
+use crate::server::FleetServerState;
+use crate::tasks::TaskTableState;
+use crate::wire::{
+    checked_field_len, get_f32_vec, get_len, get_string, get_u64_vec, need, put_f32_slice, put_str,
+    put_u64_slice, WireError,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fleet_core::{AggregatorState, ParameterServerState};
+use fleet_profiler::{IProfState, SlopePredictorState};
+
+/// Checkpoint format version.
+const CHECKPOINT_VERSION: u8 = 1;
+
+fn put_server_state(buf: &mut BytesMut, state: &ParameterServerState) {
+    put_f32_slice(buf, &state.parameters);
+    buf.put_u32_le(checked_field_len(state.shard_pending.len()));
+    for pending in &state.shard_pending {
+        buf.put_u32_le(checked_field_len(pending.len()));
+        for segment in pending {
+            put_f32_slice(buf, segment);
+        }
+    }
+    put_u64_slice(buf, &state.shard_clocks);
+    put_u64_slice(buf, &state.shard_applied);
+    buf.put_u64_le(state.pending_count as u64);
+    buf.put_u64_le(state.clock);
+    buf.put_u64_le(state.updates_received);
+    put_u64_slice(buf, &state.last_shard_staleness);
+    put_f32_slice(buf, &state.last_shard_weights);
+    put_u64_slice(buf, &state.aggregator.staleness_values);
+    put_u64_slice(buf, &state.aggregator.label_counts);
+}
+
+fn get_server_state(buf: &mut Bytes) -> Result<ParameterServerState, WireError> {
+    let parameters = get_f32_vec(buf)?;
+    let shard_count = get_len(buf)?;
+    let mut shard_pending = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let segments = get_len(buf)?;
+        let mut pending = Vec::with_capacity(segments);
+        for _ in 0..segments {
+            pending.push(get_f32_vec(buf)?);
+        }
+        shard_pending.push(pending);
+    }
+    let shard_clocks = get_u64_vec(buf)?;
+    let shard_applied = get_u64_vec(buf)?;
+    need(buf, 3 * 8)?;
+    let pending_count = buf.get_u64_le() as usize;
+    let clock = buf.get_u64_le();
+    let updates_received = buf.get_u64_le();
+    let last_shard_staleness = get_u64_vec(buf)?;
+    let last_shard_weights = get_f32_vec(buf)?;
+    let staleness_values = get_u64_vec(buf)?;
+    let label_counts = get_u64_vec(buf)?;
+    Ok(ParameterServerState {
+        parameters,
+        shard_pending,
+        shard_clocks,
+        shard_applied,
+        pending_count,
+        clock,
+        updates_received,
+        last_shard_staleness,
+        last_shard_weights,
+        aggregator: AggregatorState {
+            staleness_values,
+            label_counts,
+        },
+    })
+}
+
+fn put_predictor_state(buf: &mut BytesMut, state: &SlopePredictorState) {
+    put_f32_slice(buf, &state.global);
+    buf.put_u32_le(checked_field_len(state.personal.len()));
+    for (model, theta, updates) in &state.personal {
+        put_str(buf, model);
+        put_f32_slice(buf, theta);
+        buf.put_u64_le(*updates);
+    }
+    buf.put_u32_le(checked_field_len(state.calibration.len()));
+    for (features, slope) in &state.calibration {
+        put_f32_slice(buf, features);
+        buf.put_f32_le(*slope);
+    }
+    match state.seen_range {
+        Some((lo, hi)) => {
+            buf.put_u8(1);
+            buf.put_f32_le(lo);
+            buf.put_f32_le(hi);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64_le(state.since_retrain);
+}
+
+fn get_predictor_state(buf: &mut Bytes) -> Result<SlopePredictorState, WireError> {
+    let global = get_f32_vec(buf)?;
+    let personal_count = get_len(buf)?;
+    let mut personal = Vec::with_capacity(personal_count);
+    for _ in 0..personal_count {
+        let model = get_string(buf)?;
+        let theta = get_f32_vec(buf)?;
+        need(buf, 8)?;
+        personal.push((model, theta, buf.get_u64_le()));
+    }
+    let calibration_count = get_len(buf)?;
+    let mut calibration = Vec::with_capacity(calibration_count);
+    for _ in 0..calibration_count {
+        let features = get_f32_vec(buf)?;
+        need(buf, 4)?;
+        calibration.push((features, buf.get_f32_le()));
+    }
+    need(buf, 1)?;
+    let seen_range = match buf.get_u8() {
+        0 => None,
+        1 => {
+            need(buf, 8)?;
+            Some((buf.get_f32_le(), buf.get_f32_le()))
+        }
+        other => return Err(WireError::LengthOutOfBounds(other as usize)),
+    };
+    need(buf, 8)?;
+    let since_retrain = buf.get_u64_le();
+    Ok(SlopePredictorState {
+        global,
+        personal,
+        calibration,
+        seen_range,
+        since_retrain,
+    })
+}
+
+fn put_task_table_state(buf: &mut BytesMut, state: &TaskTableState) {
+    buf.put_u64_le(state.next_id);
+    buf.put_u32_le(checked_field_len(state.outstanding.len()));
+    for &(id, worker, issued, deadline) in &state.outstanding {
+        buf.put_u64_le(id);
+        buf.put_u64_le(worker);
+        buf.put_u64_le(issued);
+        buf.put_u64_le(deadline);
+    }
+    put_u64_slice(buf, &state.completed);
+    put_u64_slice(buf, &state.expired);
+}
+
+fn get_task_table_state(buf: &mut Bytes) -> Result<TaskTableState, WireError> {
+    need(buf, 8)?;
+    let next_id = buf.get_u64_le();
+    let outstanding_count = get_len(buf)?;
+    need(buf, outstanding_count.saturating_mul(4 * 8))?;
+    let outstanding = (0..outstanding_count)
+        .map(|_| {
+            (
+                buf.get_u64_le(),
+                buf.get_u64_le(),
+                buf.get_u64_le(),
+                buf.get_u64_le(),
+            )
+        })
+        .collect();
+    let completed = get_u64_vec(buf)?;
+    let expired = get_u64_vec(buf)?;
+    Ok(TaskTableState {
+        next_id,
+        outstanding,
+        completed,
+        expired,
+    })
+}
+
+/// Encodes a [`FleetServerState`] checkpoint into bytes.
+///
+/// # Panics
+///
+/// Panics if a variable-length field exceeds
+/// [`MAX_FIELD_LEN`](crate::wire::MAX_FIELD_LEN); such a checkpoint could
+/// never be decoded.
+pub fn encode_checkpoint(state: &FleetServerState) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(CHECKPOINT_VERSION);
+    put_server_state(&mut buf, &state.parameter_server);
+    put_predictor_state(&mut buf, &state.iprof.latency);
+    put_predictor_state(&mut buf, &state.iprof.energy);
+    for counter in [
+        state.controller.accepted,
+        state.controller.rejected_size,
+        state.controller.rejected_similarity,
+        state.controller.rejected_overload,
+    ] {
+        buf.put_u64_le(counter);
+    }
+    put_task_table_state(&mut buf, &state.tasks);
+    buf.put_u32_le(checked_field_len(state.device_models.len()));
+    for (worker, model) in &state.device_models {
+        buf.put_u64_le(*worker);
+        put_str(&mut buf, model);
+    }
+    buf.freeze()
+}
+
+/// Decodes a checkpoint produced by [`encode_checkpoint`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when the buffer is truncated, has an unknown
+/// version byte, or contains malformed fields.
+pub fn decode_checkpoint(mut buf: Bytes) -> Result<FleetServerState, WireError> {
+    need(&buf, 1)?;
+    let version = buf.get_u8();
+    if version != CHECKPOINT_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let parameter_server = get_server_state(&mut buf)?;
+    let latency = get_predictor_state(&mut buf)?;
+    let energy = get_predictor_state(&mut buf)?;
+    need(&buf, 4 * 8)?;
+    let controller = crate::controller::ControllerCounters {
+        accepted: buf.get_u64_le(),
+        rejected_size: buf.get_u64_le(),
+        rejected_similarity: buf.get_u64_le(),
+        rejected_overload: buf.get_u64_le(),
+    };
+    let tasks = get_task_table_state(&mut buf)?;
+    let device_count = get_len(&mut buf)?;
+    let mut device_models = Vec::with_capacity(device_count);
+    for _ in 0..device_count {
+        need(&buf, 8)?;
+        let worker = buf.get_u64_le();
+        device_models.push((worker, get_string(&mut buf)?));
+    }
+    Ok(FleetServerState {
+        parameter_server,
+        iprof: IProfState { latency, energy },
+        controller,
+        tasks,
+        device_models,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerCounters;
+
+    fn sample_state() -> FleetServerState {
+        FleetServerState {
+            parameter_server: ParameterServerState {
+                parameters: vec![0.5, -1.25, 3.0],
+                shard_pending: vec![vec![vec![0.1, 0.2]], vec![], vec![vec![-0.5]]],
+                shard_clocks: vec![4, 0, 7],
+                shard_applied: vec![2, 0, 3],
+                pending_count: 1,
+                clock: 11,
+                updates_received: 12,
+                last_shard_staleness: vec![1, 0, 2],
+                last_shard_weights: vec![0.9, 1.0, 0.4],
+                aggregator: AggregatorState {
+                    staleness_values: vec![0, 1, 1, 2],
+                    label_counts: vec![5, 0, 9],
+                },
+            },
+            iprof: IProfState {
+                latency: SlopePredictorState {
+                    global: vec![0.01, 0.02, 0.0, 0.0, 0.0, 0.1],
+                    personal: vec![
+                        ("pixel-3".into(), vec![0.5; 6], 3),
+                        ("s10".into(), vec![-0.25; 6], 1),
+                    ],
+                    calibration: vec![(vec![1.0; 6], 0.07)],
+                    seen_range: Some((0.01, 0.4)),
+                    since_retrain: 17,
+                },
+                energy: SlopePredictorState {
+                    global: vec![0.3; 6],
+                    personal: vec![],
+                    calibration: vec![],
+                    seen_range: None,
+                    since_retrain: 0,
+                },
+            },
+            controller: ControllerCounters {
+                accepted: 40,
+                rejected_size: 3,
+                rejected_similarity: 2,
+                rejected_overload: 5,
+            },
+            tasks: TaskTableState {
+                next_id: 9,
+                outstanding: vec![(7, 2, 10, 16), (8, 4, 11, 17)],
+                completed: vec![0, 1, 2, 3, 5],
+                expired: vec![4, 6],
+            },
+            device_models: vec![(2, "pixel-3".into()), (4, "s10".into())],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let state = sample_state();
+        let decoded = decode_checkpoint(encode_checkpoint(&state)).expect("roundtrip");
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let state = FleetServerState {
+            parameter_server: ParameterServerState {
+                parameters: vec![0.0],
+                shard_pending: vec![vec![]],
+                shard_clocks: vec![0],
+                shard_applied: vec![0],
+                pending_count: 0,
+                clock: 0,
+                updates_received: 0,
+                last_shard_staleness: vec![0],
+                last_shard_weights: vec![1.0],
+                aggregator: AggregatorState::default(),
+            },
+            iprof: IProfState::default(),
+            controller: ControllerCounters::default(),
+            tasks: TaskTableState::default(),
+            device_models: vec![],
+        };
+        let decoded = decode_checkpoint(encode_checkpoint(&state)).expect("roundtrip");
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut raw = encode_checkpoint(&sample_state()).to_vec();
+        raw[0] = 99;
+        assert_eq!(
+            decode_checkpoint(Bytes::from(raw)),
+            Err(WireError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn truncation_errors_at_every_offset() {
+        let encoded = encode_checkpoint(&sample_state());
+        for len in 0..encoded.len() {
+            let truncated = encoded.slice(0..len);
+            assert!(
+                decode_checkpoint(truncated).is_err(),
+                "prefix of length {len} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_seen_range_flag_is_rejected() {
+        let state = sample_state();
+        let encoded = encode_checkpoint(&state).to_vec();
+        // Locate the latency predictor's seen-range flag byte (value 1,
+        // followed by the two range floats and since_retrain = 17).
+        let needle_pos = encoded
+            .windows(9)
+            .position(|w| {
+                w[0] == 1 && w[1..5] == 0.01f32.to_le_bytes() && w[5..9] == 0.4f32.to_le_bytes()
+            })
+            .expect("seen-range flag present");
+        let mut raw = encoded;
+        raw[needle_pos] = 7;
+        assert_eq!(
+            decode_checkpoint(Bytes::from(raw)),
+            Err(WireError::LengthOutOfBounds(7))
+        );
+    }
+}

@@ -25,6 +25,20 @@ pub struct Controller {
     accepted: u64,
     rejected_size: u64,
     rejected_similarity: u64,
+    rejected_overload: u64,
+}
+
+/// The controller's acceptance counters, exported for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerCounters {
+    /// Accepted tasks.
+    pub accepted: u64,
+    /// Rejected: batch too small.
+    pub rejected_size: u64,
+    /// Rejected: data too similar.
+    pub rejected_similarity: u64,
+    /// Rejected: server overloaded (backpressure).
+    pub rejected_overload: u64,
 }
 
 impl Controller {
@@ -92,9 +106,40 @@ impl Controller {
         self.rejected_similarity
     }
 
+    /// Number of tasks shed because the server was overloaded. The overload
+    /// check happens *before* admission (no point scoring a task the server
+    /// cannot absorb), so the caller reports it here rather than through
+    /// [`Controller::admit`].
+    pub fn note_overload(&mut self) {
+        self.rejected_overload += 1;
+    }
+
+    /// Number of tasks shed under overload backpressure.
+    pub fn rejected_for_overload(&self) -> u64 {
+        self.rejected_overload
+    }
+
     /// Total number of rejected tasks.
     pub fn rejected(&self) -> u64 {
-        self.rejected_size + self.rejected_similarity
+        self.rejected_size + self.rejected_similarity + self.rejected_overload
+    }
+
+    /// Exports the acceptance counters for checkpointing.
+    pub fn counters(&self) -> ControllerCounters {
+        ControllerCounters {
+            accepted: self.accepted,
+            rejected_size: self.rejected_size,
+            rejected_similarity: self.rejected_similarity,
+            rejected_overload: self.rejected_overload,
+        }
+    }
+
+    /// Restores counters captured with [`Controller::counters`].
+    pub fn restore_counters(&mut self, counters: ControllerCounters) {
+        self.accepted = counters.accepted;
+        self.rejected_size = counters.rejected_size;
+        self.rejected_similarity = counters.rejected_similarity;
+        self.rejected_overload = counters.rejected_overload;
     }
 }
 
@@ -152,5 +197,34 @@ mod tests {
         assert!(c.admit(6, 0.4).is_ok());
         assert_eq!(c.accepted(), 2);
         assert_eq!(c.rejected(), 2);
+    }
+
+    #[test]
+    fn overload_counts_as_a_rejection() {
+        let mut c = Controller::permissive();
+        assert!(c.admit(5, 0.1).is_ok());
+        c.note_overload();
+        c.note_overload();
+        assert_eq!(c.rejected_for_overload(), 2);
+        assert_eq!(c.rejected(), 2);
+        assert_eq!(c.accepted(), 1);
+    }
+
+    #[test]
+    fn counters_roundtrip_through_checkpoint() {
+        let mut c = Controller::new(ControllerThresholds {
+            min_batch_size: 10,
+            max_similarity: Some(0.9),
+        });
+        let _ = c.admit(5, 0.5);
+        let _ = c.admit(100, 0.95);
+        let _ = c.admit(100, 0.5);
+        c.note_overload();
+        let counters = c.counters();
+        let mut restored = Controller::new(c.thresholds());
+        restored.restore_counters(counters);
+        assert_eq!(restored.counters(), counters);
+        assert_eq!(restored.accepted(), 1);
+        assert_eq!(restored.rejected(), 3);
     }
 }

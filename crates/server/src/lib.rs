@@ -18,17 +18,26 @@
 //! 5. the worker computes the gradient and returns a [`protocol::TaskResult`],
 //!    which the server folds into the model with AdaSGD's weight.
 
+pub mod checkpoint;
 pub mod controller;
+pub mod faults;
 pub mod online;
 pub mod protocol;
 pub mod server;
 pub mod simulation;
 pub mod staleness_model;
+pub mod tasks;
 pub mod wire;
 pub mod worker;
 
-pub use controller::{Controller, ControllerThresholds};
+pub use checkpoint::{decode_checkpoint, encode_checkpoint};
+pub use controller::{Controller, ControllerCounters, ControllerThresholds};
+pub use faults::{FaultPlan, FaultStats, ResultFate};
 pub use fleet_core::ApplyMode;
-pub use server::{FleetServer, FleetServerConfig};
-pub use simulation::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
-pub use worker::Worker;
+pub use protocol::ResultDisposition;
+pub use server::{FleetServer, FleetServerConfig, FleetServerState};
+pub use simulation::{
+    AsyncSimulation, SimulationCheckpoint, SimulationConfig, StalenessDistribution, TrainingHistory,
+};
+pub use tasks::{Lease, TaskTable, TaskTableState};
+pub use worker::{RetryPolicy, Worker};

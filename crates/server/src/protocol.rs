@@ -1,4 +1,63 @@
-//! Messages exchanged between FLeet workers and the server (Fig. 2).
+//! Messages exchanged between FLeet workers and the server (Fig. 2), plus
+//! the fault-tolerance envelope around them.
+//!
+//! # Fault model
+//!
+//! Workers are mobile devices on flaky radio links: any message can be
+//! *dropped*, *duplicated* (retransmission after a lost ack), or *delayed*
+//! (straggler), and a worker can *crash and restart* between pulling a model
+//! and pushing its gradient. The server must stay correct under all four:
+//! a gradient must be applied **at most once**, a lost task must eventually
+//! be reissued, and a result from a worker the server never assigned a task
+//! to must not poison I-Prof's per-device models. None of this may perturb
+//! the fault-free path — a run with no faults is bit-identical to one built
+//! without the fault layer.
+//!
+//! # Lease lifecycle
+//!
+//! Every accepted [`TaskAssignment`] carries a server-issued, strictly
+//! monotonic [`TaskAssignment::task_id`] and registers an *outstanding
+//! lease*. The lease's deadline is a logical round derived from I-Prof's
+//! predicted computation time plus the device's modelled network transfer
+//! time — a fast phone on LTE gets a short lease, a slow phone on 3G a long
+//! one. A lease ends in exactly one of two ways:
+//!
+//! * a result with its `task_id` arrives before the deadline — the lease
+//!   moves to the *completed* set, and
+//! * the deadline passes — the lease is *reclaimed* (moved to the *expired*
+//!   set), freeing the server to hand the work to someone else; a straggler
+//!   result arriving later is acknowledged but **not** applied.
+//!
+//! # Result dispositions
+//!
+//! [`ResultAck::disposition`] tells the worker what happened to its upload:
+//!
+//! | disposition    | condition                                  | applied? |
+//! |----------------|--------------------------------------------|----------|
+//! | `Applied`      | first result for an outstanding lease      | yes      |
+//! | `Duplicate`    | `task_id` already in the completed set     | no       |
+//! | `Expired`      | `task_id` reclaimed before the result came | no       |
+//! | `Unsolicited`  | unknown `task_id`, or wrong worker, or a   | no       |
+//! |                | legacy (id-less) result from a worker with |          |
+//! |                | no recorded request                        |          |
+//!
+//! Only `Applied` results reach the parameter server and I-Prof; everything
+//! else is acknowledged (so the worker stops retrying) and discarded.
+//!
+//! # Wire-format versions
+//!
+//! The binary codec ([`crate::wire`]) is append-only and the encoder always
+//! emits the *oldest* version able to carry the message:
+//!
+//! | version | adds over previous            | emitted when                  |
+//! |---------|-------------------------------|-------------------------------|
+//! | v1      | baseline request/result       | no read clock, no task id     |
+//! | v2      | `read_clock` vector clock     | `read_clock` present, no id   |
+//! | v3      | `task_id` + explicit clock    | `task_id` present             |
+//! |         | presence flag                 |                               |
+//!
+//! A v1 peer keeps decoding everything a lockstep, pre-lease deployment
+//! produces; v3 is only on the wire once the server actually issues task ids.
 
 use fleet_data::LabelDistribution;
 use fleet_device::DeviceFeatures;
@@ -35,6 +94,10 @@ pub enum TaskResponse {
 /// bound chosen by I-Prof.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskAssignment {
+    /// Server-issued, strictly monotonic task identifier. The worker echoes
+    /// it back as [`TaskResult::task_id`]; the server uses it to deduplicate
+    /// retransmitted results and to reclaim tasks whose lease expired.
+    pub task_id: u64,
     /// Flat model parameters the gradient must be computed against.
     pub model_parameters: Vec<f32>,
     /// The server's logical clock at the time the model was handed out.
@@ -64,6 +127,14 @@ pub enum RejectionReason {
     /// The worker's data is too similar to what the model has already seen
     /// (low expected utility).
     TooSimilar,
+    /// The server is shedding load: a parameter shard's pending buffer has
+    /// reached its configured bound, so accepting the task would queue a
+    /// gradient the server cannot absorb. The worker should back off and
+    /// retry (see `worker::RetryPolicy`).
+    Overloaded {
+        /// The saturated shard.
+        shard: usize,
+    },
 }
 
 /// Step 5: the worker's result.
@@ -89,6 +160,27 @@ pub struct TaskResult {
     /// server hands out lockstep assignments, or from wire peers that
     /// predate vector clocks (wire format v1).
     pub read_clock: Option<Vec<u64>>,
+    /// The task identifier echoed from [`TaskAssignment::task_id`]; `None`
+    /// from wire peers that predate leases (wire formats v1/v2). Id-less
+    /// results bypass dedup — they are applied if (and only if) the worker
+    /// has a recorded request, preserving the legacy protocol.
+    pub task_id: Option<u64>,
+}
+
+/// What the server did with an uploaded [`TaskResult`] (see the module docs
+/// for the full disposition table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResultDisposition {
+    /// First result for an outstanding lease — the gradient was applied.
+    Applied,
+    /// The task was already completed; this retransmission was discarded.
+    Duplicate,
+    /// The task's lease expired before the result arrived; the straggler
+    /// gradient was discarded.
+    Expired,
+    /// The result matches no known task (unknown id, wrong worker, or an
+    /// id-less result from a worker with no recorded request); discarded.
+    Unsolicited,
 }
 
 /// The server's acknowledgement of a result.
@@ -102,6 +194,10 @@ pub struct ResultAck {
     pub model_updated: bool,
     /// The server's logical clock after processing the result.
     pub clock: u64,
+    /// What the server did with the result; anything but
+    /// [`ResultDisposition::Applied`] means the gradient was discarded
+    /// (staleness and scaling factor are reported as zero).
+    pub disposition: ResultDisposition,
 }
 
 #[cfg(test)]
@@ -115,12 +211,32 @@ mod tests {
             minimum: 10,
         };
         let b = RejectionReason::TooSimilar;
+        let c = RejectionReason::Overloaded { shard: 2 };
         assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(c, RejectionReason::Overloaded { shard: 3 });
+    }
+
+    #[test]
+    fn dispositions_are_comparable() {
+        assert_ne!(ResultDisposition::Applied, ResultDisposition::Duplicate);
+        assert_ne!(ResultDisposition::Expired, ResultDisposition::Unsolicited);
+        // Copy semantics: an ack can be passed around by value.
+        let ack = ResultAck {
+            staleness: 1,
+            scaling_factor: 0.5,
+            model_updated: true,
+            clock: 9,
+            disposition: ResultDisposition::Applied,
+        };
+        let copy = ack;
+        assert_eq!(copy, ack);
     }
 
     #[test]
     fn task_response_variants() {
         let assignment = TaskAssignment {
+            task_id: 12,
             model_parameters: vec![0.0; 4],
             model_version: 7,
             shard_clocks: vec![7, 7],

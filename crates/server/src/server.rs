@@ -1,12 +1,19 @@
 //! The FLeet server: glues I-Prof, the controller and AdaSGD together behind
 //! the request/result protocol of Fig. 2.
 
-use crate::controller::{Controller, ControllerThresholds};
-use crate::protocol::{ResultAck, TaskAssignment, TaskRequest, TaskResponse, TaskResult};
+use crate::controller::{Controller, ControllerCounters, ControllerThresholds};
+use crate::protocol::{
+    RejectionReason, ResultAck, ResultDisposition, TaskAssignment, TaskRequest, TaskResponse,
+    TaskResult,
+};
+use crate::tasks::{TaskTable, TaskTableState};
 use crate::wire::{self, WireError};
 use bytes::Bytes;
-use fleet_core::{AdaSgd, ApplyMode, ParameterServer, ParameterServerConfig, WorkerUpdate};
-use fleet_profiler::{IProf, Slo, WorkloadProfiler};
+use fleet_core::{
+    AdaSgd, ApplyMode, ParameterServer, ParameterServerConfig, ParameterServerState, WorkerUpdate,
+};
+use fleet_device::NetworkKind;
+use fleet_profiler::{IProf, IProfState, Slo, WorkloadProfiler};
 use std::collections::HashMap;
 
 /// Configuration of a [`FleetServer`].
@@ -35,6 +42,19 @@ pub struct FleetServerConfig {
     pub slo: Slo,
     /// Controller thresholds.
     pub thresholds: ControllerThresholds,
+    /// Backpressure bound on any shard's pending gradient buffer; `0`
+    /// disables shedding. When a shard sits at the bound, new task requests
+    /// are rejected with [`RejectionReason::Overloaded`] instead of queueing
+    /// gradients the server cannot absorb.
+    pub max_pending: usize,
+    /// The network the lease deadline budgets model transfer time for.
+    pub network: NetworkKind,
+    /// Floor on a task lease, in logical rounds: even an instant prediction
+    /// leaves the worker this long before the lease is reclaimed.
+    pub lease_min_rounds: u64,
+    /// Conversion from predicted wall-clock seconds (compute + transfer) to
+    /// logical lease rounds.
+    pub lease_rounds_per_second: f64,
 }
 
 impl Default for FleetServerConfig {
@@ -48,8 +68,32 @@ impl Default for FleetServerConfig {
             num_classes: 10,
             slo: Slo::paper_latency_default(),
             thresholds: ControllerThresholds::default(),
+            max_pending: 0,
+            network: NetworkKind::Lte4G,
+            lease_min_rounds: 4,
+            lease_rounds_per_second: 1.0,
         }
     }
+}
+
+/// A full checkpoint of a [`FleetServer`]'s mutable state. Restoring it into
+/// a server built with the same [`FleetServerConfig`] resumes the run
+/// bit-for-bit (see [`FleetServer::restore_checkpoint`]). The binary
+/// encoding lives in [`crate::checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetServerState {
+    /// Parameter-server state (parameters, pending buffers, clocks,
+    /// aggregator).
+    pub parameter_server: ParameterServerState,
+    /// I-Prof state (global + personalised slope models).
+    pub iprof: IProfState,
+    /// Controller acceptance counters.
+    pub controller: ControllerCounters,
+    /// The lease table.
+    pub tasks: TaskTableState,
+    /// Worker → device-model routing, sorted by worker id so the export is
+    /// deterministic regardless of `HashMap` iteration order.
+    pub device_models: Vec<(u64, String)>,
 }
 
 /// The FLeet middleware server.
@@ -58,6 +102,8 @@ pub struct FleetServer {
     parameter_server: ParameterServer<AdaSgd>,
     iprof: IProf,
     controller: Controller,
+    /// Outstanding-task leases, completed and expired sets (dedup).
+    tasks: TaskTable,
     /// Device model of each worker, remembered from its last request so that
     /// result feedback can be routed to the right personalised I-Prof model.
     device_models: HashMap<u64, String>,
@@ -77,10 +123,12 @@ impl FleetServer {
                     aggregation_k: config.aggregation_k,
                     shards: config.shards.max(1),
                     apply_mode: config.apply_mode,
+                    max_pending: config.max_pending,
                 },
             ),
             iprof: IProf::new(config.slo),
             controller: Controller::new(config.thresholds),
+            tasks: TaskTable::new(),
             device_models: HashMap::new(),
             config,
         }
@@ -138,15 +186,29 @@ impl FleetServer {
         &mut self.iprof
     }
 
-    /// Handles a learning-task request (steps 1–4 of Fig. 2).
+    /// Handles a learning-task request (steps 1–4 of Fig. 2), plus the
+    /// fault-tolerance envelope: expired leases are reclaimed, overload is
+    /// shed before admission, and accepted tasks get a lease whose deadline
+    /// budgets I-Prof's predicted compute time plus the modelled network
+    /// transfer.
     pub fn handle_request(&mut self, request: &TaskRequest) -> TaskResponse {
+        self.tasks.reclaim_expired(self.parameter_server.clock());
         self.device_models
             .insert(request.worker_id, request.device_model.clone());
 
-        // Step 2: I-Prof bounds the workload.
-        let batch = self
+        // Backpressure: shed the task before spending any admission work on
+        // it when a shard's pending buffer is already at its bound.
+        if let Some(shard) = self.parameter_server.saturated_shard() {
+            self.controller.note_overload();
+            return TaskResponse::Rejected(RejectionReason::Overloaded { shard });
+        }
+
+        // Step 2: I-Prof bounds the workload (and predicts its cost, which
+        // sizes the task lease below).
+        let prediction = self
             .iprof
-            .predict(&request.device_model, &request.device_features);
+            .predict_batch(&request.device_model, &request.device_features);
+        let batch = prediction.batch_size;
         // Step 3: AdaSGD computes the similarity with past learning tasks.
         let similarity = self
             .parameter_server
@@ -154,20 +216,43 @@ impl FleetServer {
             .similarity_of(&request.label_distribution) as f32;
         // Step 4: the controller decides whether the task is worth running.
         match self.controller.admit(batch, similarity) {
-            Ok(()) => TaskResponse::Assignment(TaskAssignment {
-                model_parameters: self.parameter_server.parameters().to_vec(),
-                model_version: self.parameter_server.clock(),
-                // Per-shard servers hand out the vector clock so the worker
-                // can echo it back and get per-shard staleness attribution;
-                // lockstep assignments stay as before (empty).
-                shard_clocks: match self.config.apply_mode {
-                    ApplyMode::Lockstep => Vec::new(),
-                    ApplyMode::PerShard => self.parameter_server.shard_clocks(),
-                },
-                mini_batch_size: batch,
-            }),
+            Ok(()) => {
+                let task_id = self.tasks.issue(
+                    request.worker_id,
+                    self.parameter_server.clock(),
+                    self.lease_rounds(&prediction),
+                );
+                TaskResponse::Assignment(TaskAssignment {
+                    task_id,
+                    model_parameters: self.parameter_server.parameters().to_vec(),
+                    model_version: self.parameter_server.clock(),
+                    // Per-shard servers hand out the vector clock so the
+                    // worker can echo it back and get per-shard staleness
+                    // attribution; lockstep assignments stay as before
+                    // (empty).
+                    shard_clocks: match self.config.apply_mode {
+                        ApplyMode::Lockstep => Vec::new(),
+                        ApplyMode::PerShard => self.parameter_server.shard_clocks(),
+                    },
+                    mini_batch_size: batch,
+                })
+            }
             Err(reason) => TaskResponse::Rejected(reason),
         }
+    }
+
+    /// Lease duration for a task: the predicted compute time plus the
+    /// network transfer of the model, converted to logical rounds, floored
+    /// at [`FleetServerConfig::lease_min_rounds`]. A slow device on a slow
+    /// network gets proportionally more time before reclaim.
+    fn lease_rounds(&self, prediction: &fleet_profiler::BatchPrediction) -> u64 {
+        let transfer = self
+            .config
+            .network
+            .transfer_seconds(self.parameter_server.parameters().len());
+        let seconds = prediction.predicted_seconds as f64 + transfer;
+        let rounds = (seconds * self.config.lease_rounds_per_second).ceil() as u64;
+        rounds.max(self.config.lease_min_rounds).max(1)
     }
 
     /// Handles a wire-encoded learning-task request: the byte-level entry
@@ -192,14 +277,40 @@ impl FleetServer {
         Ok(self.handle_result(wire::decode_result(raw)?))
     }
 
-    /// Handles a worker result (step 5): feeds the measured costs back to
-    /// I-Prof and folds the gradient into the model with AdaSGD's weight.
+    /// Handles a worker result (step 5): classifies it against the lease
+    /// table, and — only when it is the first result for an outstanding
+    /// lease — feeds the measured costs back to I-Prof and folds the
+    /// gradient into the model with AdaSGD's weight. Duplicates, stragglers
+    /// whose lease expired, and unsolicited uploads are acknowledged (so the
+    /// worker stops retrying) but never touch the model: the handler is
+    /// idempotent.
     pub fn handle_result(&mut self, result: TaskResult) -> ResultAck {
+        self.tasks.reclaim_expired(self.parameter_server.clock());
+        let disposition = match result.task_id {
+            Some(task_id) => self.tasks.classify(task_id, result.worker_id),
+            // Legacy id-less results (wire v1/v2 peers) bypass dedup, but a
+            // result from a worker that never sent a request is still
+            // rejected — it used to be applied and train I-Prof under a
+            // fabricated "unknown" device model.
+            None if self.device_models.contains_key(&result.worker_id) => {
+                ResultDisposition::Applied
+            }
+            None => ResultDisposition::Unsolicited,
+        };
+        if disposition != ResultDisposition::Applied {
+            return ResultAck {
+                staleness: 0,
+                scaling_factor: 0.0,
+                model_updated: false,
+                clock: self.parameter_server.clock(),
+                disposition,
+            };
+        }
         let device_model = self
             .device_models
             .get(&result.worker_id)
             .cloned()
-            .unwrap_or_else(|| "unknown".to_string());
+            .expect("an applied result implies a recorded request");
         // Feed the observation back into I-Prof. The features at request time
         // are approximated by the ones the device would report now; in the
         // real system the request features are cached server-side.
@@ -241,7 +352,53 @@ impl FleetServer {
             scaling_factor: outcome.scaling_factor,
             model_updated: outcome.applied,
             clock: outcome.clock,
+            disposition,
         }
+    }
+
+    /// The lease table (outstanding / completed / expired task counts).
+    pub fn tasks(&self) -> &TaskTable {
+        &self.tasks
+    }
+
+    /// Min-over-shards applied-update frontier (see
+    /// [`fleet_core::ParameterServer::updates_applied`]).
+    pub fn updates_applied(&self) -> u64 {
+        self.parameter_server.updates_applied()
+    }
+
+    /// Captures the server's full mutable state. Restoring it into a server
+    /// built with the same [`FleetServerConfig`] resumes the run bit-for-bit
+    /// — parameters, pending gradients, vector clocks, lease table, I-Prof
+    /// models and controller counters all continue where they left off.
+    pub fn checkpoint(&self) -> FleetServerState {
+        let mut device_models: Vec<(u64, String)> = self
+            .device_models
+            .iter()
+            .map(|(&id, model)| (id, model.clone()))
+            .collect();
+        device_models.sort_by_key(|(id, _)| *id);
+        FleetServerState {
+            parameter_server: self.parameter_server.export_state(),
+            iprof: self.iprof.export_state(),
+            controller: self.controller.counters(),
+            tasks: self.tasks.export_state(),
+            device_models,
+        }
+    }
+
+    /// Restores state captured with [`FleetServer::checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's parameter length or shard count does not
+    /// match this server's configuration.
+    pub fn restore_checkpoint(&mut self, state: FleetServerState) {
+        self.parameter_server.restore_state(state.parameter_server);
+        self.iprof.import_state(state.iprof);
+        self.controller.restore_counters(state.controller);
+        self.tasks = TaskTable::from_state(state.tasks);
+        self.device_models = state.device_models.into_iter().collect();
     }
 }
 
@@ -496,5 +653,233 @@ mod tests {
             after > before + 0.1,
             "accuracy should improve: {before} -> {after}"
         );
+    }
+
+    fn forged_result(server: &FleetServer, worker_id: u64) -> TaskResult {
+        TaskResult {
+            worker_id,
+            model_version: 0,
+            gradient: fleet_ml::Gradient::from_vec(vec![1.0; server.parameters().len()]),
+            label_distribution: fleet_data::LabelDistribution::from_labels(&[0, 1], 4),
+            num_samples: 2,
+            computation_seconds: 1.0,
+            energy_pct: 0.5,
+            read_clock: None,
+            task_id: None,
+        }
+    }
+
+    #[test]
+    fn unsolicited_results_are_rejected() {
+        // Regression: an id-less result from a worker that never sent a
+        // request used to be applied — and trained I-Prof under a fabricated
+        // "unknown" device model. It must be rejected without side effects.
+        let (mut server, _, _) = build_world(2);
+        let before = server.parameters().to_vec();
+        let ack = server.handle_result(forged_result(&server, 999));
+        assert_eq!(ack.disposition, ResultDisposition::Unsolicited);
+        assert!(!ack.model_updated);
+        assert_eq!(ack.scaling_factor, 0.0);
+        assert_eq!(server.clock(), 0);
+        assert_eq!(server.parameters(), before.as_slice());
+        assert!(
+            server.checkpoint().iprof.latency.personal.is_empty(),
+            "a rejected result must not train I-Prof"
+        );
+    }
+
+    #[test]
+    fn legacy_idless_results_from_known_workers_still_apply() {
+        // Wire v1/v2 peers carry no task id; their results bypass dedup but
+        // stay accepted as long as the worker has actually registered.
+        let (mut server, mut workers, _) = build_world(2);
+        let request = workers[0].request();
+        assert!(matches!(
+            server.handle_request(&request),
+            TaskResponse::Assignment(_)
+        ));
+        let ack = server.handle_result(forged_result(&server, request.worker_id));
+        assert_eq!(ack.disposition, ResultDisposition::Applied);
+        assert!(ack.model_updated);
+    }
+
+    #[test]
+    fn wire_duplicate_replay_is_rejected() {
+        // The same wire bytes delivered twice: the first copy applies, the
+        // second is acknowledged as a duplicate and the model is untouched.
+        let (mut server, mut workers, _) = build_world(2);
+        let response = server
+            .handle_request_wire(workers[0].request_wire())
+            .expect("self-encoded request");
+        let assignment = match response {
+            TaskResponse::Assignment(a) => a,
+            TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+        };
+        let raw = workers[0].execute_wire(&assignment).unwrap();
+        let first = server.handle_result_wire(raw.clone()).unwrap();
+        assert_eq!(first.disposition, ResultDisposition::Applied);
+        assert!(first.model_updated);
+
+        let after_first = server.parameters().to_vec();
+        let clock_after_first = server.clock();
+        let second = server.handle_result_wire(raw).unwrap();
+        assert_eq!(second.disposition, ResultDisposition::Duplicate);
+        assert!(!second.model_updated);
+        assert_eq!(second.scaling_factor, 0.0);
+        assert_eq!(server.clock(), clock_after_first);
+        assert_eq!(server.parameters(), after_first.as_slice());
+        assert_eq!(server.tasks().completed_len(), 1);
+    }
+
+    #[test]
+    fn expired_leases_reject_straggler_results() {
+        let (base, mut workers, _) = build_world(2);
+        // A one-round lease: zero rounds-per-second budget floored at 1.
+        let mut server = FleetServer::new(
+            base.parameters().to_vec(),
+            FleetServerConfig {
+                lease_min_rounds: 1,
+                lease_rounds_per_second: 0.0,
+                ..base.config().clone()
+            },
+        );
+        let slow_assignment = match server.handle_request(&workers[0].request()) {
+            TaskResponse::Assignment(a) => a,
+            TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+        };
+        // Worker 1 completes a task, advancing the clock past the deadline.
+        if let TaskResponse::Assignment(a) = server.handle_request(&workers[1].request()) {
+            server.handle_result(workers[1].execute(&a).unwrap());
+        }
+        assert_eq!(server.clock(), 1);
+        let straggler = workers[0].execute(&slow_assignment).unwrap();
+        let before = server.parameters().to_vec();
+        let ack = server.handle_result(straggler);
+        assert_eq!(ack.disposition, ResultDisposition::Expired);
+        assert!(!ack.model_updated);
+        assert_eq!(server.parameters(), before.as_slice());
+        assert_eq!(server.tasks().expired_len(), 1);
+    }
+
+    #[test]
+    fn overload_backpressure_sheds_requests() {
+        let (base, mut workers, _) = build_world(3);
+        // K = 100 means nothing ever applies; max_pending = 1 saturates the
+        // single shard after one buffered gradient.
+        let mut server = FleetServer::new(
+            base.parameters().to_vec(),
+            FleetServerConfig {
+                aggregation_k: 100,
+                max_pending: 1,
+                ..base.config().clone()
+            },
+        );
+        let a = match server.handle_request(&workers[0].request()) {
+            TaskResponse::Assignment(a) => a,
+            TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+        };
+        let ack = server.handle_result(workers[0].execute(&a).unwrap());
+        assert_eq!(ack.disposition, ResultDisposition::Applied);
+        assert!(!ack.model_updated, "K = 100 only buffers");
+
+        match server.handle_request(&workers[1].request()) {
+            TaskResponse::Rejected(RejectionReason::Overloaded { shard }) => {
+                assert_eq!(shard, 0);
+            }
+            other => panic!("expected overload rejection, got {other:?}"),
+        }
+        assert_eq!(server.controller().rejected_for_overload(), 1);
+        assert_eq!(server.controller().rejected(), 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bitwise() {
+        // Crash-restart the server mid-run: encode the checkpoint through
+        // the binary codec, restore into a freshly built server, and both
+        // must stay bit-identical under the same subsequent traffic.
+        let (mut server, mut workers, _) = build_world(4);
+        for worker in workers.iter_mut() {
+            if let TaskResponse::Assignment(a) = server.handle_request(&worker.request()) {
+                server.handle_result(worker.execute(&a).unwrap());
+            }
+        }
+        let encoded = crate::checkpoint::encode_checkpoint(&server.checkpoint());
+        let state = crate::checkpoint::decode_checkpoint(encoded).expect("roundtrip");
+        assert_eq!(state, server.checkpoint());
+
+        let mut restored = FleetServer::new(
+            vec![0.0; server.parameters().len()],
+            server.config().clone(),
+        );
+        restored.restore_checkpoint(state);
+        assert_eq!(restored.parameters(), server.parameters());
+
+        for worker in workers.iter_mut() {
+            let request = worker.request();
+            let (a, b) = (
+                server.handle_request(&request),
+                restored.handle_request(&request),
+            );
+            assert_eq!(a, b);
+            if let TaskResponse::Assignment(assignment) = a {
+                let result = worker.execute(&assignment).unwrap();
+                assert_eq!(
+                    server.handle_result(result.clone()),
+                    restored.handle_result(result)
+                );
+            }
+        }
+        assert_eq!(server.parameters(), restored.parameters());
+        assert_eq!(server.checkpoint(), restored.checkpoint());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_duplicate_replays_never_advance_the_model(
+            dup_counts in proptest::collection::vec(1usize..4, 4),
+        ) {
+            // For any duplication schedule — including late replays after
+            // the clock has advanced — the model evolves exactly as in the
+            // applied-once schedule.
+            let (mut duplicated, mut workers, _) = build_world(4);
+            let mut reference = FleetServer::new(
+                duplicated.parameters().to_vec(),
+                duplicated.config().clone(),
+            );
+            let mut sent = Vec::new();
+            for (worker, dups) in workers.iter_mut().zip(dup_counts) {
+                let request = worker.request();
+                let (a, b) = (
+                    duplicated.handle_request(&request),
+                    reference.handle_request(&request),
+                );
+                proptest::prop_assert_eq!(&a, &b);
+                if let TaskResponse::Assignment(mut assignment) = a {
+                    // Keep the batches small so the 64 proptest cases stay fast.
+                    assignment.mini_batch_size = assignment.mini_batch_size.min(8);
+                    let result = worker.execute(&assignment).unwrap();
+                    let ack = reference.handle_result(result.clone());
+                    proptest::prop_assert_eq!(ack.disposition, ResultDisposition::Applied);
+                    for copy in 0..dups {
+                        let ack = duplicated.handle_result(result.clone());
+                        let expected = if copy == 0 {
+                            ResultDisposition::Applied
+                        } else {
+                            ResultDisposition::Duplicate
+                        };
+                        proptest::prop_assert_eq!(ack.disposition, expected);
+                    }
+                    sent.push(result);
+                }
+            }
+            // A full late replay of everything: all duplicates, no effect.
+            for result in sent {
+                let ack = duplicated.handle_result(result);
+                proptest::prop_assert_eq!(ack.disposition, ResultDisposition::Duplicate);
+            }
+            proptest::prop_assert_eq!(duplicated.clock(), reference.clock());
+            proptest::prop_assert_eq!(duplicated.updates_applied(), reference.updates_applied());
+            proptest::prop_assert_eq!(duplicated.parameters(), reference.parameters());
+        }
     }
 }

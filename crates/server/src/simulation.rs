@@ -7,10 +7,36 @@
 //! for specific classes (the long-tail experiment of Fig. 9). The simulation
 //! keeps a bounded history of past model versions so the gradient can be
 //! computed against exactly the right snapshot.
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] on the config turns the simulation into a deterministic
+//! chaos harness: requests are dropped before the worker computes, uploaded
+//! results are dropped, duplicated or delayed (stragglers), and workers
+//! crash-restart, losing their in-flight uploads. Every planned task carries
+//! a server-issued lease in a [`TaskTable`]; results ship through the v3 wire
+//! codec with their task id and are classified on delivery — duplicates and
+//! expired leases never touch the model. Fault decisions are pure hashes of
+//! `(seed, round, worker)`, so they consume no RNG stream: a run under
+//! [`FaultPlan::none`] is byte-identical to a run without the fault layer,
+//! and a faulty run is bit-stable across thread counts and SIMD modes.
+//!
+//! # Checkpoint / restore
+//!
+//! [`AsyncSimulation::run_until`] stops after a prefix of the configured
+//! steps and returns a [`SimulationCheckpoint`] capturing every piece of
+//! mutable state — RNG streams, server state, snapshot history, in-flight
+//! delayed results, the lease table and the partial history.
+//! [`AsyncSimulation::resume`] continues from it; the resumed run reproduces
+//! the uninterrupted run bit for bit (the crash-restart determinism test
+//! pins this).
 
-use crate::protocol::TaskResult;
+use crate::faults::{FaultPlan, FaultStats, ResultFate};
+use crate::protocol::{ResultDisposition, TaskResult};
+use crate::tasks::{TaskTable, TaskTableState};
 use crate::wire;
-use fleet_core::{Aggregator, ApplyMode, ParameterServer, WorkerUpdate};
+use bytes::Bytes;
+use fleet_core::{Aggregator, ApplyMode, ParameterServer, ParameterServerState, WorkerUpdate};
 use fleet_data::partition::UserPartition;
 use fleet_data::sampling::MiniBatchSampler;
 use fleet_data::{Dataset, LabelDistribution};
@@ -113,6 +139,10 @@ pub struct SimulationConfig {
     /// `0` disables; ignored in lockstep mode. Needs `aggregation_k ≥ 2` to
     /// have any effect (with K = 1 nothing is ever pending to flush).
     pub flush_every: usize,
+    /// The fault-injection schedule. [`FaultPlan::none`] (the default) is
+    /// byte-identical to running without the fault layer; fault decisions
+    /// are stateless hashes, so they never perturb the RNG streams.
+    pub faults: FaultPlan,
     /// RNG seed for user selection, mini-batch sampling and staleness.
     pub seed: u64,
 }
@@ -133,6 +163,7 @@ impl Default for SimulationConfig {
             shards: 1,
             apply_mode: ApplyMode::Lockstep,
             flush_every: 0,
+            faults: FaultPlan::none(),
             seed: 0,
         }
     }
@@ -162,6 +193,9 @@ pub struct TrainingHistory {
     pub evals: Vec<EvalPoint>,
     /// The weight attached to every applied gradient, in submission order.
     pub scaling_factors: Vec<f64>,
+    /// What the fault plan injected and how deliveries were classified.
+    /// All-zero except `applied` under [`FaultPlan::none`].
+    pub faults: FaultStats,
 }
 
 impl TrainingHistory {
@@ -184,6 +218,43 @@ impl TrainingHistory {
     }
 }
 
+/// Everything mutable about a run in flight, captured between rounds.
+///
+/// `PartialEq` compares bit-for-bit; a checkpoint taken at step `s` of a run
+/// equals the checkpoint taken at step `s` of any replay of that run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationCheckpoint {
+    /// The next step to execute.
+    pub step: usize,
+    /// State of the planning RNG.
+    pub rng_state: u64,
+    /// State of the mini-batch sampler's RNG.
+    pub sampler_state: u64,
+    /// State of the DP mechanism's RNG, if DP is enabled.
+    pub dp_state: Option<u64>,
+    /// Full parameter-server state (parameters, pending buffers, clocks,
+    /// aggregator).
+    pub server: ParameterServerState,
+    /// The bounded snapshot history, oldest first.
+    pub history: Vec<Vec<f32>>,
+    /// The shard vector clock at each snapshot (per-shard mode; empty in
+    /// lockstep).
+    pub clock_history: Vec<Vec<u64>>,
+    /// The lease table.
+    pub tasks: TaskTableState,
+    /// In-flight delayed results as `(due_step, sequence, worker, encoded
+    /// wire bytes)`.
+    pub delayed: Vec<(u64, u64, u64, Vec<u8>)>,
+    /// Next delayed-result sequence number.
+    pub next_seq: u64,
+    /// Evaluation points recorded so far.
+    pub evals: Vec<EvalPoint>,
+    /// Scaling factors recorded so far.
+    pub scaling_factors: Vec<f64>,
+    /// Fault counters so far.
+    pub faults: FaultStats,
+}
+
 /// One pre-sampled worker task of an aggregation round: everything phase 2
 /// needs to compute the gradient without touching the (serial) RNG streams.
 #[derive(Debug)]
@@ -193,6 +264,18 @@ struct PlannedTask {
     labels: Vec<usize>,
     staleness: u64,
     snapshot_index: usize,
+    /// The leased task id; `None` when the fault plan dropped the request
+    /// (the worker never received an assignment that round).
+    task_id: Option<u64>,
+}
+
+/// A result held back by the fault plan, delivered at a later round start.
+#[derive(Debug)]
+struct DelayedResult {
+    due_step: u64,
+    seq: u64,
+    worker: u64,
+    bytes: Vec<u8>,
 }
 
 /// The asynchronous training simulation engine.
@@ -202,6 +285,422 @@ pub struct AsyncSimulation<'a> {
     test: &'a Dataset,
     users: &'a UserPartition,
     config: SimulationConfig,
+}
+
+/// The mutable state of a run in flight (see the phase comments in
+/// [`Engine::round`]). Extracted from the former monolithic `run` loop so
+/// checkpoint/restore can capture and rebuild it between rounds.
+struct Engine<'s, 'a, A: Aggregator> {
+    sim: &'s AsyncSimulation<'a>,
+    rng: StdRng,
+    sampler: MiniBatchSampler,
+    dp: Option<GaussianMechanism>,
+    server: ParameterServer<A>,
+    per_shard: bool,
+    max_history: usize,
+    history: VecDeque<Vec<f32>>,
+    clock_history: VecDeque<Vec<u64>>,
+    tasks_table: TaskTable,
+    delayed: Vec<DelayedResult>,
+    next_seq: u64,
+    result: TrainingHistory,
+    eval_inputs: fleet_ml::Tensor,
+    eval_labels: Vec<usize>,
+}
+
+impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
+    fn new(sim: &'s AsyncSimulation<'a>, model: &Sequential, aggregator: A) -> Self {
+        let cfg = &sim.config;
+        let algorithm = aggregator.name();
+        let server = ParameterServer::new(
+            model.parameters(),
+            aggregator,
+            cfg.learning_rate,
+            cfg.aggregation_k,
+        )
+        .with_shards(cfg.shards.max(1))
+        .with_apply_mode(cfg.apply_mode);
+        let per_shard = cfg.apply_mode == ApplyMode::PerShard;
+
+        // Bounded history of past parameter snapshots; index 0 is the oldest.
+        let max_history = sim.max_history();
+        let mut history: VecDeque<Vec<f32>> = VecDeque::with_capacity(max_history);
+        history.push_back(server.parameters().to_vec());
+        // In per-shard mode, the shard vector clock at each snapshot — what a
+        // worker pulling that snapshot observed, kept index-aligned with
+        // `history` so the read clock ships with the gradient.
+        let mut clock_history: VecDeque<Vec<u64>> = VecDeque::new();
+        if per_shard {
+            clock_history.push_back(server.shard_clocks());
+        }
+
+        let (eval_inputs, eval_labels) = sim.eval_batch();
+        Self {
+            sim,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            sampler: MiniBatchSampler::new(cfg.seed.wrapping_add(1)),
+            dp: cfg
+                .dp
+                .map(|(clip, sigma)| GaussianMechanism::new(clip, sigma, cfg.seed.wrapping_add(2))),
+            server,
+            per_shard,
+            max_history,
+            history,
+            clock_history,
+            tasks_table: TaskTable::new(),
+            delayed: Vec::new(),
+            next_seq: 0,
+            result: TrainingHistory {
+                algorithm,
+                ..TrainingHistory::default()
+            },
+            eval_inputs,
+            eval_labels,
+        }
+    }
+
+    fn from_checkpoint(
+        sim: &'s AsyncSimulation<'a>,
+        aggregator: A,
+        checkpoint: &SimulationCheckpoint,
+    ) -> Self {
+        let cfg = &sim.config;
+        let algorithm = aggregator.name();
+        let mut server = ParameterServer::new(
+            checkpoint.server.parameters.clone(),
+            aggregator,
+            cfg.learning_rate,
+            cfg.aggregation_k,
+        )
+        .with_shards(cfg.shards.max(1))
+        .with_apply_mode(cfg.apply_mode);
+        server.restore_state(checkpoint.server.clone());
+
+        let (eval_inputs, eval_labels) = sim.eval_batch();
+        Self {
+            sim,
+            rng: StdRng::from_state(checkpoint.rng_state),
+            sampler: MiniBatchSampler::from_rng_state(checkpoint.sampler_state),
+            dp: cfg.dp.map(|(clip, sigma)| {
+                let state = checkpoint
+                    .dp_state
+                    .expect("a checkpoint of a DP run records the DP RNG state");
+                GaussianMechanism::from_rng_state(clip, sigma, state)
+            }),
+            server,
+            per_shard: cfg.apply_mode == ApplyMode::PerShard,
+            max_history: sim.max_history(),
+            history: checkpoint.history.iter().cloned().collect(),
+            clock_history: checkpoint.clock_history.iter().cloned().collect(),
+            tasks_table: TaskTable::from_state(checkpoint.tasks.clone()),
+            delayed: checkpoint
+                .delayed
+                .iter()
+                .map(|(due_step, seq, worker, bytes)| DelayedResult {
+                    due_step: *due_step,
+                    seq: *seq,
+                    worker: *worker,
+                    bytes: bytes.clone(),
+                })
+                .collect(),
+            next_seq: checkpoint.next_seq,
+            result: TrainingHistory {
+                algorithm,
+                evals: checkpoint.evals.clone(),
+                scaling_factors: checkpoint.scaling_factors.clone(),
+                faults: checkpoint.faults,
+            },
+            eval_inputs,
+            eval_labels,
+        }
+    }
+
+    fn checkpoint(&self, next_step: usize) -> SimulationCheckpoint {
+        SimulationCheckpoint {
+            step: next_step,
+            rng_state: self.rng.state(),
+            sampler_state: self.sampler.rng_state(),
+            dp_state: self.dp.as_ref().map(|m| m.rng_state()),
+            server: self.server.export_state(),
+            history: self.history.iter().cloned().collect(),
+            clock_history: self.clock_history.iter().cloned().collect(),
+            tasks: self.tasks_table.export_state(),
+            delayed: self
+                .delayed
+                .iter()
+                .map(|d| (d.due_step, d.seq, d.worker, d.bytes.clone()))
+                .collect(),
+            next_seq: self.next_seq,
+            evals: self.result.evals.clone(),
+            scaling_factors: self.result.scaling_factors.clone(),
+            faults: self.result.faults,
+        }
+    }
+
+    /// Delivers one encoded result to the server: decode, classify against
+    /// the lease table, and submit only `Applied` results. Duplicates and
+    /// expired leases bump their counters and never touch the model.
+    fn deliver(&mut self, bytes: Bytes, was_delayed: bool) {
+        let decoded =
+            wire::decode_result(bytes).expect("self-encoded worker results always decode");
+        let task_id = decoded
+            .task_id
+            .expect("simulation results always carry a task id");
+        match self.tasks_table.classify(task_id, decoded.worker_id) {
+            ResultDisposition::Applied => {
+                // Staleness as the server derives it in the real protocol:
+                // clock now minus the model version the gradient was computed
+                // on. For immediate deliveries within a round the clock is
+                // constant (the model only updates on the round's last
+                // submission), so this equals the planned staleness exactly;
+                // delayed deliveries naturally pick up the rounds they spent
+                // in flight.
+                let staleness = self.server.clock() - decoded.model_version;
+                let mut update = WorkerUpdate::new(
+                    decoded.gradient,
+                    staleness,
+                    decoded.label_distribution,
+                    decoded.num_samples,
+                    decoded.worker_id,
+                );
+                update.read_clock = decoded.read_clock;
+                let outcome = self.server.submit(update);
+                self.result.scaling_factors.push(outcome.scaling_factor);
+                self.result.faults.applied += 1;
+                if was_delayed {
+                    self.result.faults.delayed_delivered += 1;
+                }
+            }
+            ResultDisposition::Duplicate => self.result.faults.duplicates_rejected += 1,
+            ResultDisposition::Expired => self.result.faults.expired_rejected += 1,
+            // The simulation only replays results it leased itself, so this
+            // arm is unreachable in practice; counting keeps it honest.
+            ResultDisposition::Unsolicited => self.result.faults.expired_rejected += 1,
+        }
+    }
+
+    /// Runs one aggregation round (global step).
+    fn round(&mut self, model: &mut Sequential, step: usize) {
+        let cfg = &self.sim.config;
+        let plan = &cfg.faults;
+        let round = step as u64;
+
+        // Phase 0 — the fault preamble. Skipped entirely under a fault-free
+        // plan (nothing can be queued or expire), keeping the fast path
+        // byte-identical to the pre-fault engine.
+        if !plan.is_none() {
+            // Deliver due delayed results in (due round, send order).
+            self.delayed.sort_by_key(|d| (d.due_step, d.seq));
+            let split = self.delayed.partition_point(|d| d.due_step <= round);
+            let due: Vec<DelayedResult> = self.delayed.drain(..split).collect();
+            for d in due {
+                self.deliver(Bytes::from(d.bytes), true);
+            }
+            // Crash-restarts: the worker loses whatever it still had in
+            // flight, then rejoins immediately.
+            for worker in plan.crashes_at(round) {
+                let before = self.delayed.len();
+                self.delayed.retain(|d| d.worker != worker);
+                self.result.faults.crash_discarded += (before - self.delayed.len()) as u64;
+            }
+            // Reclaim expired leases so late results classify as `Expired`.
+            let _ = self.tasks_table.reclaim_expired(round);
+        }
+
+        // Phase 1 — plan the round's K worker tasks *serially*, consuming
+        // the RNG streams in exactly the order the sequential engine did.
+        // Within a round the server clock and the snapshot history are
+        // constant (the model only updates on the K-th submission), so
+        // planning commutes with gradient computation bit-for-bit. Fault
+        // decisions are stateless hashes — they consume nothing.
+        let clock = self.server.clock();
+        let mut tasks = Vec::with_capacity(cfg.aggregation_k);
+        for _ in 0..cfg.aggregation_k {
+            // Pick a user with local data.
+            let user = loop {
+                let candidate = self.rng.gen_range(0..self.sim.users.len());
+                if !self.sim.users[candidate].is_empty() {
+                    break candidate;
+                }
+            };
+            let batch_indices = self.sampler.sample(&self.sim.users[user], cfg.batch_size);
+            let (inputs, labels) = self.sim.train.batch(&batch_indices);
+
+            // Staleness: sampled, then possibly overridden for straggler classes.
+            let mut staleness = cfg.staleness.sample(&mut self.rng);
+            if let Some((class, forced)) = cfg.class_straggler {
+                if labels.contains(&class) {
+                    staleness = forced;
+                }
+            }
+            staleness = staleness.min(clock).min(self.history.len() as u64 - 1);
+            let snapshot_index = self.history.len() - 1 - staleness as usize;
+            // A dropped request never reaches the server: no lease is issued
+            // and the worker computes nothing that round.
+            let task_id = if plan.drops_request(round, user as u64) {
+                None
+            } else {
+                Some(
+                    self.tasks_table
+                        .issue(user as u64, round, plan.lease_rounds),
+                )
+            };
+            tasks.push(PlannedTask {
+                user,
+                inputs,
+                labels,
+                staleness,
+                snapshot_index,
+                task_id,
+            });
+        }
+
+        // Phase 2 — compute the K independent worker gradients, in
+        // parallel when it pays: each worker *thread* clones one model
+        // replica and reuses it across its contiguous run of tasks.
+        // Gradient computation is deterministic (no RNG) and
+        // compute_gradient zeroes accumulated state first, so replica
+        // reuse and fan-out both preserve results bit-for-bit. (Tasks whose
+        // request was dropped are computed and discarded — filtering them
+        // here would complicate the fan-out for no observable difference.)
+        let history = &self.history;
+        let gradients: Vec<fleet_ml::Gradient> =
+            if tasks.len() > 1 && fleet_parallel::max_threads() > 1 {
+                let replica_of = &*model;
+                fleet_parallel::parallel_map_with(
+                    &tasks,
+                    || replica_of.clone(),
+                    |replica, task| {
+                        replica
+                            .set_parameters(&history[task.snapshot_index])
+                            .expect("history snapshots always match the architecture");
+                        let (_, gradient) = replica
+                            .compute_gradient(&task.inputs, &task.labels)
+                            .expect("training batches always match the architecture");
+                        gradient
+                    },
+                )
+            } else {
+                tasks
+                    .iter()
+                    .map(|task| {
+                        model
+                            .set_parameters(&history[task.snapshot_index])
+                            .expect("history snapshots always match the architecture");
+                        let (_, gradient) = model
+                            .compute_gradient(&task.inputs, &task.labels)
+                            .expect("training batches always match the architecture");
+                        gradient
+                    })
+                    .collect()
+            };
+
+        // Phase 3 — privatise (worker-side DP noise), ship each result
+        // through the versioned wire codec exactly as the deployed
+        // protocol does, route it through the fault plan, and submit in
+        // fixed worker-index order so noise draws and aggregator state
+        // updates replay identically. Serialization cost is therefore part
+        // of every simulation bench.
+        for (index, (task, mut gradient)) in tasks.into_iter().zip(gradients).enumerate() {
+            if let Some(task_id) = task.task_id {
+                if let Some(mechanism) = self.dp.as_mut() {
+                    mechanism.privatize(gradient.as_mut_slice(), task.labels.len());
+                }
+                let task_result = TaskResult {
+                    worker_id: task.user as u64,
+                    // The worker pulled the model `task.staleness` updates ago
+                    // (planning clamps staleness to the clock, so this cannot
+                    // underflow).
+                    model_version: clock - task.staleness,
+                    gradient,
+                    label_distribution: LabelDistribution::from_labels(
+                        &task.labels,
+                        self.sim.train.num_classes(),
+                    ),
+                    num_samples: task.labels.len(),
+                    computation_seconds: 0.0,
+                    energy_pct: 0.0,
+                    // Per-shard mode: ship the vector clock the worker
+                    // observed at its snapshot, exactly as a deployed worker
+                    // echoes `TaskAssignment::shard_clocks`.
+                    read_clock: self
+                        .per_shard
+                        .then(|| self.clock_history[task.snapshot_index].clone()),
+                    task_id: Some(task_id),
+                };
+                let encoded = wire::encode_result(&task_result);
+                match plan.result_fate(round, task.user as u64) {
+                    ResultFate::Deliver => self.deliver(encoded, false),
+                    ResultFate::Drop => self.result.faults.dropped_results += 1,
+                    ResultFate::Duplicate => {
+                        // The network delivers the same bytes twice
+                        // back-to-back; dedup must reject the second copy.
+                        self.deliver(encoded.clone(), false);
+                        self.deliver(encoded, false);
+                    }
+                    ResultFate::Delay(rounds) => {
+                        self.delayed.push(DelayedResult {
+                            due_step: round + rounds,
+                            seq: self.next_seq,
+                            worker: task.user as u64,
+                            bytes: encoded.to_vec(),
+                        });
+                        self.next_seq += 1;
+                    }
+                }
+            } else {
+                self.result.faults.dropped_requests += 1;
+            }
+
+            // The deterministic divergence schedule: after the round's
+            // first task resolves (delivered or not), flush one shard
+            // round-robin every `flush_every`-th round. The flushed shard
+            // applies its pending run early and its clock pulls ahead — the
+            // scripted stand-in for shards draining at different cadences.
+            if self.per_shard
+                && cfg.flush_every > 0
+                && index == 0
+                && (step + 1).is_multiple_of(cfg.flush_every)
+            {
+                let target = (step + 1) / cfg.flush_every % self.server.num_shards();
+                self.server.flush_shard(target);
+            }
+        }
+
+        self.history.push_back(self.server.parameters().to_vec());
+        if self.per_shard {
+            self.clock_history.push_back(self.server.shard_clocks());
+        }
+        if self.history.len() > self.max_history {
+            self.history.pop_front();
+            if self.per_shard {
+                self.clock_history.pop_front();
+            }
+        }
+
+        if (step + 1).is_multiple_of(cfg.eval_every) || step + 1 == cfg.steps {
+            model
+                .set_parameters(self.server.parameters())
+                .expect("server parameters always match the architecture");
+            let predictions = model
+                .predict(&self.eval_inputs)
+                .expect("evaluation batch always matches the architecture");
+            self.result.evals.push(EvalPoint {
+                step: step + 1,
+                accuracy: accuracy(&predictions, &self.eval_labels),
+                class_accuracy: cfg
+                    .track_class
+                    .and_then(|c| class_accuracy(&predictions, &self.eval_labels, c)),
+            });
+        }
+    }
+
+    fn finish(self, model: &mut Sequential) -> TrainingHistory {
+        model
+            .set_parameters(self.server.parameters())
+            .expect("server parameters always match the architecture");
+        self.result
+    }
 }
 
 impl<'a> AsyncSimulation<'a> {
@@ -229,214 +728,63 @@ impl<'a> AsyncSimulation<'a> {
     /// Runs the simulation with the given aggregator, starting from `model`'s
     /// current parameters. The model is left holding the final parameters.
     pub fn run<A: Aggregator>(&self, model: &mut Sequential, aggregator: A) -> TrainingHistory {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut sampler = MiniBatchSampler::new(cfg.seed.wrapping_add(1));
-        let mut dp = cfg
-            .dp
-            .map(|(clip, sigma)| GaussianMechanism::new(clip, sigma, cfg.seed.wrapping_add(2)));
-
-        let algorithm = aggregator.name();
-        let mut server = ParameterServer::new(
-            model.parameters(),
-            aggregator,
-            cfg.learning_rate,
-            cfg.aggregation_k,
-        )
-        .with_shards(cfg.shards.max(1))
-        .with_apply_mode(cfg.apply_mode);
-        let per_shard = cfg.apply_mode == ApplyMode::PerShard;
-
-        // Bounded history of past parameter snapshots; index 0 is the oldest.
-        let max_history = self.max_history();
-        let mut history: VecDeque<Vec<f32>> = VecDeque::with_capacity(max_history);
-        history.push_back(server.parameters().to_vec());
-        // In per-shard mode, the shard vector clock at each snapshot — what a
-        // worker pulling that snapshot observed, kept index-aligned with
-        // `history` so the read clock ships with the gradient.
-        let mut clock_history: VecDeque<Vec<u64>> = VecDeque::new();
-        if per_shard {
-            clock_history.push_back(server.shard_clocks());
+        let mut engine = Engine::new(self, model, aggregator);
+        for step in 0..self.config.steps {
+            engine.round(model, step);
         }
+        engine.finish(model)
+    }
 
-        let mut result = TrainingHistory {
-            algorithm,
-            ..TrainingHistory::default()
-        };
-
-        // Pre-build the evaluation batch.
-        let eval_indices: Vec<usize> = (0..self.test.len().min(cfg.eval_examples.max(1))).collect();
-        let (eval_inputs, eval_labels) = self.test.batch(&eval_indices);
-
-        for step in 0..cfg.steps {
-            // Phase 1 — plan the round's K worker tasks *serially*, consuming
-            // the RNG streams in exactly the order the sequential engine did.
-            // Within a round the server clock and the snapshot history are
-            // constant (the model only updates on the K-th submission), so
-            // planning commutes with gradient computation bit-for-bit.
-            let clock = server.clock();
-            let mut tasks = Vec::with_capacity(cfg.aggregation_k);
-            for _ in 0..cfg.aggregation_k {
-                // Pick a user with local data.
-                let user = loop {
-                    let candidate = rng.gen_range(0..self.users.len());
-                    if !self.users[candidate].is_empty() {
-                        break candidate;
-                    }
-                };
-                let batch_indices = sampler.sample(&self.users[user], cfg.batch_size);
-                let (inputs, labels) = self.train.batch(&batch_indices);
-
-                // Staleness: sampled, then possibly overridden for straggler classes.
-                let mut staleness = cfg.staleness.sample(&mut rng);
-                if let Some((class, forced)) = cfg.class_straggler {
-                    if labels.contains(&class) {
-                        staleness = forced;
-                    }
-                }
-                staleness = staleness.min(clock).min(history.len() as u64 - 1);
-                let snapshot_index = history.len() - 1 - staleness as usize;
-                tasks.push(PlannedTask {
-                    user,
-                    inputs,
-                    labels,
-                    staleness,
-                    snapshot_index,
-                });
-            }
-
-            // Phase 2 — compute the K independent worker gradients, in
-            // parallel when it pays: each worker *thread* clones one model
-            // replica and reuses it across its contiguous run of tasks.
-            // Gradient computation is deterministic (no RNG) and
-            // compute_gradient zeroes accumulated state first, so replica
-            // reuse and fan-out both preserve results bit-for-bit.
-            let gradients: Vec<fleet_ml::Gradient> =
-                if tasks.len() > 1 && fleet_parallel::max_threads() > 1 {
-                    let replica_of = &*model;
-                    fleet_parallel::parallel_map_with(
-                        &tasks,
-                        || replica_of.clone(),
-                        |replica, task| {
-                            replica
-                                .set_parameters(&history[task.snapshot_index])
-                                .expect("history snapshots always match the architecture");
-                            let (_, gradient) = replica
-                                .compute_gradient(&task.inputs, &task.labels)
-                                .expect("training batches always match the architecture");
-                            gradient
-                        },
-                    )
-                } else {
-                    tasks
-                        .iter()
-                        .map(|task| {
-                            model
-                                .set_parameters(&history[task.snapshot_index])
-                                .expect("history snapshots always match the architecture");
-                            let (_, gradient) = model
-                                .compute_gradient(&task.inputs, &task.labels)
-                                .expect("training batches always match the architecture");
-                            gradient
-                        })
-                        .collect()
-                };
-
-            // Phase 3 — privatise (worker-side DP noise), ship each result
-            // through the versioned wire codec exactly as the deployed
-            // protocol does, and submit in fixed worker-index order so noise
-            // draws and aggregator state updates replay identically.
-            // Serialization cost is therefore part of every simulation bench.
-            for (index, (task, mut gradient)) in tasks.into_iter().zip(gradients).enumerate() {
-                if let Some(mechanism) = dp.as_mut() {
-                    mechanism.privatize(gradient.as_mut_slice(), task.labels.len());
-                }
-                let task_result = TaskResult {
-                    worker_id: task.user as u64,
-                    // The worker pulled the model `task.staleness` updates ago
-                    // (planning clamps staleness to the clock, so this cannot
-                    // underflow).
-                    model_version: clock - task.staleness,
-                    gradient,
-                    label_distribution: LabelDistribution::from_labels(
-                        &task.labels,
-                        self.train.num_classes(),
-                    ),
-                    num_samples: task.labels.len(),
-                    computation_seconds: 0.0,
-                    energy_pct: 0.0,
-                    // Per-shard mode: ship the vector clock the worker
-                    // observed at its snapshot, exactly as a deployed worker
-                    // echoes `TaskAssignment::shard_clocks`.
-                    read_clock: per_shard.then(|| clock_history[task.snapshot_index].clone()),
-                };
-                let decoded = wire::decode_result(wire::encode_result(&task_result))
-                    .expect("self-encoded worker results always decode");
-                // Staleness as the server derives it in the real protocol:
-                // clock now minus the model version the gradient was computed
-                // on. Within a round the clock is constant (the model only
-                // updates — in per-shard mode, the round counter only
-                // advances — on the round's last submission), so this equals
-                // `task.staleness` exactly.
-                let staleness = server.clock() - decoded.model_version;
-                let mut update = WorkerUpdate::new(
-                    decoded.gradient,
-                    staleness,
-                    decoded.label_distribution,
-                    decoded.num_samples,
-                    decoded.worker_id,
-                );
-                update.read_clock = decoded.read_clock;
-                let outcome = server.submit(update);
-                result.scaling_factors.push(outcome.scaling_factor);
-
-                // The deterministic divergence schedule: after the round's
-                // first submission, flush one shard round-robin every
-                // `flush_every`-th round. The flushed shard applies its
-                // pending run early and its clock pulls ahead — the scripted
-                // stand-in for shards draining at different cadences.
-                if per_shard
-                    && cfg.flush_every > 0
-                    && index == 0
-                    && (step + 1) % cfg.flush_every == 0
-                {
-                    let target = (step + 1) / cfg.flush_every % server.num_shards();
-                    server.flush_shard(target);
-                }
-            }
-
-            history.push_back(server.parameters().to_vec());
-            if per_shard {
-                clock_history.push_back(server.shard_clocks());
-            }
-            if history.len() > max_history {
-                history.pop_front();
-                if per_shard {
-                    clock_history.pop_front();
-                }
-            }
-
-            if (step + 1) % cfg.eval_every == 0 || step + 1 == cfg.steps {
-                model
-                    .set_parameters(server.parameters())
-                    .expect("server parameters always match the architecture");
-                let predictions = model
-                    .predict(&eval_inputs)
-                    .expect("evaluation batch always matches the architecture");
-                result.evals.push(EvalPoint {
-                    step: step + 1,
-                    accuracy: accuracy(&predictions, &eval_labels),
-                    class_accuracy: cfg
-                        .track_class
-                        .and_then(|c| class_accuracy(&predictions, &eval_labels, c)),
-                });
-            }
+    /// Runs the first `stop_step` rounds and returns a checkpoint from which
+    /// [`AsyncSimulation::resume`] reproduces the rest of the run bit for
+    /// bit. The model is left holding the parameters at the stop point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop_step` exceeds the configured number of steps.
+    pub fn run_until<A: Aggregator>(
+        &self,
+        model: &mut Sequential,
+        aggregator: A,
+        stop_step: usize,
+    ) -> SimulationCheckpoint {
+        assert!(
+            stop_step <= self.config.steps,
+            "stop step {stop_step} exceeds configured steps {}",
+            self.config.steps
+        );
+        let mut engine = Engine::new(self, model, aggregator);
+        for step in 0..stop_step {
+            engine.round(model, step);
         }
+        let checkpoint = engine.checkpoint(stop_step);
+        engine.finish(model);
+        checkpoint
+    }
 
-        model
-            .set_parameters(server.parameters())
-            .expect("server parameters always match the architecture");
-        result
+    /// Resumes a run from a [`SimulationCheckpoint`] — e.g. after a server
+    /// crash-restart — and runs it to completion. The aggregator must be
+    /// constructed with the same parameters as the original's (its mutable
+    /// state is restored from the checkpoint); the resumed trajectory is
+    /// bit-identical to the uninterrupted run's.
+    pub fn resume<A: Aggregator>(
+        &self,
+        model: &mut Sequential,
+        aggregator: A,
+        checkpoint: &SimulationCheckpoint,
+    ) -> TrainingHistory {
+        let mut engine = Engine::from_checkpoint(self, aggregator, checkpoint);
+        for step in checkpoint.step..self.config.steps {
+            engine.round(model, step);
+        }
+        engine.finish(model)
+    }
+
+    /// Pre-builds the (deterministic) evaluation batch.
+    fn eval_batch(&self) -> (fleet_ml::Tensor, Vec<usize>) {
+        let eval_indices: Vec<usize> =
+            (0..self.test.len().min(self.config.eval_examples.max(1))).collect();
+        self.test.batch(&eval_indices)
     }
 
     fn max_history(&self) -> usize {
@@ -502,6 +850,8 @@ mod tests {
             history.final_accuracy()
         );
         assert!(history.scaling_factors.iter().all(|&s| s == 1.0));
+        assert_eq!(history.faults.applied, 150);
+        assert_eq!(history.faults.dropped_requests, 0);
     }
 
     #[test]
@@ -712,5 +1062,177 @@ mod tests {
         assert!((mean - 12.0).abs() < 1.0, "mean {mean}");
         assert_eq!(StalenessDistribution::None.sample(&mut rng), 0);
         assert_eq!(StalenessDistribution::Constant(7).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn chaos_plan_fires_and_replays_exactly() {
+        // A faulty run must (a) actually inject every fault class, (b) be
+        // bit-for-bit reproducible, and (c) differ from the clean run.
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::d1());
+        cfg.aggregation_k = 4;
+        cfg.steps = 40;
+        cfg.faults = FaultPlan::chaos(7);
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg.clone());
+
+        let mut m1 = mlp_classifier(8, &[16], 5, 3);
+        let mut m2 = mlp_classifier(8, &[16], 5, 3);
+        let a = sim.run(&mut m1, AdaSgd::new(5, 99.7));
+        let b = sim.run(&mut m2, AdaSgd::new(5, 99.7));
+        assert_eq!(a, b, "faulty runs must replay exactly");
+        assert_eq!(m1.parameters(), m2.parameters());
+
+        let stats = a.faults;
+        assert!(stats.dropped_requests > 0, "{stats:?}");
+        assert!(stats.dropped_results > 0, "{stats:?}");
+        assert!(stats.duplicates_rejected > 0, "{stats:?}");
+        assert!(stats.delayed_delivered > 0, "{stats:?}");
+        assert!(stats.applied > 0, "{stats:?}");
+        // Every duplicated delivery was rejected exactly once: applied
+        // submissions equal the scaling factors recorded.
+        assert_eq!(stats.applied as usize, a.scaling_factors.len());
+
+        let mut clean_cfg = cfg;
+        clean_cfg.faults = FaultPlan::none();
+        let clean_sim = AsyncSimulation::new(&train, &test, &users, clean_cfg);
+        let mut m3 = mlp_classifier(8, &[16], 5, 3);
+        clean_sim.run(&mut m3, AdaSgd::new(5, 99.7));
+        assert_ne!(
+            m1.parameters(),
+            m3.parameters(),
+            "the chaos plan must perturb the trajectory"
+        );
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_no_fault_layer() {
+        // FaultPlan::none() must not perturb anything: same history, same
+        // parameters as the default config (which is FaultPlan::none() —
+        // this guards the invariant that fault decisions consume no RNG).
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::d1());
+        cfg.aggregation_k = 4;
+        cfg.steps = 30;
+        let mut explicit = cfg.clone();
+        explicit.faults = FaultPlan::none();
+
+        let sim_a = AsyncSimulation::new(&train, &test, &users, cfg);
+        let sim_b = AsyncSimulation::new(&train, &test, &users, explicit);
+        let mut m1 = mlp_classifier(8, &[16], 5, 3);
+        let mut m2 = mlp_classifier(8, &[16], 5, 3);
+        let a = sim_a.run(&mut m1, AdaSgd::new(5, 99.7));
+        let b = sim_b.run(&mut m2, AdaSgd::new(5, 99.7));
+        assert_eq!(a, b);
+        assert_eq!(m1.parameters(), m2.parameters());
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run() {
+        // Crash-restart recovery: stop at a flush boundary, rebuild the
+        // engine from the checkpoint, and the resumed run must match the
+        // uninterrupted one bit for bit — under faults and DP no less.
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::d1());
+        cfg.aggregation_k = 4;
+        cfg.steps = 40;
+        cfg.shards = 4;
+        cfg.apply_mode = ApplyMode::PerShard;
+        cfg.flush_every = 2;
+        cfg.dp = Some((1.0, 0.5));
+        cfg.faults = FaultPlan::chaos(3);
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+
+        let mut uninterrupted_model = mlp_classifier(8, &[16], 5, 3);
+        let uninterrupted = sim.run(&mut uninterrupted_model, AdaSgd::new(5, 99.7));
+
+        let mut model = mlp_classifier(8, &[16], 5, 3);
+        let checkpoint = sim.run_until(&mut model, AdaSgd::new(5, 99.7), 20);
+        // Simulate the crash: a fresh model, a fresh aggregator, state only
+        // from the checkpoint.
+        let mut restored_model = mlp_classifier(8, &[16], 5, 99);
+        let resumed = sim.resume(&mut restored_model, AdaSgd::new(5, 99.7), &checkpoint);
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(
+            restored_model.parameters(),
+            uninterrupted_model.parameters()
+        );
+    }
+
+    #[test]
+    fn checkpoints_are_reproducible() {
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::d1());
+        cfg.aggregation_k = 3;
+        cfg.steps = 30;
+        cfg.faults = FaultPlan::chaos(11);
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let mut m1 = mlp_classifier(8, &[16], 5, 3);
+        let mut m2 = mlp_classifier(8, &[16], 5, 3);
+        let a = sim.run_until(&mut m1, AdaSgd::new(5, 99.7), 17);
+        let b = sim.run_until(&mut m2, AdaSgd::new(5, 99.7), 17);
+        assert_eq!(a, b);
+        assert!(a.step == 17);
+    }
+
+    #[test]
+    fn adasgd_absorbs_chaos_churn() {
+        // The Fig. 8-style robustness claim under churn: with 10% dropped
+        // requests, 10% dropped results, 5% duplicates and 5% stragglers,
+        // AdaSGD's staleness dampening keeps the final accuracy within a
+        // modest margin of the fault-free run.
+        let (train, test, users) = world();
+        let mut cfg = fast_config(StalenessDistribution::d1());
+        cfg.aggregation_k = 4;
+        cfg.steps = 150;
+        let mut chaos_cfg = cfg.clone();
+        chaos_cfg.faults = FaultPlan::chaos(5);
+
+        let clean_sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let chaos_sim = AsyncSimulation::new(&train, &test, &users, chaos_cfg);
+        let mut m1 = mlp_classifier(8, &[16], 5, 3);
+        let mut m2 = mlp_classifier(8, &[16], 5, 3);
+        let clean = clean_sim.run(&mut m1, AdaSgd::new(5, 99.7));
+        let chaos = chaos_sim.run(&mut m2, AdaSgd::new(5, 99.7));
+        assert!(
+            chaos.final_accuracy() >= clean.final_accuracy() - 0.12,
+            "chaos {} vs clean {}",
+            chaos.final_accuracy(),
+            clean.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn duplicates_never_advance_the_clock() {
+        // Satellite: for any fault plan, what the model sees equals the
+        // applied-once schedule — `applied` (the dedup-surviving deliveries)
+        // exactly matches the scaling factors and the server clock the
+        // history reflects; duplicate copies contribute nothing.
+        let (train, test, users) = world();
+        for seed in [1u64, 2, 3] {
+            let mut cfg = fast_config(StalenessDistribution::d1());
+            cfg.aggregation_k = 4;
+            cfg.steps = 30;
+            let mut plan = FaultPlan::chaos(seed);
+            // Exaggerate duplication so the test bites.
+            plan.duplicate_result = 0.5;
+            plan.drop_result = 0.0;
+            plan.drop_request = 0.0;
+            plan.delay_result = 0.0;
+            plan.crash_restarts.clear();
+            cfg.faults = plan;
+            let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+            let mut model = mlp_classifier(8, &[16], 5, 3);
+            let history = sim.run(&mut model, AdaSgd::new(5, 99.7));
+            let stats = history.faults;
+            assert!(stats.duplicates_rejected > 0, "{stats:?}");
+            // Every result was delivered at least once and duplicates were
+            // all rejected: applied == planned tasks, scaling factors match.
+            assert_eq!(stats.applied, 30 * 4);
+            assert_eq!(history.scaling_factors.len(), 30 * 4);
+            assert_eq!(
+                stats.applied + stats.duplicates_rejected,
+                30 * 4 + stats.duplicates_rejected
+            );
+        }
     }
 }

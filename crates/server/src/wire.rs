@@ -25,6 +25,15 @@ const WIRE_VERSION: u8 = 1;
 /// clock stay byte-identical to v1 — and the decoder accepts both.
 const WIRE_VERSION_READ_CLOCK: u8 = 2;
 
+/// Wire-format version 3: a [`TaskResult`] carrying the server-issued
+/// `task_id` the worker echoes back for lease accounting and result
+/// deduplication. Because the id may be present with or without a read
+/// clock, v3 replaces v2's implicit clock with an explicit presence flag:
+/// after `energy_pct` come a `u8` flag, the clock vector iff the flag is 1,
+/// then the `u64` task id. As with v2, the encoder emits the oldest version
+/// able to carry the message, so id-less results stay on v1/v2 bytes.
+const WIRE_VERSION_TASK_ID: u8 = 3;
+
 /// Errors produced while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -65,7 +74,7 @@ pub const MAX_FIELD_LEN: usize = 64 * 1024 * 1024;
 ///
 /// Panics when `len` exceeds [`MAX_FIELD_LEN`]; encoding such a message can
 /// only produce garbage (silent `u32` truncation) or an undecodable buffer.
-fn checked_field_len(len: usize) -> u32 {
+pub(crate) fn checked_field_len(len: usize) -> u32 {
     assert!(
         len <= MAX_FIELD_LEN,
         "wire field length {len} exceeds MAX_FIELD_LEN {MAX_FIELD_LEN}; \
@@ -74,14 +83,14 @@ fn checked_field_len(len: usize) -> u32 {
     len as u32
 }
 
-fn put_u64_slice(buf: &mut BytesMut, values: &[u64]) {
+pub(crate) fn put_u64_slice(buf: &mut BytesMut, values: &[u64]) {
     buf.put_u32_le(checked_field_len(values.len()));
     for &v in values {
         buf.put_u64_le(v);
     }
 }
 
-fn get_u64_vec(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
+pub(crate) fn get_u64_vec(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
     let len = get_len(buf)?;
     if buf.remaining() < len * 8 {
         return Err(WireError::UnexpectedEof);
@@ -89,14 +98,14 @@ fn get_u64_vec(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
     Ok((0..len).map(|_| buf.get_u64_le()).collect())
 }
 
-fn put_f32_slice(buf: &mut BytesMut, values: &[f32]) {
+pub(crate) fn put_f32_slice(buf: &mut BytesMut, values: &[f32]) {
     buf.put_u32_le(checked_field_len(values.len()));
     for &v in values {
         buf.put_f32_le(v);
     }
 }
 
-fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, WireError> {
+pub(crate) fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, WireError> {
     let len = get_len(buf)?;
     if buf.remaining() < len * 4 {
         return Err(WireError::UnexpectedEof);
@@ -104,12 +113,12 @@ fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, WireError> {
     Ok((0..len).map(|_| buf.get_f32_le()).collect())
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(checked_field_len(s.len()));
     buf.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
+pub(crate) fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
     let len = get_len(buf)?;
     if buf.remaining() < len {
         return Err(WireError::UnexpectedEof);
@@ -118,7 +127,7 @@ fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
     String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
 }
 
-fn get_len(buf: &mut Bytes) -> Result<usize, WireError> {
+pub(crate) fn get_len(buf: &mut Bytes) -> Result<usize, WireError> {
     if buf.remaining() < 4 {
         return Err(WireError::UnexpectedEof);
     }
@@ -129,7 +138,7 @@ fn get_len(buf: &mut Bytes) -> Result<usize, WireError> {
     Ok(len)
 }
 
-fn need(buf: &Bytes, bytes: usize) -> Result<(), WireError> {
+pub(crate) fn need(buf: &Bytes, bytes: usize) -> Result<(), WireError> {
     if buf.remaining() < bytes {
         Err(WireError::UnexpectedEof)
     } else {
@@ -217,9 +226,11 @@ pub fn decode_request(mut buf: Bytes) -> Result<TaskRequest, WireError> {
 pub fn encode_result(result: &TaskResult) -> Bytes {
     let mut buf = BytesMut::new();
     // Emit the oldest version able to carry the message: a result without a
-    // read clock is byte-identical to the v1 encoding, so v1 peers keep
-    // decoding everything a lockstep deployment produces.
-    let version = if result.read_clock.is_some() {
+    // read clock or task id is byte-identical to the v1 encoding, so v1
+    // peers keep decoding everything a lockstep deployment produces.
+    let version = if result.task_id.is_some() {
+        WIRE_VERSION_TASK_ID
+    } else if result.read_clock.is_some() {
         WIRE_VERSION_READ_CLOCK
     } else {
         WIRE_VERSION
@@ -232,8 +243,32 @@ pub fn encode_result(result: &TaskResult) -> Bytes {
     buf.put_u64_le(result.num_samples as u64);
     buf.put_f32_le(result.computation_seconds);
     buf.put_f32_le(result.energy_pct);
-    if let Some(read_clock) = &result.read_clock {
-        put_u64_slice(&mut buf, read_clock);
+    match version {
+        WIRE_VERSION_TASK_ID => {
+            // v3: explicit clock-presence flag, then the id.
+            match &result.read_clock {
+                Some(read_clock) => {
+                    buf.put_u8(1);
+                    put_u64_slice(&mut buf, read_clock);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u64_le(
+                result
+                    .task_id
+                    .expect("v3 is only chosen when task_id is set"),
+            );
+        }
+        WIRE_VERSION_READ_CLOCK => {
+            put_u64_slice(
+                &mut buf,
+                result
+                    .read_clock
+                    .as_ref()
+                    .expect("v2 is only chosen when read_clock is set"),
+            );
+        }
+        _ => {}
     }
     buf.freeze()
 }
@@ -247,7 +282,10 @@ pub fn encode_result(result: &TaskResult) -> Bytes {
 pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
     need(&buf, 1)?;
     let version = buf.get_u8();
-    if version != WIRE_VERSION && version != WIRE_VERSION_READ_CLOCK {
+    if !matches!(
+        version,
+        WIRE_VERSION | WIRE_VERSION_READ_CLOCK | WIRE_VERSION_TASK_ID
+    ) {
         return Err(WireError::UnsupportedVersion(version));
     }
     need(&buf, 16)?;
@@ -267,10 +305,19 @@ pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
     let num_samples = buf.get_u64_le() as usize;
     let computation_seconds = buf.get_f32_le();
     let energy_pct = buf.get_f32_le();
-    let read_clock = if version >= WIRE_VERSION_READ_CLOCK {
-        Some(get_u64_vec(&mut buf)?)
-    } else {
-        None
+    let (read_clock, task_id) = match version {
+        WIRE_VERSION_TASK_ID => {
+            need(&buf, 1)?;
+            let read_clock = match buf.get_u8() {
+                0 => None,
+                1 => Some(get_u64_vec(&mut buf)?),
+                flag => return Err(WireError::LengthOutOfBounds(flag as usize)),
+            };
+            need(&buf, 8)?;
+            (read_clock, Some(buf.get_u64_le()))
+        }
+        WIRE_VERSION_READ_CLOCK => (Some(get_u64_vec(&mut buf)?), None),
+        _ => (None, None),
     };
     Ok(TaskResult {
         worker_id,
@@ -281,6 +328,7 @@ pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
         computation_seconds,
         energy_pct,
         read_clock,
+        task_id,
     })
 }
 
@@ -309,6 +357,7 @@ mod tests {
             computation_seconds: 2.75,
             energy_pct: 0.06,
             read_clock: None,
+            task_id: None,
         }
     }
 
@@ -358,6 +407,71 @@ mod tests {
         original.read_clock = Some(Vec::new());
         let decoded = decode_result(encode_result(&original)).unwrap();
         assert_eq!(decoded.read_clock, Some(Vec::new()));
+    }
+
+    #[test]
+    fn result_with_task_id_roundtrips_as_v3() {
+        let mut original = sample_result();
+        original.task_id = Some(7_341);
+        // Without a read clock: flag byte 0, then the id.
+        let encoded = encode_result(&original);
+        assert_eq!(encoded.to_vec()[0], WIRE_VERSION_TASK_ID);
+        let decoded = decode_result(encoded).unwrap();
+        assert_eq!(decoded.task_id, Some(7_341));
+        assert_eq!(decoded.read_clock, None);
+        assert_eq!(decoded.gradient, original.gradient);
+
+        // With a read clock: flag byte 1, clock vector, then the id.
+        original.read_clock = Some(vec![4, 2, 4, 4]);
+        let decoded = decode_result(encode_result(&original)).unwrap();
+        assert_eq!(decoded.task_id, Some(7_341));
+        assert_eq!(decoded.read_clock, Some(vec![4, 2, 4, 4]));
+
+        // task_id 0 is a valid id, still v3 — `Some(0)` must not collapse
+        // into "absent".
+        original.task_id = Some(0);
+        original.read_clock = None;
+        let encoded = encode_result(&original);
+        assert_eq!(encoded.to_vec()[0], WIRE_VERSION_TASK_ID);
+        assert_eq!(decode_result(encoded).unwrap().task_id, Some(0));
+    }
+
+    #[test]
+    fn id_less_results_stay_on_pre_v3_bytes() {
+        // The codec bumps only when the new field is present: the id-less
+        // encodings must remain byte-identical to what a pre-v3 build emits.
+        let mut result = sample_result();
+        assert_eq!(encode_result(&result).to_vec()[0], WIRE_VERSION);
+        result.read_clock = Some(vec![1, 2]);
+        assert_eq!(encode_result(&result).to_vec()[0], WIRE_VERSION_READ_CLOCK);
+    }
+
+    #[test]
+    fn v3_bad_clock_flag_is_rejected() {
+        let mut result = sample_result();
+        result.task_id = Some(5);
+        let mut raw = encode_result(&result).to_vec();
+        // The flag byte sits 9 bytes from the end (flag + u64 id).
+        let flag_offset = raw.len() - 9;
+        raw[flag_offset] = 2;
+        assert!(decode_result(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn v3_truncation_errors_at_every_offset() {
+        // Both v3 shapes: with and without the optional clock vector.
+        let mut result = sample_result();
+        result.task_id = Some(99);
+        for read_clock in [None, Some(vec![3u64, 1, 4])] {
+            result.read_clock = read_clock;
+            let encoded = encode_result(&result);
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode_result(encoded.slice(0..cut)).is_err(),
+                    "v3 result cut at {cut} should fail"
+                );
+            }
+        }
     }
 
     #[test]
@@ -476,7 +590,8 @@ mod tests {
                                  version in 0u64..10_000,
                                  samples in 1usize..10_000,
                                  read_clock in proptest::option::of(
-                                     proptest::collection::vec(0u64..1_000, 0..16))) {
+                                     proptest::collection::vec(0u64..1_000, 0..16)),
+                                 task_id in proptest::option::of(any::<u64>())) {
             let original = TaskResult {
                 worker_id: 7,
                 model_version: version,
@@ -486,12 +601,14 @@ mod tests {
                 computation_seconds: 1.5,
                 energy_pct: 0.01,
                 read_clock,
+                task_id,
             };
             let decoded = decode_result(encode_result(&original)).unwrap();
             prop_assert_eq!(decoded.gradient, original.gradient);
             prop_assert_eq!(decoded.model_version, original.model_version);
             prop_assert_eq!(decoded.num_samples, original.num_samples);
             prop_assert_eq!(decoded.read_clock, original.read_clock);
+            prop_assert_eq!(decoded.task_id, original.task_id);
         }
 
         #[test]

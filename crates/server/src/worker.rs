@@ -140,7 +140,55 @@ impl Worker {
             // attribute per-shard staleness to this gradient.
             read_clock: (!assignment.shard_clocks.is_empty())
                 .then(|| assignment.shard_clocks.clone()),
+            // Echo the task id so the server can deduplicate retransmissions
+            // and match the result to its lease.
+            task_id: Some(assignment.task_id),
         })
+    }
+}
+
+/// Deterministic bounded-retry policy for a worker whose request was shed
+/// with [`crate::protocol::RejectionReason::Overloaded`]: exponential backoff
+/// (`base · 2^attempt`, capped) with no jitter, so a simulated run schedules
+/// retries identically every time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Backoff of the first retry, in logical rounds.
+    pub base_rounds: u64,
+    /// Upper bound on any single backoff.
+    pub max_backoff_rounds: u64,
+    /// Retries before the worker gives the task up.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// The default policy: backoffs 1, 2, 4, 8 rounds, then give up.
+    pub fn new() -> Self {
+        Self {
+            base_rounds: 1,
+            max_backoff_rounds: 8,
+            max_attempts: 4,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based), or `None` when the
+    /// attempts are exhausted and the worker should drop the task.
+    pub fn backoff_rounds(&self, attempt: u32) -> Option<u64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        Some(
+            self.base_rounds
+                .saturating_mul(factor)
+                .min(self.max_backoff_rounds),
+        )
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -170,6 +218,7 @@ mod tests {
         let replica = mlp_classifier(6, &[8], 4, 5);
         let _ = worker;
         TaskAssignment {
+            task_id: 21,
             model_parameters: replica.parameters(),
             model_version: 3,
             shard_clocks: Vec::new(),
@@ -213,6 +262,7 @@ mod tests {
     fn execute_rejects_mismatched_parameters() {
         let mut w = worker();
         let a = TaskAssignment {
+            task_id: 0,
             model_parameters: vec![0.0; 3],
             model_version: 0,
             shard_clocks: Vec::new(),
@@ -234,6 +284,7 @@ mod tests {
             1,
         );
         let a = TaskAssignment {
+            task_id: 0,
             model_parameters: mlp_classifier(6, &[8], 4, 0).parameters(),
             model_version: 0,
             shard_clocks: Vec::new(),
@@ -269,6 +320,49 @@ mod tests {
         let raw = w.execute_wire(&a).unwrap();
         let decoded = crate::wire::decode_result(raw).unwrap();
         assert_eq!(decoded.read_clock.as_deref(), Some(&[4, 2, 3][..]));
+    }
+
+    #[test]
+    fn results_echo_the_assignments_task_id() {
+        let mut w = worker();
+        let a = assignment(&w, 8);
+        assert_eq!(w.execute(&a).unwrap().task_id, Some(21));
+        // And it survives the wire roundtrip (v3 bytes).
+        let raw = w.execute_wire(&a).unwrap();
+        let decoded = crate::wire::decode_result(raw).unwrap();
+        assert_eq!(decoded.task_id, Some(21));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_caps_then_gives_up() {
+        let policy = RetryPolicy::new();
+        assert_eq!(policy.backoff_rounds(0), Some(1));
+        assert_eq!(policy.backoff_rounds(1), Some(2));
+        assert_eq!(policy.backoff_rounds(2), Some(4));
+        assert_eq!(policy.backoff_rounds(3), Some(8));
+        assert_eq!(policy.backoff_rounds(4), None);
+
+        let capped = RetryPolicy {
+            base_rounds: 3,
+            max_backoff_rounds: 5,
+            max_attempts: 64,
+        };
+        assert_eq!(capped.backoff_rounds(0), Some(3));
+        assert_eq!(capped.backoff_rounds(1), Some(5));
+        assert_eq!(
+            capped.backoff_rounds(63),
+            Some(5),
+            "shift must not overflow"
+        );
+    }
+
+    #[test]
+    fn retry_policy_is_deterministic() {
+        let a = RetryPolicy::new();
+        let b = RetryPolicy::default();
+        for attempt in 0..6 {
+            assert_eq!(a.backoff_rounds(attempt), b.backoff_rounds(attempt));
+        }
     }
 
     #[test]

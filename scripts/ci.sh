@@ -105,11 +105,21 @@ if [[ "${1:-}" != "--quick" ]]; then
         shard_ref=""
         cnn_ref=""
         pershard_ref=""
+        chaos_l1_ref=""
+        chaos_p1_ref=""
+        chaos_l2_ref=""
+        chaos_p2_ref=""
     else
         shard_ref=$(expected_digest shard)
         cnn_ref=$(expected_digest cnn)
         pershard_ref=$(expected_digest pershard)
-        if [[ -z "$shard_ref" || -z "$cnn_ref" || -z "$pershard_ref" ]]; then
+        chaos_l1_ref=$(expected_digest chaos_l1)
+        chaos_p1_ref=$(expected_digest chaos_p1)
+        chaos_l2_ref=$(expected_digest chaos_l2)
+        chaos_p2_ref=$(expected_digest chaos_p2)
+        if [[ -z "$shard_ref" || -z "$cnn_ref" || -z "$pershard_ref" ||
+              -z "$chaos_l1_ref" || -z "$chaos_p1_ref" ||
+              -z "$chaos_l2_ref" || -z "$chaos_p2_ref" ]]; then
             echo "FAIL: scripts/expected_digests.txt is missing a pinned digest"
             exit 1
         fi
@@ -127,32 +137,47 @@ if [[ "${1:-}" != "--quick" ]]; then
             shard=$(grep -o 'shard-sweep digest: 0x[0-9a-f]*' <<<"$out" | head -1)
             cnn=$(grep -o 'cnn-train digest: 0x[0-9a-f]*' <<<"$out" | head -1)
             pershard=$(grep -o 'pershard digest: 0x[0-9a-f]*' <<<"$out" | head -1)
-            if [[ -z "$shard" || -z "$cnn" || -z "$pershard" ]]; then
+            chaos_l1=$(grep -o 'chaos-l1 digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            chaos_p1=$(grep -o 'chaos-p1 digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            chaos_l2=$(grep -o 'chaos-l2 digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            chaos_p2=$(grep -o 'chaos-p2 digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+            if [[ -z "$shard" || -z "$cnn" || -z "$pershard" ||
+                  -z "$chaos_l1" || -z "$chaos_p1" ||
+                  -z "$chaos_l2" || -z "$chaos_p2" ]]; then
                 echo "FAIL: missing digest line at threads=$threads simd=$simd"
                 exit 1
             fi
             shard=${shard##* }
             cnn=${cnn##* }
             pershard=${pershard##* }
+            chaos_l1=${chaos_l1##* }
+            chaos_p1=${chaos_p1##* }
+            chaos_l2=${chaos_l2##* }
+            chaos_p2=${chaos_p2##* }
             echo "    threads=$threads simd=$simd -> shard $shard cnn $cnn pershard $pershard"
+            echo "        chaos l1 $chaos_l1 p1 $chaos_p1 l2 $chaos_l2 p2 $chaos_p2"
             if [[ -z "$shard_ref" ]]; then
                 shard_ref="$shard"
                 cnn_ref="$cnn"
                 pershard_ref="$pershard"
+                chaos_l1_ref="$chaos_l1"
+                chaos_p1_ref="$chaos_p1"
+                chaos_l2_ref="$chaos_l2"
+                chaos_p2_ref="$chaos_p2"
                 continue
             fi
-            if [[ "$shard" != "$shard_ref" ]]; then
-                echo "FAIL: shard digest drifted from $shard_ref at threads=$threads simd=$simd"
-                exit 1
-            fi
-            if [[ "$cnn" != "$cnn_ref" ]]; then
-                echo "FAIL: cnn digest drifted from $cnn_ref at threads=$threads simd=$simd"
-                exit 1
-            fi
-            if [[ "$pershard" != "$pershard_ref" ]]; then
-                echo "FAIL: pershard digest drifted from $pershard_ref at threads=$threads simd=$simd"
-                exit 1
-            fi
+            for pair in "shard:$shard:$shard_ref" "cnn:$cnn:$cnn_ref" \
+                        "pershard:$pershard:$pershard_ref" \
+                        "chaos_l1:$chaos_l1:$chaos_l1_ref" \
+                        "chaos_p1:$chaos_p1:$chaos_p1_ref" \
+                        "chaos_l2:$chaos_l2:$chaos_l2_ref" \
+                        "chaos_p2:$chaos_p2:$chaos_p2_ref"; do
+                IFS=: read -r name got want <<<"$pair"
+                if [[ "$got" != "$want" ]]; then
+                    echo "FAIL: $name digest drifted from $want at threads=$threads simd=$simd"
+                    exit 1
+                fi
+            done
         done
     done
     if [[ "${FLEET_PIN_DIGESTS:-0}" == "1" ]]; then
@@ -163,6 +188,10 @@ if [[ "${1:-}" != "--quick" ]]; then
             echo "shard $shard_ref"
             echo "cnn $cnn_ref"
             echo "pershard $pershard_ref"
+            echo "chaos_l1 $chaos_l1_ref"
+            echo "chaos_p1 $chaos_p1_ref"
+            echo "chaos_l2 $chaos_l2_ref"
+            echo "chaos_p2 $chaos_p2_ref"
         } >> "$tmp"
         mv "$tmp" scripts/expected_digests.txt
         echo "==> re-pinned scripts/expected_digests.txt (commit it deliberately)"

@@ -17,7 +17,9 @@
 //! `scripts/ci.sh` automates the six-way sweep and fails on any divergence.
 
 use fleet_core::{AdaSgd, FedAvg};
-use fleet_server::{ApplyMode, AsyncSimulation, SimulationConfig, StalenessDistribution};
+use fleet_server::{
+    ApplyMode, AsyncSimulation, FaultPlan, SimulationConfig, StalenessDistribution,
+};
 use fleet_tests::{small_model, small_world};
 
 /// Forces the parallel path (even on single-core CI) before the thread count
@@ -156,6 +158,96 @@ fn per_shard_digest_is_stable() {
         first, lockstep,
         "per-shard digest must differ from lockstep"
     );
+}
+
+#[test]
+fn chaos_digests_are_stable() {
+    pin_threads();
+    // The fault-injection harness joins the determinism contract: a seeded
+    // chaos plan (10% dropped requests, 10% dropped results, 5% duplicates,
+    // 5% three-round stragglers, one crash-restart) must be bit-stable for a
+    // fixed seed — across repeated runs in-process here, and across
+    // FLEET_NUM_THREADS=1/4/7 x FLEET_SIMD=auto/off via the digest lines
+    // `scripts/ci.sh` compares against scripts/expected_digests.txt. Fault
+    // decisions are stateless hashes of (seed, round, worker), so the chaos
+    // trajectory is a pure function of the config.
+    let (train, test, users) = small_world(800, 12, 5);
+    let make = |mode: ApplyMode, fault_seed: u64| {
+        let mut cfg = config(4, None);
+        cfg.faults = FaultPlan::chaos(fault_seed);
+        cfg.apply_mode = mode;
+        if mode == ApplyMode::PerShard {
+            cfg.shards = 4;
+            cfg.flush_every = 2;
+        }
+        let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+        let mut model = small_model(2);
+        let history = sim.run(&mut model, AdaSgd::new(10, 99.7));
+        (digest(&model.parameters()), history)
+    };
+
+    // The fault-free reference the chaos runs must diverge from.
+    let clean = {
+        let sim = AsyncSimulation::new(&train, &test, &users, config(4, None));
+        let mut model = small_model(2);
+        sim.run(&mut model, AdaSgd::new(10, 99.7));
+        digest(&model.parameters())
+    };
+
+    for (name, mode, fault_seed) in [
+        ("chaos-l1", ApplyMode::Lockstep, 1u64),
+        ("chaos-p1", ApplyMode::PerShard, 1),
+        ("chaos-l2", ApplyMode::Lockstep, 2),
+        ("chaos-p2", ApplyMode::PerShard, 2),
+    ] {
+        let (first, history_a) = make(mode, fault_seed);
+        println!(
+            "{name} digest: {first:#018x} (threads={})",
+            fleet_parallel::max_threads()
+        );
+        let (second, history_b) = make(mode, fault_seed);
+        assert_eq!(first, second, "{name}: chaos runs with one seed diverged");
+        assert_eq!(history_a, history_b);
+        assert_ne!(first, clean, "{name}: the fault plan must perturb the run");
+        // The plan must actually have fired — otherwise the digest pins a
+        // silently fault-free run.
+        let stats = history_a.faults;
+        assert!(stats.dropped_requests > 0, "{name}: {stats:?}");
+        assert!(stats.dropped_results > 0, "{name}: {stats:?}");
+        assert!(stats.duplicates_rejected > 0, "{name}: {stats:?}");
+        assert!(stats.delayed_delivered > 0, "{name}: {stats:?}");
+    }
+}
+
+#[test]
+fn checkpoint_restart_reproduces_the_digest() {
+    pin_threads();
+    // Crash-restart recovery, digest-level: stop a chaos-perturbed per-shard
+    // run at a flush boundary, rebuild the engine from the checkpoint (fresh
+    // model, fresh aggregator), and the resumed run's final digest must equal
+    // the uninterrupted run's.
+    let (train, test, users) = small_world(800, 12, 5);
+    let mut cfg = config(4, None);
+    cfg.shards = 4;
+    cfg.apply_mode = ApplyMode::PerShard;
+    cfg.flush_every = 2;
+    cfg.faults = FaultPlan::chaos(1);
+    let sim = AsyncSimulation::new(&train, &test, &users, cfg);
+
+    let mut uninterrupted = small_model(2);
+    let reference = sim.run(&mut uninterrupted, AdaSgd::new(10, 99.7));
+
+    let mut model = small_model(2);
+    let checkpoint = sim.run_until(&mut model, AdaSgd::new(10, 99.7), 20);
+    let mut restored = small_model(9);
+    let resumed = sim.resume(&mut restored, AdaSgd::new(10, 99.7), &checkpoint);
+
+    assert_eq!(
+        digest(&restored.parameters()),
+        digest(&uninterrupted.parameters()),
+        "the resumed run must reproduce the uninterrupted digest"
+    );
+    assert_eq!(resumed, reference);
 }
 
 #[test]
