@@ -24,6 +24,8 @@
 //! | [`experiments::fig15_controller_thresholds`] | Fig. 15 — controller threshold pruning |
 //! | [`experiments::energy_budget`] | §3.1 — daily energy budget of Online FL |
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod output;
 

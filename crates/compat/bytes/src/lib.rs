@@ -6,6 +6,8 @@
 //! wire format. No shared-arc zero-copy machinery — the simulation exchanges
 //! messages in-process, so a plain `Vec<u8>` backing is plenty.
 
+#![forbid(unsafe_code)]
+
 /// Read access to a byte cursor. Getters consume from the front.
 pub trait Buf {
     /// Bytes left to read.

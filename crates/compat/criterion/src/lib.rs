@@ -9,6 +9,8 @@
 //! how `BENCH_kernels.json` is produced for the perf trajectory (see
 //! `scripts/ci.sh`).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

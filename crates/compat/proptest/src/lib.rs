@@ -8,6 +8,8 @@
 //! panics with the standard assert message, which is enough to debug at this
 //! scale.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic SplitMix64 generator driving case generation.

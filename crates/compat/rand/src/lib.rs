@@ -13,6 +13,8 @@
 //! workspace that is invisible: every consumer treats the RNG as an opaque
 //! deterministic stream.
 
+#![forbid(unsafe_code)]
+
 pub mod distributions;
 pub mod rngs;
 pub mod seq;

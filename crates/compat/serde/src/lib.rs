@@ -7,6 +7,8 @@
 //! nothing. When a registry is reachable, point the workspace `serde` entry
 //! back at crates.io and everything keeps working unchanged.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; accepts any item `serde::Serialize` would.

@@ -56,6 +56,8 @@
 //! assert!(weight > 0.0 && weight <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregator;
 pub mod dampening;
 pub mod server;

@@ -18,6 +18,8 @@
 //! assert_eq!(users.len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod label_distribution;
 pub mod partition;

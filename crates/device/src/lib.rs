@@ -20,6 +20,8 @@
 //! * [`caloree`] — the CALOREE baseline resource manager (§3.4, Table 2, Fig. 14),
 //! * [`network`] — 3G/4G network latency models used for the staleness study (§3.1).
 
+#![forbid(unsafe_code)]
+
 pub mod allocation;
 pub mod caloree;
 pub mod device;

@@ -11,6 +11,8 @@
 //! experiments only need the qualitative "smaller ε ⇒ more noise ⇒ slower
 //! convergence" relationship — see DESIGN.md).
 
+#![forbid(unsafe_code)]
+
 pub mod accountant;
 pub mod mechanism;
 

@@ -1,0 +1,1017 @@
+//! # fleet-lint
+//!
+//! An offline, dependency-free static-analysis pass that mechanically
+//! enforces the repo-specific invariants every pinned digest in
+//! `scripts/expected_digests.txt` rests on. The rules are deliberately
+//! narrow — each one encodes a convention this workspace already relies on
+//! but that, before this crate, lived only in reviewer memory:
+//!
+//! * **`unsafe-safety`** — every `unsafe` block, `unsafe fn`, `unsafe impl`
+//!   or `unsafe trait` must be justified by a `// SAFETY:` comment (or, for
+//!   `unsafe fn`, a `/// # Safety` doc section) in the contiguous
+//!   comment/attribute block directly above it. The full inventory of unsafe
+//!   sites is emitted in `--json` mode as the audit record.
+//! * **`det-collections`** — in the digest-adjacent crates (`core`,
+//!   `server`, `ml`, `profiler`, `data`), iterating a `HashMap`/`HashSet`
+//!   (`.iter()`, `.keys()`, `.values()`, `.drain()`, `for … in map`, …) is
+//!   flagged: `std`'s hasher is randomized per process, so any
+//!   iteration-order leak into applied state is a bit-stability bug that the
+//!   digest sweep would catch only after the fact, on some host, sometimes.
+//! * **`wall-clock`** — `Instant`/`SystemTime` are forbidden outside
+//!   `crates/bench` and `crates/compat/criterion`. The system is
+//!   logical-round only; a wall clock in round code would make trajectories
+//!   timing-dependent.
+//! * **`thread-hygiene`** — spawning threads (`thread::spawn`,
+//!   `thread::Builder`) and `static mut` are forbidden outside
+//!   `crates/parallel`. All parallelism must flow through the deterministic
+//!   fan-out helpers, which are what make "bit-identical at any thread
+//!   count" provable.
+//! * **`wire-exhaustive`** — in the codec files (`crates/server/src/wire.rs`
+//!   and `checkpoint.rs`), every `encode_X`/`decode_X` (and paired
+//!   `put_X`/`get_X`) function is checked against the struct it codes for:
+//!   each named field of the struct must appear in *both* the encode and the
+//!   decode body. This is exactly the silent-drift class a future wire-v4
+//!   field would introduce: added to the struct and one side of the codec,
+//!   forgotten on the other.
+//!
+//! ## Suppression
+//!
+//! Any finding can be waived, site by site, with an inline justification
+//! marker in the comment block directly above (or on) the offending line:
+//!
+//! ```text
+//! // lint:allow(det-collections): drained to a Vec and sorted by key below
+//! ```
+//!
+//! The reason is mandatory — a marker without one does not suppress and is
+//! itself reported (rule `lint-marker`), as is a marker naming an unknown
+//! rule. There are no file- or crate-level blanket suppressions by design:
+//! every waiver is a reviewed, local decision with a stated reason.
+//!
+//! The scanner underneath ([`scan`]) is comment/string-aware but is not a
+//! Rust parser; see its module docs for the exact surface.
+
+#![forbid(unsafe_code)]
+
+pub mod scan;
+
+use scan::ScannedFile;
+use std::collections::BTreeSet;
+
+pub const RULE_UNSAFE_SAFETY: &str = "unsafe-safety";
+pub const RULE_DET_COLLECTIONS: &str = "det-collections";
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+pub const RULE_THREAD_HYGIENE: &str = "thread-hygiene";
+pub const RULE_WIRE_EXHAUSTIVE: &str = "wire-exhaustive";
+pub const RULE_LINT_MARKER: &str = "lint-marker";
+
+/// Every rule name a `lint:allow(…)` marker may reference.
+pub const RULES: &[&str] = &[
+    RULE_UNSAFE_SAFETY,
+    RULE_DET_COLLECTIONS,
+    RULE_WALL_CLOCK,
+    RULE_THREAD_HYGIENE,
+    RULE_WIRE_EXHAUSTIVE,
+    RULE_LINT_MARKER,
+];
+
+/// Where each rule applies, as repo-relative path prefixes. The defaults are
+/// this repository's policy; tests substitute their own.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Crates whose map/set iteration endangers the pinned digests.
+    pub det_collection_crates: Vec<String>,
+    /// The only places allowed to read wall clocks (benchmark harnesses).
+    pub wall_clock_exempt: Vec<String>,
+    /// The only crate allowed to create threads or hold `static mut`.
+    pub thread_exempt: Vec<String>,
+    /// Codec files whose encode/decode pairs are field-symmetry checked.
+    pub codec_files: Vec<String>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            det_collection_crates: vec![
+                "crates/core/".into(),
+                "crates/server/".into(),
+                "crates/ml/".into(),
+                "crates/profiler/".into(),
+                "crates/data/".into(),
+            ],
+            wall_clock_exempt: vec!["crates/bench/".into(), "crates/compat/criterion/".into()],
+            thread_exempt: vec!["crates/parallel/".into()],
+            codec_files: vec![
+                "crates/server/src/wire.rs".into(),
+                "crates/server/src/checkpoint.rs".into(),
+            ],
+        }
+    }
+}
+
+fn under(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// A finding waived by an inline `lint:allow` marker, kept for the record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressedFinding {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// One `unsafe` site, for the audit inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub path: String,
+    pub line: usize,
+    /// "block", "fn", "impl" or "trait".
+    pub kind: &'static str,
+    pub justified: bool,
+}
+
+/// The result of a lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings — a non-empty list fails the CI gate.
+    pub findings: Vec<Finding>,
+    /// Findings waived by a justified marker.
+    pub suppressed: Vec<SuppressedFinding>,
+    /// Every `unsafe` site encountered, justified or not.
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    pub files_scanned: usize,
+}
+
+/// Lints in-memory sources: `(repo-relative path, contents)` pairs. The
+/// binary feeds it the workspace; the fixture corpus feeds it samples.
+pub fn lint_sources(policy: &Policy, sources: &[(String, String)]) -> Report {
+    let files: Vec<ScannedFile> = sources
+        .iter()
+        .map(|(path, text)| ScannedFile::new(path, text))
+        .collect();
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &files {
+        check_unsafe_safety(file, &mut raw, &mut report.unsafe_inventory);
+        if under(&file.path, &policy.det_collection_crates) {
+            check_det_collections(file, &mut raw);
+        }
+        if !under(&file.path, &policy.wall_clock_exempt) {
+            check_wall_clock(file, &mut raw);
+        }
+        if !under(&file.path, &policy.thread_exempt) {
+            check_thread_hygiene(file, &mut raw);
+        }
+        check_markers(file, &mut raw);
+    }
+    for codec in &policy.codec_files {
+        if let Some(file) = files.iter().find(|f| &f.path == codec) {
+            check_wire_exhaustive(file, &files, &mut raw);
+        }
+    }
+    // Split raw findings into suppressed and live.
+    for finding in raw {
+        let file = files
+            .iter()
+            .find(|f| f.path == finding.path)
+            .expect("finding points at a scanned file");
+        match suppression_reason(file, finding.line, finding.rule) {
+            Some(reason) => report
+                .suppressed
+                .push(SuppressedFinding { finding, reason }),
+            None => report.findings.push(finding),
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.finding.path, a.finding.line).cmp(&(&b.finding.path, b.finding.line)));
+    report
+        .unsafe_inventory
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Suppression markers
+// ---------------------------------------------------------------------------
+
+/// A parsed `lint:allow(rules): reason` marker.
+struct Marker {
+    line: usize,
+    rules: Vec<String>,
+    reason: String,
+}
+
+fn parse_markers(file: &ScannedFile) -> Vec<Marker> {
+    let mut out = Vec::new();
+    for comment in &file.comments {
+        // Markers live in plain `//` comments only; doc comments (`///`,
+        // `//!`, `/**`, `/*!`) merely *describe* the syntax — rustdoc prose
+        // must never toggle a gate.
+        let t = comment.text.trim_start();
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| t.starts_with(d))
+        {
+            continue;
+        }
+        let Some(pos) = comment.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &comment.text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            out.push(Marker {
+                line: comment.line,
+                rules: Vec::new(),
+                reason: String::new(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Marker {
+            line: comment.line,
+            rules,
+            reason,
+        });
+    }
+    out
+}
+
+/// Returns the marker reason if a *valid* marker for `rule` covers `line`:
+/// the marker must sit on the line itself or in the contiguous
+/// comment/blank/attribute block directly above it, name the rule, and carry
+/// a non-empty reason.
+fn suppression_reason(file: &ScannedFile, line: usize, rule: &str) -> Option<String> {
+    let mut first = line;
+    while first > 1 && file.line_is_passable(first - 1) {
+        first -= 1;
+    }
+    parse_markers(file)
+        .into_iter()
+        .filter(|m| m.line >= first && m.line <= line)
+        .find(|m| m.rules.iter().any(|r| r == rule) && !m.reason.is_empty())
+        .map(|m| m.reason)
+}
+
+/// The `lint-marker` meta-rule: malformed markers are findings themselves,
+/// so a typo'd rule name or a reason-less waiver can never silently turn a
+/// gate off.
+fn check_markers(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for marker in parse_markers(file) {
+        if marker.rules.is_empty() {
+            findings.push(Finding {
+                rule: RULE_LINT_MARKER,
+                path: file.path.clone(),
+                line: marker.line,
+                message: "malformed lint:allow marker: expected `lint:allow(<rule>): <reason>`"
+                    .into(),
+            });
+            continue;
+        }
+        for rule in &marker.rules {
+            if !RULES.contains(&rule.as_str()) {
+                findings.push(Finding {
+                    rule: RULE_LINT_MARKER,
+                    path: file.path.clone(),
+                    line: marker.line,
+                    message: format!("lint:allow names unknown rule `{rule}`"),
+                });
+            }
+        }
+        if marker.reason.is_empty() {
+            findings.push(Finding {
+                rule: RULE_LINT_MARKER,
+                path: file.path.clone(),
+                line: marker.line,
+                message: "lint:allow marker must state a reason after the colon".into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-safety
+// ---------------------------------------------------------------------------
+
+fn check_unsafe_safety(
+    file: &ScannedFile,
+    findings: &mut Vec<Finding>,
+    inventory: &mut Vec<UnsafeSite>,
+) {
+    let tokens = &file.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.text != "unsafe" {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|t| t.text.as_str());
+        let after = tokens.get(i + 2).map(|t| t.text.as_str());
+        // `unsafe fn(` in type position is a function-pointer *type*, not a
+        // site with a body to justify.
+        if next == Some("fn") && after == Some("(") {
+            continue;
+        }
+        let kind = match next {
+            Some("fn") => "fn",
+            Some("impl") => "impl",
+            Some("trait") => "trait",
+            _ => "block",
+        };
+        let zone = file.lookback_comments(tok.line);
+        // `// SAFETY:` is the justification for blocks/impls; `/// # Safety`
+        // (the std doc convention) also counts for `unsafe fn` contracts.
+        let justified = zone.contains("SAFETY:") || zone.contains("# Safety");
+        inventory.push(UnsafeSite {
+            path: file.path.clone(),
+            line: tok.line,
+            kind,
+            justified,
+        });
+        if !justified {
+            findings.push(Finding {
+                rule: RULE_UNSAFE_SAFETY,
+                path: file.path.clone(),
+                line: tok.line,
+                message: format!(
+                    "`unsafe {kind}` without a `// SAFETY:` comment (or `# Safety` doc \
+                     section) directly above stating the upheld invariant"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// det-collections
+// ---------------------------------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Flags iteration over bindings declared as `HashMap`/`HashSet` *in the
+/// same file* (field declarations, `let` type ascriptions, `HashMap::new()`
+/// initialisers). Field accesses are only matched through `self.<name>` —
+/// `other.<name>` cannot be resolved without real type information, and the
+/// declaring file is where the iteration almost always lives.
+fn check_det_collections(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut map_names: BTreeSet<String> = BTreeSet::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.text != "HashMap" && tok.text != "HashSet" {
+            continue;
+        }
+        // `name: HashMap<…>` (field or let ascription) or `name = HashMap::…`.
+        if i >= 2 {
+            let prev = &tokens[i - 1].text;
+            let name = &tokens[i - 2].text;
+            if (prev == ":" || prev == "=") && is_ident(name) {
+                map_names.insert(name.clone());
+            }
+        }
+    }
+    if map_names.is_empty() {
+        return;
+    }
+    let is_map = |t: &str| map_names.contains(t);
+    for (i, tok) in tokens.iter().enumerate() {
+        if !is_map(&tok.text) {
+            continue;
+        }
+        // Resolve the access path: bare `name` or `self.name`; skip
+        // `other.name`, which this file-local analysis cannot type.
+        if i >= 1 && tokens[i - 1].text == "." && !(i >= 2 && tokens[i - 2].text == "self") {
+            continue;
+        }
+        // `name.iter()`-style calls.
+        if let (Some(dot), Some(method), Some(paren)) =
+            (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+        {
+            if dot.text == "." && ITER_METHODS.contains(&method.text.as_str()) && paren.text == "("
+            {
+                findings.push(Finding {
+                    rule: RULE_DET_COLLECTIONS,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "`.{}()` on hash-ordered `{}`: iteration order is randomized per \
+                         process and must not reach applied state (sort first, use BTreeMap, \
+                         or justify with lint:allow)",
+                        method.text, tok.text
+                    ),
+                });
+                continue;
+            }
+        }
+        // `for x in name` / `for x in &name` / `for x in &mut self.name`.
+        let mut j = i;
+        while j >= 1 {
+            let prev = tokens[j - 1].text.as_str();
+            if prev == "&" || prev == "mut" || prev == "." || prev == "self" {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 1 && tokens[j - 1].text == "in" && j >= 2 && tokens[j - 2].text != "for" {
+            // `in` not from a for-loop (e.g. the contextual keyword does not
+            // exist elsewhere in Rust) — still treat as iteration guardedly.
+        }
+        if j >= 1 && tokens[j - 1].text == "in" {
+            findings.push(Finding {
+                rule: RULE_DET_COLLECTIONS,
+                path: file.path.clone(),
+                line: tok.line,
+                message: format!(
+                    "`for … in {}` iterates a hash-ordered collection: order is randomized \
+                     per process and must not reach applied state",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+fn is_ident(t: &str) -> bool {
+    let mut chars = t.chars();
+    matches!(chars.next(), Some(c) if c.is_alphabetic() || c == '_')
+        && chars.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+fn check_wall_clock(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for tok in &file.tokens {
+        if tok.text == "Instant" || tok.text == "SystemTime" {
+            findings.push(Finding {
+                rule: RULE_WALL_CLOCK,
+                path: file.path.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{}` outside the bench harnesses: the system is logical-round only, \
+                     wall clocks make trajectories timing-dependent",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread-hygiene
+// ---------------------------------------------------------------------------
+
+fn check_thread_hygiene(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.text == "thread"
+            && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && matches!(
+                tokens.get(i + 2).map(|t| t.text.as_str()),
+                Some("spawn") | Some("Builder")
+            )
+        {
+            let what = tokens[i + 2].text.clone();
+            findings.push(Finding {
+                rule: RULE_THREAD_HYGIENE,
+                path: file.path.clone(),
+                line: tok.line,
+                message: format!(
+                    "`thread::{what}` outside crates/parallel: all parallelism must go \
+                     through the deterministic fan-out helpers"
+                ),
+            });
+        }
+        if tok.text == "static" && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("mut") {
+            findings.push(Finding {
+                rule: RULE_THREAD_HYGIENE,
+                path: file.path.clone(),
+                line: tok.line,
+                message: "`static mut` outside crates/parallel: use interior mutability \
+                     behind the pool's synchronisation instead"
+                    .into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wire-exhaustive
+// ---------------------------------------------------------------------------
+
+/// A function's extent in a token stream.
+struct FnSpan {
+    name: String,
+    def_line: usize,
+    /// Token range of the signature (after the name, up to the body brace).
+    sig: (usize, usize),
+    /// Token range of the body, braces included.
+    body: (usize, usize),
+}
+
+fn function_spans(file: &ScannedFile) -> Vec<FnSpan> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "fn" || i + 1 >= tokens.len() || !is_ident(&tokens[i + 1].text) {
+            i += 1;
+            continue;
+        }
+        let name = tokens[i + 1].text.clone();
+        let def_line = tokens[i].line;
+        let sig_start = i + 2;
+        // The body starts at the first `{` after the signature; a `;` first
+        // means a bodyless declaration (trait method) — skip it.
+        let mut j = sig_start;
+        let mut body = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" => {
+                    body = Some(j);
+                    break;
+                }
+                ";" => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnSpan {
+            name,
+            def_line,
+            sig: (sig_start, open),
+            body: (open, k.min(tokens.len())),
+        });
+        i = open + 1; // nested fns inside bodies are still discovered
+    }
+    out
+}
+
+/// The payload type of a decode function: the first identifier inside
+/// `Result<…>` in its return type.
+fn decode_target_type(file: &ScannedFile, span: &FnSpan) -> Option<String> {
+    let tokens = &file.tokens;
+    let mut i = span.sig.0;
+    while i + 2 < span.sig.1 {
+        if tokens[i].text == "->" {
+            // Scan the return type for `Result < Type`.
+            let mut j = i + 1;
+            while j + 2 < span.sig.1 + 1 {
+                if tokens[j].text == "Result"
+                    && tokens.get(j + 1).map(|t| t.text.as_str()) == Some("<")
+                {
+                    let t = &tokens[j + 2].text;
+                    return is_ident(t).then(|| t.clone());
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds `struct <name> { … }` anywhere in the scanned set and returns its
+/// named fields (None for tuple/unit structs or if undefined).
+fn struct_fields(files: &[ScannedFile], name: &str) -> Option<Vec<String>> {
+    for file in files {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if tokens[i].text != "struct"
+                || tokens.get(i + 1).map(|t| t.text.as_str()) != Some(name)
+            {
+                continue;
+            }
+            // Skip generics, find the body opener.
+            let mut j = i + 2;
+            let mut angle = 0usize;
+            loop {
+                match tokens.get(j).map(|t| t.text.as_str()) {
+                    Some("<") => angle += 1,
+                    Some(">") => angle = angle.saturating_sub(1),
+                    Some("{") if angle == 0 => break,
+                    Some("(") | Some(";") if angle == 0 => return None, // tuple/unit struct
+                    None => return None,
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some(parse_named_fields(tokens, j));
+        }
+    }
+    None
+}
+
+/// Parses `ident: Type,` entries from a struct body starting at the `{`
+/// token, skipping attributes and visibility modifiers.
+fn parse_named_fields(tokens: &[scan::Token], open: usize) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize; // (), [], {}, <> all counted while skipping types
+    let mut i = open;
+    let mut expecting_field = false;
+    while i < tokens.len() {
+        let t = tokens[i].text.as_str();
+        match t {
+            "{" if depth == 0 && i == open => {
+                expecting_field = true;
+            }
+            "}" if depth == 0 => break,
+            // Attribute: skip the bracketed group.
+            "#" if expecting_field && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("[") => {
+                let mut d = 0usize;
+                i += 1;
+                while i < tokens.len() {
+                    match tokens[i].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // Swallow a `pub(crate)`/`pub(super)` group; bare `pub` needs no
+            // arm — it is an ident not followed by `:`, so it falls through.
+            "pub" if expecting_field && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("(") => {
+                while i < tokens.len() && tokens[i].text != ")" {
+                    i += 1;
+                }
+            }
+            _ if expecting_field
+                && is_ident(t)
+                && tokens.get(i + 1).map(|t| t.text.as_str()) == Some(":") =>
+            {
+                fields.push(t.to_string());
+                expecting_field = false;
+                i += 1; // consume the `:`; the type is skipped below
+            }
+            "," if depth == 0 => expecting_field = true,
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
+fn body_has_ident(file: &ScannedFile, span: &FnSpan, ident: &str) -> bool {
+    file.tokens[span.body.0..span.body.1]
+        .iter()
+        .any(|t| t.text == ident)
+}
+
+/// Pairs `encode_X`/`decode_X` and `put_X`/`get_X` functions in a codec file
+/// and verifies every named field of the decoded struct appears in both
+/// bodies. `encode_`-prefixed functions additionally *must* have a partner.
+fn check_wire_exhaustive(file: &ScannedFile, all: &[ScannedFile], findings: &mut Vec<Finding>) {
+    let spans = function_spans(file);
+    let find = |name: &str| spans.iter().find(|s| s.name == name);
+    for span in &spans {
+        let (partner_name, required) = if let Some(s) = span.name.strip_prefix("encode_") {
+            (format!("decode_{s}"), true)
+        } else if let Some(s) = span.name.strip_prefix("put_") {
+            (format!("get_{s}"), false)
+        } else {
+            continue;
+        };
+        let Some(partner) = find(&partner_name) else {
+            if required {
+                findings.push(Finding {
+                    rule: RULE_WIRE_EXHAUSTIVE,
+                    path: file.path.clone(),
+                    line: span.def_line,
+                    message: format!(
+                        "`{}` has no matching `{partner_name}` in this file: every wire \
+                         encoder needs a symmetric decoder",
+                        span.name
+                    ),
+                });
+            }
+            continue;
+        };
+        let Some(type_name) = decode_target_type(file, partner) else {
+            continue;
+        };
+        let Some(fields) = struct_fields(all, &type_name) else {
+            continue;
+        };
+        for field in fields {
+            for (dir, s) in [("encode", span), ("decode", partner)] {
+                if !body_has_ident(file, s, &field) {
+                    findings.push(Finding {
+                        rule: RULE_WIRE_EXHAUSTIVE,
+                        path: file.path.clone(),
+                        line: s.def_line,
+                        message: format!(
+                            "field `{field}` of `{type_name}` never appears in the {dir} \
+                             path `{}`: a field coded on one side only drifts silently \
+                             on the wire",
+                            s.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (dependency-free)
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Renders the report as a self-describing JSON document (schema
+    /// `fleet-lint-v1`), the artifact CI uploads next to the bench JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"fleet-lint-v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                f.rule,
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"suppressed\": [\n");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+                s.finding.rule,
+                json_escape(&s.finding.path),
+                s.finding.line,
+                json_escape(&s.reason),
+                if i + 1 < self.suppressed.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"unsafe_inventory\": [\n");
+        for (i, u) in self.unsafe_inventory.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"justified\": {}}}{}\n",
+                json_escape(&u.path),
+                u.line,
+                u.kind,
+                u.justified,
+                if i + 1 < self.unsafe_inventory.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Report {
+        lint_sources(&Policy::default(), &[(path.to_string(), src.to_string())])
+    }
+
+    fn rules_of(report: &Report) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unjustified_unsafe_block_is_flagged() {
+        let r = lint_one("crates/x/src/lib.rs", "fn f() { unsafe { g(); } }");
+        assert_eq!(rules_of(&r), vec![RULE_UNSAFE_SAFETY]);
+        assert_eq!(r.unsafe_inventory.len(), 1);
+        assert!(!r.unsafe_inventory[0].justified);
+    }
+
+    #[test]
+    fn safety_comment_justifies_block() {
+        let src = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g(); }\n}";
+        let r = lint_one("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r.unsafe_inventory[0].justified);
+    }
+
+    #[test]
+    fn safety_doc_section_justifies_unsafe_fn() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n///\n/// Caller must own `p`.\nunsafe fn f(p: *mut u8) {}";
+        let r = lint_one("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.unsafe_inventory[0].kind, "fn");
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_site() {
+        let r = lint_one(
+            "crates/x/src/lib.rs",
+            "struct S { run: unsafe fn(*const ()) }",
+        );
+        assert!(r.findings.is_empty());
+        assert!(r.unsafe_inventory.is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src = "// unsafe { } in prose\nfn f() { let s = \"unsafe { }\"; }";
+        let r = lint_one("crates/x/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r.unsafe_inventory.is_empty());
+    }
+
+    #[test]
+    fn map_iteration_is_flagged_in_det_crates_only() {
+        let src = "struct S { m: HashMap<u64, u32> }\nimpl S { fn f(&self) { for x in self.m.values() { let _ = x; } } }";
+        let r = lint_one("crates/core/src/lib.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_DET_COLLECTIONS]);
+        let r2 = lint_one("crates/device/src/lib.rs", src);
+        assert!(r2.findings.is_empty());
+    }
+
+    #[test]
+    fn foreign_field_paths_are_not_flagged() {
+        // `state.personal` is a different type's Vec field; only `self.…`
+        // and bare bindings resolve to the file-local map declarations.
+        let src = "struct S { personal: HashMap<String, u32> }\nfn g(state: &T) { state.personal.iter(); }";
+        let r = lint_one("crates/profiler/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn contains_and_len_are_fine() {
+        let src = "fn f(xs: &[usize]) { let s: HashSet<usize> = xs.iter().cloned().collect(); \
+                   let _ = s.len() + s.contains(&3) as usize; }";
+        let r = lint_one("crates/data/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_bench() {
+        let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }";
+        let r = lint_one("crates/server/src/x.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_WALL_CLOCK, RULE_WALL_CLOCK]);
+        assert!(lint_one("crates/bench/src/x.rs", src).findings.is_empty());
+        assert!(lint_one("crates/compat/criterion/src/lib.rs", src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_and_static_mut_flagged_outside_parallel() {
+        let src = "static mut X: u32 = 0;\nfn f() { std::thread::spawn(|| {}); }";
+        let r = lint_one("crates/server/src/x.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_THREAD_HYGIENE, RULE_THREAD_HYGIENE]);
+        assert!(lint_one("crates/parallel/src/lib.rs", src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn suppression_requires_reason_and_known_rule() {
+        let ok = "// lint:allow(wall-clock): bench-only scratch file\nuse std::time::Instant;";
+        let r = lint_one("crates/server/src/x.rs", ok);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+
+        let no_reason = "// lint:allow(wall-clock)\nuse std::time::Instant;";
+        let r = lint_one("crates/server/src/x.rs", no_reason);
+        assert!(rules_of(&r).contains(&RULE_LINT_MARKER));
+        assert!(rules_of(&r).contains(&RULE_WALL_CLOCK), "must not suppress");
+
+        let bad_rule = "// lint:allow(wallclock): typo'd\nuse std::time::Instant;";
+        let r = lint_one("crates/server/src/x.rs", bad_rule);
+        assert!(rules_of(&r).contains(&RULE_LINT_MARKER));
+    }
+
+    #[test]
+    fn wire_pair_field_asymmetry_is_flagged() {
+        let protocol = (
+            "crates/server/src/protocol.rs".to_string(),
+            "pub struct Msg { pub a: u64, pub b: u64 }".to_string(),
+        );
+        let wire = (
+            "crates/server/src/wire.rs".to_string(),
+            "pub fn encode_msg(m: &Msg) -> Vec<u8> { emit(m.a); emit(m.b); vec![] }\n\
+             pub fn decode_msg(buf: &[u8]) -> Result<Msg, E> { Ok(Msg { a: read(buf), b: 0 }) }"
+                .to_string(),
+        );
+        // `b` appears in both bodies above; break the decode side.
+        let broken = (
+            "crates/server/src/wire.rs".to_string(),
+            "pub fn encode_msg(m: &Msg) -> Vec<u8> { emit(m.a); emit(m.b); vec![] }\n\
+             pub fn decode_msg(buf: &[u8]) -> Result<Msg, E> { let a = read(buf); Ok(make(a)) }"
+                .to_string(),
+        );
+        let good = lint_sources(&Policy::default(), &[protocol.clone(), wire]);
+        assert!(good.findings.is_empty(), "{:?}", good.findings);
+        let bad = lint_sources(&Policy::default(), &[protocol, broken]);
+        let wire_findings: Vec<_> = bad
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_WIRE_EXHAUSTIVE)
+            .collect();
+        assert_eq!(wire_findings.len(), 1, "{:?}", bad.findings);
+        assert!(wire_findings[0].message.contains("`b`"));
+        assert!(wire_findings[0].message.contains("decode"));
+    }
+
+    #[test]
+    fn encoder_without_decoder_is_flagged() {
+        let wire = (
+            "crates/server/src/wire.rs".to_string(),
+            "pub fn encode_ack(a: &Ack) -> Vec<u8> { vec![] }".to_string(),
+        );
+        let r = lint_sources(&Policy::default(), &[wire]);
+        assert_eq!(rules_of(&r), vec![RULE_WIRE_EXHAUSTIVE]);
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let r = lint_one("crates/x/src/lib.rs", "fn f() { unsafe { g(); } }");
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"fleet-lint-v1\""));
+        assert!(json.contains("\"unsafe_inventory\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

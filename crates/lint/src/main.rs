@@ -1,0 +1,140 @@
+//! CLI entry point: walks the workspace, runs every rule, prints findings as
+//! `path:line: [rule] message` (or a JSON document with `--json`) and exits
+//! non-zero if any unsuppressed finding remains. See the crate docs for the
+//! rule catalogue.
+
+#![forbid(unsafe_code)]
+
+use fleet_lint::{lint_sources, Policy};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories scanned, relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
+
+/// Path fragments excluded from the walk: build output, VCS metadata, and
+/// the linter's own fixture corpus (whose failing samples are *supposed* to
+/// trip every rule).
+const EXCLUDES: &[&str] = &["target/", ".git/", "crates/lint/tests/fixtures/"];
+
+fn collect_rs_files(root: &Path, rel: &str, out: &mut Vec<(String, String)>) {
+    let dir = root.join(rel);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut names: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    names.sort(); // deterministic walk order → deterministic report order
+    for path in names {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel_child = if rel.is_empty() {
+            name.to_string()
+        } else {
+            format!("{rel}/{name}")
+        };
+        if EXCLUDES
+            .iter()
+            .any(|ex| rel_child.starts_with(ex) || format!("{rel_child}/").starts_with(ex))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &rel_child, out);
+        } else if name.ends_with(".rs") {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => out.push((rel_child, text)),
+                Err(err) => eprintln!("fleet-lint: skipping unreadable {rel_child}: {err}"),
+            }
+        }
+    }
+}
+
+/// Locates the workspace root: the nearest ancestor of the current directory
+/// containing both `Cargo.toml` and `crates/`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("fleet-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "fleet-lint — workspace static-analysis gate\n\n\
+                     USAGE: fleet-lint [--json] [--root <dir>]\n\n\
+                     Exits 0 when the workspace is clean, 1 on findings.\n\
+                     Rules: unsafe-safety, det-collections, wall-clock,\n\
+                     thread-hygiene, wire-exhaustive (see crates/lint/README.md).\n\
+                     Suppress per site with `// lint:allow(<rule>): <reason>`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fleet-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root_arg.or_else(find_root) else {
+        eprintln!("fleet-lint: could not locate the workspace root (run from within the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let mut sources = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        collect_rs_files(&root, scan_root, &mut sources);
+    }
+    let report = lint_sources(&Policy::default(), &sources);
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        let justified = report
+            .unsafe_inventory
+            .iter()
+            .filter(|u| u.justified)
+            .count();
+        eprintln!(
+            "fleet-lint: {} finding(s), {} suppressed, {} file(s) scanned, \
+             unsafe audit {}/{} justified",
+            report.findings.len(),
+            report.suppressed.len(),
+            report.files_scanned,
+            justified,
+            report.unsafe_inventory.len(),
+        );
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,431 @@
+//! A small comment/string-aware Rust scanner.
+//!
+//! This is *not* a Rust parser. It does exactly what the lint rules need and
+//! nothing more: split a source file into (a) a code view with every comment
+//! and every string/char-literal body blanked out to spaces (newlines kept,
+//! so line numbers survive), (b) the comment text per line, and (c) an
+//! identifier/punctuation token stream over the code view. Handles nested
+//! block comments, raw strings (`r"…"`, `r#"…"#`, byte and raw-byte forms),
+//! escapes inside string and char literals, and the lifetime-vs-char-literal
+//! ambiguity (`'a` vs `'a'`).
+
+/// One comment's text on one line. A block comment spanning lines produces
+/// one entry per line, so line-oriented walks (the `SAFETY:` lookback, the
+/// suppression-marker zone) need no special cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line number.
+    pub line: usize,
+    /// The comment text on that line, including the `//`/`/*` introducer
+    /// characters that fell on it.
+    pub text: String,
+}
+
+/// One token of the blanked code view: an identifier/number word or a
+/// punctuation string (`::`, `=>`, `->` are kept as single tokens; all other
+/// punctuation is one token per character).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// The source with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Comments, one entry per (comment, line) pair, in file order.
+    pub comments: Vec<Comment>,
+    /// Token stream over `code`.
+    pub tokens: Vec<Token>,
+}
+
+impl ScannedFile {
+    pub fn new(path: &str, source: &str) -> Self {
+        let (code, comments) = blank_non_code(source);
+        let tokens = tokenize(&code);
+        ScannedFile {
+            path: path.to_string(),
+            code,
+            comments,
+            tokens,
+        }
+    }
+
+    /// The blanked code text of a 1-based line (empty for lines past EOF).
+    pub fn code_line(&self, line: usize) -> &str {
+        self.code.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+
+    /// Whether a line holds no code other than (possibly) an attribute —
+    /// i.e. it is blank, comment-only, or `#[…]`/`#![…]` only. These are the
+    /// lines a justification/suppression lookback may walk across.
+    pub fn line_is_passable(&self, line: usize) -> bool {
+        let trimmed = self.code_line(line).trim();
+        trimmed.is_empty()
+            || (trimmed.starts_with("#[") || trimmed.starts_with("#![")) && trimmed.ends_with(']')
+    }
+
+    /// All comment text attached to `line` itself plus the contiguous run of
+    /// passable lines directly above it, concatenated in file order. This is
+    /// the zone searched for `SAFETY:` justifications and `lint:allow`
+    /// suppression markers.
+    pub fn lookback_comments(&self, line: usize) -> String {
+        let mut first = line;
+        while first > 1 && self.line_is_passable(first - 1) {
+            first -= 1;
+        }
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.line >= first && c.line <= line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Blanks comments and literal bodies out of `source`, collecting comments.
+fn blank_non_code(source: &str) -> (String, Vec<Comment>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line = 1usize;
+    let mut comment_buf = String::new();
+    let mut i = 0usize;
+
+    // Pushes a char to the code view, blanking unless `keep`.
+    fn emit(code: &mut String, c: char, keep: bool) {
+        if c == '\n' || keep {
+            code.push(c);
+        } else {
+            code.push(' ');
+        }
+    }
+
+    fn flush_comment(comments: &mut Vec<Comment>, buf: &mut String, line: usize) {
+        if !buf.is_empty() {
+            comments.push(Comment {
+                line,
+                text: std::mem::take(buf),
+            });
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                comment_buf.push(chars[i]);
+                emit(&mut code, chars[i], false);
+                i += 1;
+            }
+            flush_comment(&mut comments, &mut comment_buf, line);
+            continue;
+        }
+
+        // Block comment, possibly nested (Rust nests them).
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            comment_buf.push_str("/*");
+            emit(&mut code, '/', false);
+            emit(&mut code, '*', false);
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    depth += 1;
+                    comment_buf.push_str("/*");
+                    emit(&mut code, '/', false);
+                    emit(&mut code, '*', false);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    depth -= 1;
+                    comment_buf.push_str("*/");
+                    emit(&mut code, '*', false);
+                    emit(&mut code, '/', false);
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        flush_comment(&mut comments, &mut comment_buf, line);
+                        line += 1;
+                    } else {
+                        comment_buf.push(c);
+                    }
+                    emit(&mut code, c, false);
+                    i += 1;
+                }
+            }
+            flush_comment(&mut comments, &mut comment_buf, line);
+            continue;
+        }
+
+        // Raw (and raw-byte) string: r"…", r#"…"#, br#"…"#, …
+        if (c == 'r' || (c == 'b' && next == Some('r'))) && !prev_is_ident_char(&chars, i) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            while chars.get(start + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if chars.get(start + hashes) == Some(&'"') {
+                // Emit the prefix (kept: it is code-ish, harmless) and blank
+                // the body until `"` followed by `hashes` hashes.
+                for &p in &chars[i..start + hashes + 1] {
+                    emit(&mut code, p, true);
+                }
+                i = start + hashes + 1;
+                loop {
+                    if i >= chars.len() {
+                        break;
+                    }
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if chars.get(i + 1 + h) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for &p in &chars[i..i + 1 + hashes] {
+                                emit(&mut code, p, true);
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    emit(&mut code, chars[i], false);
+                    i += 1;
+                }
+                continue;
+            }
+            // Not a raw string ("r" or "br" used as an identifier); fall
+            // through to the default emit below.
+        }
+
+        // Ordinary (and byte) string literal.
+        if c == '"' {
+            emit(&mut code, '"', true);
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '\\' {
+                    emit(&mut code, c, false);
+                    if let Some(&esc) = chars.get(i + 1) {
+                        if esc == '\n' {
+                            line += 1;
+                        }
+                        emit(&mut code, esc, false);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    emit(&mut code, '"', true);
+                    i += 1;
+                    break;
+                }
+                if c == '\n' {
+                    line += 1;
+                }
+                emit(&mut code, c, false);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime. `'\…'` and `'x'` are literals; `'ident`
+        // (no closing quote right after one char) is a lifetime, left as
+        // code.
+        if c == '\'' {
+            let is_char_literal = match next {
+                Some('\\') => true,
+                // `chars` is a Vec<char>, so 'x' is always exactly three
+                // elements: quote, payload, quote.
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char_literal {
+                emit(&mut code, '\'', true);
+                i += 1;
+                if chars.get(i) == Some(&'\\') {
+                    emit(&mut code, '\\', false);
+                    i += 1;
+                    // Escape payload up to the closing quote.
+                    while i < chars.len() && chars[i] != '\'' {
+                        emit(&mut code, chars[i], false);
+                        i += 1;
+                    }
+                } else if i < chars.len() {
+                    emit(&mut code, chars[i], false);
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'\'') {
+                    emit(&mut code, '\'', true);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+
+        if c == '\n' {
+            line += 1;
+        }
+        emit(&mut code, c, true);
+        i += 1;
+    }
+    (code, comments)
+}
+
+fn prev_is_ident_char(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+fn tokenize(code: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Multi-char punctuation the rules care about.
+        let next = chars.get(i + 1).copied();
+        let pair = match (c, next) {
+            (':', Some(':')) => Some("::"),
+            ('=', Some('>')) => Some("=>"),
+            ('-', Some('>')) => Some("->"),
+            _ => None,
+        };
+        if let Some(p) = pair {
+            tokens.push(Token {
+                text: p.to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        tokens.push(Token {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<String> {
+        ScannedFile::new("x.rs", src)
+            .tokens
+            .iter()
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = ScannedFile::new("x.rs", "let s = \"unsafe { }\"; // unsafe too\nlet t = 1;");
+        assert!(!f.tokens.iter().any(|t| t.text == "unsafe"));
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("unsafe too"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let src = "let s = r#\"unsafe \"quoted\" body\"#; let u = 2;";
+        assert!(!toks(src).contains(&"unsafe".to_string()));
+        assert!(toks(src).contains(&"u".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        assert!(!toks("let x = b\"unsafe\";").contains(&"unsafe".to_string()));
+        assert!(!toks("let x = br#\"unsafe\"#;").contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let f = ScannedFile::new("x.rs", "/* outer /* inner */ still */ let a = 1;");
+        assert_eq!(
+            f.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["let", "a", "=", "1", ";"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // The lifetime must stay code; the char literal body must blank.
+        let t = toks("fn f<'a>(x: &'a str) { let c = 'y'; let d = '\\n'; }");
+        assert!(t.contains(&"a".to_string()), "lifetime ident survives");
+        assert!(!t.contains(&"y".to_string()), "char body blanked");
+        assert!(!t.contains(&"n".to_string()), "escape body blanked");
+    }
+
+    #[test]
+    fn multiline_block_comment_yields_one_entry_per_line() {
+        let f = ScannedFile::new("x.rs", "/* one\n two\n three */\nlet a = 1;");
+        let lines: Vec<usize> = f.comments.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lookback_crosses_comments_blanks_and_attributes() {
+        let src = "\n// SAFETY: fine\n\n#[inline]\nunsafe fn f() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.lookback_comments(5).contains("SAFETY:"));
+        // But not across intervening code.
+        let src2 = "// SAFETY: fine\nlet x = 1;\nunsafe fn f() {}\n";
+        let f2 = ScannedFile::new("x.rs", src2);
+        assert!(!f2.lookback_comments(3).contains("SAFETY:"));
+    }
+
+    #[test]
+    fn identifier_r_is_not_a_raw_string_start() {
+        // `for r in xs` — the `r` must not eat the rest of the file.
+        let t = toks("for r in xs { let q = r; } let after = 1;");
+        assert!(t.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn double_colon_and_fat_arrow_are_single_tokens() {
+        assert_eq!(
+            toks("a::b => c -> d"),
+            vec!["a", "::", "b", "=>", "c", "->", "d"]
+        );
+    }
+}

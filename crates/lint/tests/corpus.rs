@@ -1,0 +1,189 @@
+//! Runs every fixture in `tests/fixtures/` through the real rule engine
+//! under a synthetic repo path chosen so the rule under test applies, and
+//! checks the expected outcome: `*_fail.rs` fixtures must produce exactly
+//! the findings they advertise, `*_pass.rs` fixtures must lint clean. The
+//! fixtures directory is excluded from the binary's workspace walk — these
+//! samples exist to prove each rule still fires.
+
+use fleet_lint::{lint_sources, Policy, Report};
+
+fn lint_fixture(fixture: &str, synthetic_path: &str) -> Report {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let text = std::fs::read_to_string(format!("{dir}/{fixture}"))
+        .unwrap_or_else(|e| panic!("fixture {fixture} unreadable: {e}"));
+    lint_sources(&Policy::default(), &[(synthetic_path.to_string(), text)])
+}
+
+fn rule_counts(report: &Report, rule: &str) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn assert_clean(report: &Report, fixture: &str) {
+    assert!(
+        report.findings.is_empty(),
+        "{fixture} should lint clean, got: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn unsafe_safety_fixtures() {
+    // All four site kinds, all unjustified.
+    let fail = lint_fixture("unsafe_safety_fail.rs", "crates/server/src/x.rs");
+    assert_eq!(
+        rule_counts(&fail, "unsafe-safety"),
+        4,
+        "{:#?}",
+        fail.findings
+    );
+    let kinds: Vec<&str> = fail.unsafe_inventory.iter().map(|u| u.kind).collect();
+    assert_eq!(kinds, ["block", "fn", "impl", "trait"]);
+    assert!(fail.unsafe_inventory.iter().all(|u| !u.justified));
+
+    let pass = lint_fixture("unsafe_safety_pass.rs", "crates/server/src/x.rs");
+    assert_clean(&pass, "unsafe_safety_pass.rs");
+    assert_eq!(pass.unsafe_inventory.len(), 4);
+    assert!(pass.unsafe_inventory.iter().all(|u| u.justified));
+}
+
+#[test]
+fn unsafe_tricky_fixture() {
+    // `unsafe` in strings, comments and fn-pointer types is not a site.
+    let report = lint_fixture("unsafe_tricky_pass.rs", "crates/server/src/x.rs");
+    assert_clean(&report, "unsafe_tricky_pass.rs");
+    assert!(
+        report.unsafe_inventory.is_empty(),
+        "prose/type mentions must not enter the audit inventory: {:#?}",
+        report.unsafe_inventory
+    );
+}
+
+#[test]
+fn det_collections_fixtures() {
+    let fail = lint_fixture("det_collections_fail.rs", "crates/core/src/x.rs");
+    assert_eq!(
+        rule_counts(&fail, "det-collections"),
+        3,
+        "{:#?}",
+        fail.findings
+    );
+
+    // The same hash-iterating source is fine outside the digest-adjacent
+    // crates — the rule is scoped, not global.
+    let elsewhere = lint_fixture("det_collections_fail.rs", "crates/device/src/x.rs");
+    assert_eq!(rule_counts(&elsewhere, "det-collections"), 0);
+
+    let pass = lint_fixture("det_collections_pass.rs", "crates/core/src/x.rs");
+    assert_clean(&pass, "det_collections_pass.rs");
+    assert_eq!(pass.suppressed.len(), 1, "the sorted export is waived");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let fail = lint_fixture("wall_clock_fail.rs", "crates/server/src/x.rs");
+    assert_eq!(rule_counts(&fail, "wall-clock"), 5, "{:#?}", fail.findings);
+
+    // The bench harnesses are exempt by policy.
+    let bench = lint_fixture("wall_clock_fail.rs", "crates/bench/src/x.rs");
+    assert_clean(&bench, "wall_clock_fail.rs under crates/bench");
+    let criterion = lint_fixture("wall_clock_fail.rs", "crates/compat/criterion/src/x.rs");
+    assert_clean(&criterion, "wall_clock_fail.rs under compat/criterion");
+
+    let pass = lint_fixture("wall_clock_pass.rs", "crates/server/src/x.rs");
+    assert_clean(&pass, "wall_clock_pass.rs");
+}
+
+#[test]
+fn thread_hygiene_fixtures() {
+    let fail = lint_fixture("thread_hygiene_fail.rs", "crates/ml/src/x.rs");
+    assert_eq!(
+        rule_counts(&fail, "thread-hygiene"),
+        3,
+        "{:#?}",
+        fail.findings
+    );
+
+    // The pool crate owns threading.
+    let pool = lint_fixture("thread_hygiene_fail.rs", "crates/parallel/src/x.rs");
+    assert_clean(&pool, "thread_hygiene_fail.rs under crates/parallel");
+
+    let pass = lint_fixture("thread_hygiene_pass.rs", "crates/ml/src/x.rs");
+    assert_clean(&pass, "thread_hygiene_pass.rs");
+}
+
+#[test]
+fn wire_exhaustive_fixtures() {
+    // One field dropped from the decoder + one orphaned encoder.
+    let fail = lint_fixture("wire_exhaustive_fail.rs", "crates/server/src/wire.rs");
+    assert_eq!(
+        rule_counts(&fail, "wire-exhaustive"),
+        2,
+        "{:#?}",
+        fail.findings
+    );
+    assert!(fail.findings.iter().any(|f| f.message.contains("`extra`")));
+    assert!(fail
+        .findings
+        .iter()
+        .any(|f| f.message.contains("encode_orphan")));
+
+    // The identical source outside the codec files is not wire-checked.
+    let elsewhere = lint_fixture("wire_exhaustive_fail.rs", "crates/server/src/x.rs");
+    assert_eq!(rule_counts(&elsewhere, "wire-exhaustive"), 0);
+
+    let pass = lint_fixture("wire_exhaustive_pass.rs", "crates/server/src/wire.rs");
+    assert_clean(&pass, "wire_exhaustive_pass.rs");
+}
+
+#[test]
+fn suppression_fixtures() {
+    // Malformed or mistargeted markers never waive anything.
+    let fail = lint_fixture("suppression_fail.rs", "crates/server/src/x.rs");
+    assert_eq!(
+        rule_counts(&fail, "unsafe-safety"),
+        1,
+        "{:#?}",
+        fail.findings
+    );
+    assert_eq!(rule_counts(&fail, "wall-clock"), 2);
+    assert_eq!(rule_counts(&fail, "thread-hygiene"), 1);
+    assert_eq!(rule_counts(&fail, "lint-marker"), 2);
+    assert!(fail.suppressed.is_empty());
+
+    // Well-formed markers waive exactly their named rules, with the reasons
+    // preserved for the JSON record.
+    let pass = lint_fixture("suppression_pass.rs", "crates/server/src/x.rs");
+    assert_clean(&pass, "suppression_pass.rs");
+    assert_eq!(pass.suppressed.len(), 3, "{:#?}", pass.suppressed);
+    assert!(pass.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn every_fixture_is_exercised() {
+    // Guard against orphaned fixtures: adding a sample without wiring it
+    // into a test above should fail loudly, not rot silently.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    on_disk.sort();
+    let wired = [
+        "det_collections_fail.rs",
+        "det_collections_pass.rs",
+        "suppression_fail.rs",
+        "suppression_pass.rs",
+        "thread_hygiene_fail.rs",
+        "thread_hygiene_pass.rs",
+        "unsafe_safety_fail.rs",
+        "unsafe_safety_pass.rs",
+        "unsafe_tricky_pass.rs",
+        "wall_clock_fail.rs",
+        "wall_clock_pass.rs",
+        "wire_exhaustive_fail.rs",
+        "wire_exhaustive_pass.rs",
+    ];
+    assert_eq!(on_disk, wired);
+}

@@ -1,0 +1,30 @@
+// Fixture (scanned as if in a digest-adjacent crate): hash-ordered
+// iteration reaching outputs. Expect three det-collections findings.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    models: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn dump(&self) -> Vec<String> {
+        // Finding 1: method iteration on a map field.
+        self.models.values().cloned().collect()
+    }
+
+    pub fn sum(&self) -> u64 {
+        let mut total = 0;
+        // Finding 2: for-loop over a map field.
+        for (id, _) in &self.models {
+            total += id;
+        }
+        total
+    }
+}
+
+pub fn local_set(xs: &[u64]) -> Vec<u64> {
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    // Finding 3: draining a local hash set.
+    seen.into_iter().collect()
+}

@@ -1,0 +1,32 @@
+// Fixture: hash maps used in order-insensitive ways, plus one justified
+// iteration. Expect zero findings (one suppressed).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    models: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn lookups(&self, id: u64) -> (bool, usize, Option<&String>) {
+        // Point queries and size checks never observe iteration order.
+        (self.models.contains_key(&id), self.models.len(), self.models.get(&id))
+    }
+
+    pub fn sorted_export(&self) -> Vec<(u64, String)> {
+        let mut out: Vec<(u64, String)> = self
+            // lint:allow(det-collections): sorted by key on the next line
+            // before anything can observe the hash order.
+            .models
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+pub fn membership(xs: &[u64]) -> usize {
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    xs.iter().filter(|x| seen.contains(x)).count()
+}

@@ -1,0 +1,19 @@
+// Fixture: markers that must NOT suppress. Expect the underlying findings
+// to survive plus lint-marker findings for each malformed marker
+// (reason-less, unknown rule, wrong rule).
+
+pub fn reasonless(p: *const u32) -> u32 {
+    // lint:allow(unsafe-safety)
+    unsafe { *p }
+}
+
+pub fn unknown_rule() {
+    // lint:allow(no-such-rule): the rule name is a typo
+    use std::time::Instant;
+    let _ = Instant::now();
+}
+
+pub fn wrong_rule() {
+    // lint:allow(unsafe-safety): names a different rule than the finding
+    std::thread::spawn(|| {});
+}

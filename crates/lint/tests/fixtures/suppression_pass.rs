@@ -1,0 +1,23 @@
+// Fixture: well-formed markers waiving real findings, including one
+// covering two rules at once and one separated from its site by an
+// attribute (the lookback crosses blank/comment/attribute lines). Expect
+// zero live findings and three suppressions.
+
+pub fn waived(p: *const u32) -> u32 {
+    // lint:allow(unsafe-safety): fixture demonstrating a justified waiver —
+    // the marker reason may span lines; only the first carries the syntax.
+    unsafe { *p }
+}
+
+pub fn doubly_waived() {
+    // lint:allow(wall-clock, thread-hygiene): fixture for a two-rule marker
+    let _ = std::time::Instant::now();
+}
+
+fn attributed() {
+    // lint:allow(thread-hygiene): the lookback crosses blank lines and
+    // attributes, so a marker may sit a few passable lines above its site.
+
+    #[allow(unused_must_use)]
+    std::thread::spawn(|| {});
+}

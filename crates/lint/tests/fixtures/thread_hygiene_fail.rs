@@ -1,0 +1,10 @@
+// Fixture (scanned outside crates/parallel): ad-hoc threading and a
+// mutable global. Expect three thread-hygiene findings (spawn, Builder,
+// static mut).
+
+static mut COUNTER: u64 = 0;
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+    let _ = std::thread::Builder::new().name("rogue".into()).spawn(|| {});
+}

@@ -1,0 +1,17 @@
+// Fixture: parallelism through the pool's public surface and shared state
+// behind sync primitives. Expect zero findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    // thread::spawn mentioned in prose (and this comment) is fine; only
+    // real call paths are flagged.
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn current_thread_name() -> Option<String> {
+    // Reading thread metadata is fine — only spawn/Builder create threads.
+    std::thread::current().name().map(str::to_owned)
+}

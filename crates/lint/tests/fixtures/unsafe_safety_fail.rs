@@ -1,0 +1,17 @@
+// Fixture: every kind of unjustified unsafe site. Expect four
+// unsafe-safety findings (block, fn, impl, trait).
+
+pub fn naked_block(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub unsafe fn naked_fn(p: *mut u8) {
+    // SAFETY: this inner comment justifies nothing — it is below the site.
+    let _ = p;
+}
+
+struct Wrapper(*const ());
+
+unsafe impl Send for Wrapper {}
+
+unsafe trait Contract {}

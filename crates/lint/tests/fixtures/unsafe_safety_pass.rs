@@ -1,0 +1,28 @@
+// Fixture: the same site kinds, each properly justified. Expect zero
+// findings and a fully-justified inventory.
+
+pub fn justified_block(p: *const u32) -> u32 {
+    // SAFETY: callers hand us a pointer derived from a live &u32, so the
+    // read is in-bounds and aligned. (Multi-line justifications are fine —
+    // the whole contiguous comment block above the site is searched.)
+    unsafe { *p }
+}
+
+/// Frees the buffer.
+///
+/// # Safety
+///
+/// `p` must come from `alloc_buffer` and not have been freed already.
+pub unsafe fn justified_fn(p: *mut u8) {
+    let _ = p;
+}
+
+struct Wrapper(*const ());
+
+// SAFETY: the pointee is never dereferenced off-thread; only the address
+// travels.
+#[allow(dead_code)]
+unsafe impl Send for Wrapper {}
+
+// SAFETY: implementors promise the id is unique for the process lifetime.
+unsafe trait Contract {}

@@ -1,0 +1,19 @@
+// Fixture: things that *look* like unsafe sites but are not. Expect zero
+// findings and an empty unsafe inventory.
+
+// The word unsafe { } in a comment is prose, not code.
+
+pub fn strings_and_docs() -> &'static str {
+    let _raw = r#"unsafe { transmute() } inside a raw string"#;
+    let _bytes = b"unsafe { } in a byte string";
+    "unsafe { *ptr }"
+}
+
+/* Block comments mentioning unsafe impl Send are prose too,
+   /* even nested ones: unsafe trait X {} */
+   still prose. */
+
+/// Function *pointer types* are types, not sites with bodies to justify.
+pub struct Table {
+    pub call: Option<unsafe fn(*const (), usize)>,
+}

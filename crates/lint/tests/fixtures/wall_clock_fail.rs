@@ -1,0 +1,15 @@
+// Fixture (scanned outside the bench crates): wall-clock reads in
+// logical-round code. Expect five wall-clock findings — the rule is
+// token-based, so the two `use` paths, the return type, and both call
+// sites each count.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn stamp() -> (Instant, u64) {
+    let now = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (Instant::now(), now)
+}

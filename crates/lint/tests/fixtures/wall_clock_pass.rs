@@ -1,0 +1,16 @@
+// Fixture: logical time only — round counters and simulated clocks, no
+// std::time reads. Expect zero findings. (The same source scanned under
+// crates/bench/ would pass even with real Instant reads.)
+
+pub struct LogicalClock {
+    round: u64,
+}
+
+impl LogicalClock {
+    pub fn tick(&mut self) -> u64 {
+        // "Instant" in a comment or string is prose, not a wall-clock read.
+        let _label = "not an Instant::now call";
+        self.round += 1;
+        self.round
+    }
+}

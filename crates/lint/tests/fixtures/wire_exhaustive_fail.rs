@@ -1,0 +1,31 @@
+// Fixture (scanned as a codec file): the silent-drift class. `extra` was
+// added to the struct and the encoder, but the decoder was never updated —
+// and `encode_orphan` has no decoder at all. Expect two wire-exhaustive
+// findings.
+
+pub struct Frame {
+    pub version: u32,
+    pub payload: Vec<u8>,
+    pub extra: u64,
+}
+
+pub fn encode_frame(f: &Frame, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&f.version.to_le_bytes());
+    buf.extend_from_slice(&(f.payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&f.payload);
+    buf.extend_from_slice(&f.extra.to_le_bytes());
+}
+
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, String> {
+    let version = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let payload = buf[12..].to_vec();
+    Ok(Frame::with_defaults(version, payload))
+}
+
+pub struct Orphan {
+    pub id: u64,
+}
+
+pub fn encode_orphan(o: &Orphan, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&o.id.to_le_bytes());
+}

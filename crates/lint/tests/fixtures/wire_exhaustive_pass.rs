@@ -1,0 +1,29 @@
+// Fixture: a symmetric codec — every field of `Frame` appears in both the
+// encode and decode paths, and put_/get_ helpers pair up. Expect zero
+// findings.
+
+pub struct Frame {
+    pub version: u32,
+    pub payload: Vec<u8>,
+}
+
+pub fn encode_frame(f: &Frame, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&f.version.to_le_bytes());
+    put_bytes(buf, &f.payload);
+}
+
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, String> {
+    let version = u32::from_le_bytes(buf[0..4].try_into().map_err(|_| "short")?);
+    let payload = get_bytes(&buf[4..])?;
+    Ok(Frame { version, payload })
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn get_bytes(buf: &[u8]) -> Result<Vec<u8>, String> {
+    let len = u64::from_le_bytes(buf[0..8].try_into().map_err(|_| "short")?) as usize;
+    Ok(buf[8..8 + len].to_vec())
+}

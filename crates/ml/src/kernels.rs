@@ -313,6 +313,10 @@ fn dot_main_scalar(x: &[f32], y: &[f32], chunks: usize) -> f32 {
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_main_avx2(x: &[f32], y: &[f32], chunks: usize) -> f32 {
     use std::arch::x86_64::*;
+    // SAFETY: the `#[target_feature]` gate is discharged by the caller (this
+    // fn's own contract), and every `loadu` reads 8 floats at `off + v*8 + 7
+    // < chunks * DOT_LANES <= x.len(), y.len()` — in-bounds for both slices
+    // since the dispatcher only passes `chunks = len / DOT_LANES`.
     unsafe {
         let (xp, yp) = (x.as_ptr(), y.as_ptr());
         let mut acc = [_mm256_setzero_ps(); DOT_LANES / 8];
@@ -571,6 +575,12 @@ unsafe fn tile_nn_avx2(
     acc: bool,
 ) {
     use std::arch::x86_64::*;
+    // SAFETY: the feature gate is this fn's own `# Safety` contract. All
+    // raw reads/writes stay inside the caller-asserted tile: B is read at
+    // `p * b_stride + bj + 0..16` (in-bounds both for a packed `k × NR`
+    // panel, `bj = 0`, and for the full operand, `bj = j0 ≤ n - NR`); A at
+    // `(row0 + i) * k + p`; `group` is written only at `i * n + j0 .. +16`
+    // for `i < MR`, inside the caller-verified `MR × n` chunk.
     unsafe {
         let mut sums = [[_mm256_setzero_ps(); 2]; MR];
         if acc {
@@ -786,6 +796,10 @@ unsafe fn tile_tn_avx2(
     j0: usize,
 ) {
     use std::arch::x86_64::*;
+    // SAFETY: feature gate discharged by this fn's `# Safety` contract. B is
+    // row-major `k × n` read at `p * n + j0 .. +16` with `j0 + 15 < n`
+    // guaranteed by the 16-wide dispatch; A reads are `p * m + row0 + i`
+    // with `row0 + MR <= m`; `group` writes mirror the scalar tile exactly.
     unsafe {
         let mut acc = [[_mm256_setzero_ps(); 2]; MR];
         for (i, lanes) in acc.iter_mut().enumerate() {

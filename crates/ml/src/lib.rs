@@ -81,6 +81,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod gradient;
 pub mod init;
 pub mod kernels;

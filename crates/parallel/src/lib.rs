@@ -41,6 +41,8 @@
 //! calling thread after the whole fan-out drains, matching the scoped-thread
 //! behaviour this pool replaced.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
@@ -210,6 +212,10 @@ fn spawn_worker(index: usize, queue: &'static WorkerQueue) {
             // cannot happen before this slot's `fetch_sub` below.
             let header = unsafe { &*job.header };
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: `header.run` is always `call_slot::<F>` paired by
+                // `fan_out` with a `header.ctx` erased from the same `&F`,
+                // which the same liveness argument as above keeps valid for
+                // the duration of this call.
                 run_as_worker(|| unsafe { (header.run)(header.ctx, job.slot) });
             }));
             if let Err(payload) = outcome {
@@ -230,6 +236,14 @@ fn spawn_worker(index: usize, queue: &'static WorkerQueue) {
         .expect("failed to spawn fleet-parallel worker");
 }
 
+/// Un-erases the fan-out closure and runs one slot of it.
+///
+/// # Safety
+///
+/// `ctx` must be the pointer `fan_out::<F>` erased from `&F` — same `F`, so
+/// the cast below restores the original type — and that `F` must still be
+/// alive, which `fan_out` guarantees by not returning until every slot has
+/// decremented `remaining`.
 unsafe fn call_slot<F: Fn(usize) + Sync>(ctx: *const (), slot: usize) {
     // SAFETY: `ctx` was erased from `&F` by `fan_out`, which outlives us.
     unsafe { (*ctx.cast::<F>())(slot) }
@@ -295,6 +309,10 @@ impl<T> Copy for SendPtr<T> {}
 // SAFETY: see the struct docs — every dereference targets a slot-private
 // disjoint range of the pointee.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing the wrapper between threads only shares the *address*;
+// the disjoint-slot discipline above means no two threads ever form
+// references to the same element through it, so `&SendPtr<T>` is as safe to
+// share as the `usize` it wraps.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 // ---------------------------------------------------------------------------

@@ -154,6 +154,9 @@ impl SlopePredictor {
 
     fn export_state(&self) -> SlopePredictorState {
         let mut personal: Vec<(String, Vec<f32>, u64)> = self
+            // lint:allow(det-collections): order-insensitive — the export is
+            // sorted by model name below before anything observes it
+            // (regression: tests/determinism.rs iprof_personal_models_*).
             .personal
             .iter()
             .map(|(name, pa)| (name.clone(), pa.coefficients().to_vec(), pa.updates()))

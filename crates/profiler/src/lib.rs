@@ -26,6 +26,8 @@
 //! [`maui::Maui`] implements the comparison profiler: a single linear
 //! regression on the mini-batch size alone (the paper's adaptation of MAUI).
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod iprof;
 pub mod linreg;

@@ -18,6 +18,8 @@
 //! 5. the worker computes the gradient and returns a [`protocol::TaskResult`],
 //!    which the server folds into the model with AdaSGD's weight.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod controller;
 pub mod faults;

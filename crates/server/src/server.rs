@@ -373,6 +373,9 @@ impl FleetServer {
     /// models and controller counters all continue where they left off.
     pub fn checkpoint(&self) -> FleetServerState {
         let mut device_models: Vec<(u64, String)> = self
+            // lint:allow(det-collections): order-insensitive — the export is
+            // sorted by worker id two lines down before anything observes it
+            // (regression: tests/determinism.rs checkpoint_device_models_*).
             .device_models
             .iter()
             .map(|(&id, model)| (id, model.clone()))

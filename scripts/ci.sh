@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate for the FLeet reproduction workspace.
 #
-#   scripts/ci.sh           full gate: fmt, clippy, build, tier-1 tests,
+#   scripts/ci.sh           full gate: fmt, clippy, build, fleet-lint
+#                           (workspace invariant rules, also emitting
+#                           fleet_lint_findings.json), tier-1 tests,
 #                           scalar-forced parity suites, determinism digest
 #                           sweep (threads x SIMD; shard + CNN-training +
 #                           per-shard digests, checked against the pinned
@@ -9,9 +11,9 @@
 #                           smoke writing BENCH_kernels.json,
 #                           BENCH_shards.json and BENCH_conv.json
 #   scripts/ci.sh --quick   skip the digest sweep and the bench smoke (the
-#                           scalar-forced parity suites still run: on hosts
-#                           whose dispatcher auto-selects AVX2, tier-1 alone
-#                           never exercises the fallback path)
+#                           scalar-forced parity suites and fleet-lint still
+#                           run: on hosts whose dispatcher auto-selects AVX2,
+#                           tier-1 alone never exercises the fallback path)
 #
 # Env knobs:
 #   FLEET_BENCH_COMPARE=1       diff each fresh BENCH_*.json against the
@@ -47,6 +49,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
+
+# The workspace invariant gate: unsafe-audit, hash-iteration, wall-clock,
+# thread-hygiene and wire-symmetry rules (see crates/lint/README.md). Runs in
+# quick mode too — it is fast and these are exactly the invariants the digest
+# sweep below depends on. The full gate additionally emits the machine-
+# readable findings/audit record next to the bench JSON.
+echo "==> fleet-lint (workspace invariant gate)"
+cargo run --release -q -p fleet-lint
+if [[ "${1:-}" != "--quick" ]]; then
+    cargo run --release -q -p fleet-lint -- --json > fleet_lint_findings.json
+    echo "==> wrote fleet_lint_findings.json"
+fi
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q
