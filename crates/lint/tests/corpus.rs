@@ -89,6 +89,19 @@ fn wall_clock_fixtures() {
     let criterion = lint_fixture("wall_clock_fail.rs", "crates/compat/criterion/src/x.rs");
     assert_clean(&criterion, "wall_clock_fail.rs under compat/criterion");
 
+    // The transport's exemption is a single file — its socket-deadline
+    // module — not the whole crate: the same clock reads are still findings
+    // one file over.
+    let deadline = lint_fixture("wall_clock_fail.rs", "crates/transport/src/deadline.rs");
+    assert_clean(&deadline, "wall_clock_fail.rs as transport/src/deadline.rs");
+    let transport_elsewhere = lint_fixture("wall_clock_fail.rs", "crates/transport/src/server.rs");
+    assert_eq!(
+        rule_counts(&transport_elsewhere, "wall-clock"),
+        5,
+        "the rest of the transport crate is not wall-clock exempt: {:#?}",
+        transport_elsewhere.findings
+    );
+
     let pass = lint_fixture("wall_clock_pass.rs", "crates/server/src/x.rs");
     assert_clean(&pass, "wall_clock_pass.rs");
 }
@@ -103,9 +116,12 @@ fn thread_hygiene_fixtures() {
         fail.findings
     );
 
-    // The pool crate owns threading.
+    // The pool crate owns threading, and the socket transport's
+    // thread-per-connection server does too.
     let pool = lint_fixture("thread_hygiene_fail.rs", "crates/parallel/src/x.rs");
     assert_clean(&pool, "thread_hygiene_fail.rs under crates/parallel");
+    let transport = lint_fixture("thread_hygiene_fail.rs", "crates/transport/src/x.rs");
+    assert_clean(&transport, "thread_hygiene_fail.rs under crates/transport");
 
     let pass = lint_fixture("thread_hygiene_pass.rs", "crates/ml/src/x.rs");
     assert_clean(&pass, "thread_hygiene_pass.rs");

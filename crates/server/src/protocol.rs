@@ -58,6 +58,40 @@
 //!
 //! A v1 peer keeps decoding everything a lockstep, pre-lease deployment
 //! produces; v3 is only on the wire once the server actually issues task ids.
+//!
+//! The server→worker messages have their own single-version line
+//! (`RESPONSE_WIRE_VERSION` in [`crate::wire`]) covering [`TaskResponse`]
+//! and [`ResultAck`] — they never cross a version boundary the
+//! request/result line doesn't.
+//!
+//! # Connection-level events
+//!
+//! Over a real transport (`fleet-transport`), the fault model extends from
+//! messages to *connections*. The dispositions above stay the single source
+//! of truth; connection events only decide when leases are force-reclaimed
+//! and when a peer is cut off:
+//!
+//! | event                              | server reaction                    |
+//! |------------------------------------|------------------------------------|
+//! | disconnect (clean close or crash)  | every lease issued over that       |
+//! |                                    | connection is force-reclaimed; a   |
+//! |                                    | straggler upload gets `Expired`    |
+//! | torn frame (EOF mid-frame)         | connection dropped; leases         |
+//! |                                    | reclaimed as above                 |
+//! | malformed/oversized frame, unknown | best-effort `Error` frame, then    |
+//! | kind, undecodable payload          | the connection is dropped          |
+//! | frame stalled past the read budget | connection dropped (slow-loris     |
+//! |                                    | defence); *idle between frames is  |
+//! |                                    | not a fault — workers compute*     |
+//! | saturated shard at request time    | `Overloaded` rejection travels the |
+//! |                                    | wire as an ordinary `TaskResponse` |
+//! | server drain/shutdown              | pending shard gradients flushed,   |
+//! |                                    | checkpoint written, socket closed  |
+//!
+//! No event in this table can take down the accept loop or another
+//! connection, and none of them perturbs the model trajectory: a reclaimed
+//! lease is the same logical event as a timed-out one, and an `Overloaded`
+//! rejection leaves no trace in the parameter server.
 
 use fleet_data::LabelDistribution;
 use fleet_device::DeviceFeatures;

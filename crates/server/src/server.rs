@@ -361,6 +361,31 @@ impl FleetServer {
         &self.tasks
     }
 
+    /// Force-reclaims an outstanding task lease, returning whether anything
+    /// was reclaimed. The socket transport calls this for every lease still
+    /// in flight on a connection that disconnected (or blew its deadline):
+    /// the dead worker's task re-enters the pool immediately through the
+    /// same expired-set path a timed-out lease takes, so a straggler result
+    /// from a resurrected worker is classified `Expired`, never applied.
+    pub fn reclaim_task(&mut self, task_id: u64) -> bool {
+        self.tasks.reclaim(task_id).is_some()
+    }
+
+    /// Drains the parameter server ahead of a shutdown: in per-shard mode
+    /// every shard with buffered gradients is flushed (applied) so the
+    /// checkpoint captures their effect; in lockstep mode partially
+    /// aggregated gradients are part of the deterministic trajectory and are
+    /// checkpointed as pending instead. Returns the number of shards
+    /// flushed.
+    pub fn drain(&mut self) -> usize {
+        match self.config.apply_mode {
+            ApplyMode::Lockstep => 0,
+            ApplyMode::PerShard => (0..self.parameter_server.num_shards())
+                .filter(|&shard| self.parameter_server.flush_shard(shard))
+                .count(),
+        }
+    }
+
     /// Min-over-shards applied-update frontier (see
     /// [`fleet_core::ParameterServer::updates_applied`]).
     pub fn updates_applied(&self) -> u64 {
@@ -793,6 +818,72 @@ mod tests {
         }
         assert_eq!(server.controller().rejected_for_overload(), 1);
         assert_eq!(server.controller().rejected(), 1);
+    }
+
+    #[test]
+    fn reclaimed_tasks_reject_the_dead_workers_straggler() {
+        // A worker disconnects mid-task: the transport reclaims its lease,
+        // and a late upload (the worker came back) is Expired, not applied.
+        let (mut server, mut workers, _) = build_world(2);
+        let assignment = match server.handle_request(&workers[0].request()) {
+            TaskResponse::Assignment(a) => a,
+            TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+        };
+        assert!(server.reclaim_task(assignment.task_id));
+        assert!(!server.reclaim_task(assignment.task_id), "idempotent");
+        assert_eq!(server.tasks().outstanding_len(), 0);
+        assert_eq!(server.tasks().expired_len(), 1);
+
+        let straggler = workers[0].execute(&assignment).unwrap();
+        let before = server.parameters().to_vec();
+        let ack = server.handle_result(straggler);
+        assert_eq!(ack.disposition, ResultDisposition::Expired);
+        assert_eq!(server.parameters(), before.as_slice());
+
+        // The freed worker immediately gets a fresh lease.
+        assert!(matches!(
+            server.handle_request(&workers[0].request()),
+            TaskResponse::Assignment(_)
+        ));
+    }
+
+    #[test]
+    fn drain_flushes_per_shard_pending_and_noops_in_lockstep() {
+        let (base, mut workers, _) = build_world(2);
+        let mut lockstep = FleetServer::new(
+            base.parameters().to_vec(),
+            FleetServerConfig {
+                aggregation_k: 2,
+                ..base.config().clone()
+            },
+        );
+        if let TaskResponse::Assignment(a) = lockstep.handle_request(&workers[0].request()) {
+            lockstep.handle_result(workers[0].execute(&a).unwrap());
+        }
+        let before = lockstep.parameters().to_vec();
+        assert_eq!(lockstep.drain(), 0, "lockstep pending is checkpointable");
+        assert_eq!(lockstep.parameters(), before.as_slice());
+
+        let mut per_shard = FleetServer::new(
+            base.parameters().to_vec(),
+            FleetServerConfig {
+                aggregation_k: 2,
+                shards: 2,
+                apply_mode: ApplyMode::PerShard,
+                ..base.config().clone()
+            },
+        );
+        if let TaskResponse::Assignment(a) = per_shard.handle_request(&workers[1].request()) {
+            per_shard.handle_result(workers[1].execute(&a).unwrap());
+        }
+        let before = per_shard.parameters().to_vec();
+        assert_eq!(per_shard.drain(), 2, "both shards held a buffered gradient");
+        assert_ne!(
+            per_shard.parameters(),
+            before.as_slice(),
+            "the flushed gradient reaches the model before the checkpoint"
+        );
+        assert_eq!(per_shard.drain(), 0, "nothing left to flush");
     }
 
     #[test]

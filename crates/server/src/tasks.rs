@@ -92,6 +92,18 @@ impl TaskTable {
         reclaimed
     }
 
+    /// Force-reclaims one outstanding lease regardless of its deadline,
+    /// returning it — the transport calls this when the connection that was
+    /// issued the task dies, so the work re-enters the pool immediately
+    /// instead of waiting out the logical deadline. Completed, already
+    /// expired and unknown ids are left untouched (`None`): a result that
+    /// raced the disconnect and got applied stays applied.
+    pub fn reclaim(&mut self, task_id: u64) -> Option<Lease> {
+        let lease = self.outstanding.remove(&task_id)?;
+        self.expired.insert(task_id);
+        Some(lease)
+    }
+
     /// Classifies a result for `task_id` from `worker_id`, updating the
     /// table: an outstanding lease held by that worker completes
     /// ([`ResultDisposition::Applied`]); everything else leaves the table
@@ -254,6 +266,33 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_round_leases_are_rejected() {
         TaskTable::new().issue(1, 0, 0);
+    }
+
+    #[test]
+    fn forced_reclaim_expires_an_outstanding_lease_before_its_deadline() {
+        let mut table = TaskTable::new();
+        let id = table.issue(4, 0, 99);
+        let lease = table.reclaim(id).expect("outstanding lease reclaims");
+        assert_eq!(lease.worker_id, 4);
+        assert_eq!(table.outstanding_len(), 0);
+        assert_eq!(table.expired_len(), 1);
+        // The dead worker's late retransmission is a straggler now.
+        assert_eq!(table.classify(id, 4), ResultDisposition::Expired);
+    }
+
+    #[test]
+    fn forced_reclaim_leaves_completed_and_unknown_ids_alone() {
+        let mut table = TaskTable::new();
+        let id = table.issue(4, 0, 99);
+        assert_eq!(table.classify(id, 4), ResultDisposition::Applied);
+        // A result that raced the disconnect and won stays applied.
+        assert_eq!(table.reclaim(id), None);
+        assert_eq!(table.classify(id, 4), ResultDisposition::Duplicate);
+        assert_eq!(table.reclaim(999), None);
+        // Reclaiming twice is a no-op, not a panic.
+        let other = table.issue(5, 0, 99);
+        assert!(table.reclaim(other).is_some());
+        assert_eq!(table.reclaim(other), None);
     }
 
     #[test]

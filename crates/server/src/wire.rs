@@ -6,7 +6,10 @@
 //! little-endian scalars, f32 slices packed raw. The format is versioned with
 //! a one-byte tag so it can evolve.
 
-use crate::protocol::{TaskRequest, TaskResult};
+use crate::protocol::{
+    RejectionReason, ResultAck, ResultDisposition, TaskAssignment, TaskRequest, TaskResponse,
+    TaskResult,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fleet_data::LabelDistribution;
 use fleet_device::DeviceFeatures;
@@ -33,6 +36,23 @@ const WIRE_VERSION_READ_CLOCK: u8 = 2;
 /// then the `u64` task id. As with v2, the encoder emits the oldest version
 /// able to carry the message, so id-less results stay on v1/v2 bytes.
 const WIRE_VERSION_TASK_ID: u8 = 3;
+
+/// Wire-format version of the server→worker messages ([`TaskResponse`] and
+/// [`ResultAck`]). These travelled in-process until the socket transport
+/// (`crates/transport`) needed them on the wire, so they start their own
+/// version line at 1; like the request/result codec, the format is
+/// append-only and the version byte comes first.
+const RESPONSE_WIRE_VERSION: u8 = 1;
+
+/// Variant tag of [`TaskResponse::Assignment`].
+const RESPONSE_TAG_ASSIGNMENT: u8 = 0;
+/// Variant tag of [`TaskResponse::Rejected`].
+const RESPONSE_TAG_REJECTED: u8 = 1;
+
+/// Variant tags of [`RejectionReason`].
+const REJECT_TAG_BATCH_TOO_SMALL: u8 = 0;
+const REJECT_TAG_TOO_SIMILAR: u8 = 1;
+const REJECT_TAG_OVERLOADED: u8 = 2;
 
 /// Errors produced while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +131,33 @@ pub(crate) fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, WireError> {
         return Err(WireError::UnexpectedEof);
     }
     Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Reads a probability vector and rebuilds the label distribution by scaling
+/// to counts (sufficient precision for similarity computation).
+///
+/// A genuine encoding only ever carries finite probabilities in `[0, 1]`, so
+/// anything else is rejected as corruption. The bound matters beyond hygiene:
+/// an adversarial f32 would saturate the count conversion at `u64::MAX` and
+/// overflow the total inside `LabelDistribution::from_counts`. After this
+/// check each count is at most `1e6` and the vector at most [`MAX_FIELD_LEN`]
+/// long, so the sum cannot overflow.
+fn get_label_distribution(buf: &mut Bytes) -> Result<LabelDistribution, WireError> {
+    let probabilities = get_f32_vec(buf)?;
+    if probabilities.is_empty() {
+        return Err(WireError::LengthOutOfBounds(0));
+    }
+    if let Some(bad) = probabilities
+        .iter()
+        .position(|p| !p.is_finite() || *p < 0.0 || *p > 1.0)
+    {
+        return Err(WireError::LengthOutOfBounds(bad));
+    }
+    let counts: Vec<u64> = probabilities
+        .iter()
+        .map(|p| (p * 1_000_000.0).round() as u64)
+        .collect();
+    Ok(LabelDistribution::from_counts(&counts))
 }
 
 pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
@@ -195,17 +242,7 @@ pub fn decode_request(mut buf: Bytes) -> Result<TaskRequest, WireError> {
         sum_max_freq_ghz: buf.get_f32_le(),
         energy_per_cpu_second: buf.get_f32_le(),
     };
-    let probabilities = get_f32_vec(&mut buf)?;
-    if probabilities.is_empty() {
-        return Err(WireError::LengthOutOfBounds(0));
-    }
-    // Reconstruct the distribution from its probability vector by scaling to
-    // counts (sufficient precision for similarity computation).
-    let counts: Vec<u64> = probabilities
-        .iter()
-        .map(|p| (p * 1_000_000.0).round().max(0.0) as u64)
-        .collect();
-    let label_distribution = LabelDistribution::from_counts(&counts);
+    let label_distribution = get_label_distribution(&mut buf)?;
     need(&buf, 8)?;
     let available_samples = buf.get_u64_le() as usize;
     Ok(TaskRequest {
@@ -292,15 +329,7 @@ pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
     let worker_id = buf.get_u64_le();
     let model_version = buf.get_u64_le();
     let gradient = Gradient::from_vec(get_f32_vec(&mut buf)?);
-    let probabilities = get_f32_vec(&mut buf)?;
-    if probabilities.is_empty() {
-        return Err(WireError::LengthOutOfBounds(0));
-    }
-    let counts: Vec<u64> = probabilities
-        .iter()
-        .map(|p| (p * 1_000_000.0).round().max(0.0) as u64)
-        .collect();
-    let label_distribution = LabelDistribution::from_counts(&counts);
+    let label_distribution = get_label_distribution(&mut buf)?;
     need(&buf, 8 + 4 + 4)?;
     let num_samples = buf.get_u64_le() as usize;
     let computation_seconds = buf.get_f32_le();
@@ -329,6 +358,164 @@ pub fn decode_result(mut buf: Bytes) -> Result<TaskResult, WireError> {
         energy_pct,
         read_clock,
         task_id,
+    })
+}
+
+/// Encodes a [`TaskAssignment`] into `buf` (the payload of a
+/// [`TaskResponse::Assignment`]).
+pub(crate) fn put_assignment(buf: &mut BytesMut, assignment: &TaskAssignment) {
+    buf.put_u64_le(assignment.task_id);
+    buf.put_u64_le(assignment.model_version);
+    buf.put_u64_le(assignment.mini_batch_size as u64);
+    put_f32_slice(buf, &assignment.model_parameters);
+    put_u64_slice(buf, &assignment.shard_clocks);
+}
+
+/// Decodes a [`TaskAssignment`] written by [`put_assignment`].
+pub(crate) fn get_assignment(buf: &mut Bytes) -> Result<TaskAssignment, WireError> {
+    need(buf, 3 * 8)?;
+    let task_id = buf.get_u64_le();
+    let model_version = buf.get_u64_le();
+    let mini_batch_size = buf.get_u64_le() as usize;
+    let model_parameters = get_f32_vec(buf)?;
+    let shard_clocks = get_u64_vec(buf)?;
+    Ok(TaskAssignment {
+        task_id,
+        model_parameters,
+        model_version,
+        shard_clocks,
+        mini_batch_size,
+    })
+}
+
+/// Encodes a [`TaskResponse`] (steps 2–4 of Fig. 2 as the server ships them
+/// back over a socket).
+///
+/// # Panics
+///
+/// Panics if the assignment's parameter vector exceeds [`MAX_FIELD_LEN`] —
+/// such a message could never decode.
+pub fn encode_response(response: &TaskResponse) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(RESPONSE_WIRE_VERSION);
+    match response {
+        TaskResponse::Assignment(assignment) => {
+            buf.put_u8(RESPONSE_TAG_ASSIGNMENT);
+            put_assignment(&mut buf, assignment);
+        }
+        TaskResponse::Rejected(reason) => {
+            buf.put_u8(RESPONSE_TAG_REJECTED);
+            match *reason {
+                RejectionReason::BatchTooSmall { proposed, minimum } => {
+                    buf.put_u8(REJECT_TAG_BATCH_TOO_SMALL);
+                    buf.put_u64_le(proposed as u64);
+                    buf.put_u64_le(minimum as u64);
+                }
+                RejectionReason::TooSimilar => buf.put_u8(REJECT_TAG_TOO_SIMILAR),
+                RejectionReason::Overloaded { shard } => {
+                    buf.put_u8(REJECT_TAG_OVERLOADED);
+                    buf.put_u64_le(shard as u64);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`TaskResponse`] from bytes produced by [`encode_response`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when the buffer is truncated, has an unknown
+/// version, or carries an unknown variant tag (reported as
+/// [`WireError::LengthOutOfBounds`] with the offending tag, matching the v3
+/// clock-flag idiom).
+pub fn decode_response(mut buf: Bytes) -> Result<TaskResponse, WireError> {
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != RESPONSE_WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    match buf.get_u8() {
+        RESPONSE_TAG_ASSIGNMENT => Ok(TaskResponse::Assignment(get_assignment(&mut buf)?)),
+        RESPONSE_TAG_REJECTED => {
+            need(&buf, 1)?;
+            let reason = match buf.get_u8() {
+                REJECT_TAG_BATCH_TOO_SMALL => {
+                    need(&buf, 16)?;
+                    RejectionReason::BatchTooSmall {
+                        proposed: buf.get_u64_le() as usize,
+                        minimum: buf.get_u64_le() as usize,
+                    }
+                }
+                REJECT_TAG_TOO_SIMILAR => RejectionReason::TooSimilar,
+                REJECT_TAG_OVERLOADED => {
+                    need(&buf, 8)?;
+                    RejectionReason::Overloaded {
+                        shard: buf.get_u64_le() as usize,
+                    }
+                }
+                tag => return Err(WireError::LengthOutOfBounds(tag as usize)),
+            };
+            Ok(TaskResponse::Rejected(reason))
+        }
+        tag => Err(WireError::LengthOutOfBounds(tag as usize)),
+    }
+}
+
+/// Encodes a [`ResultAck`] (the server's step-5 acknowledgement).
+pub fn encode_ack(ack: &ResultAck) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(RESPONSE_WIRE_VERSION);
+    buf.put_u64_le(ack.staleness);
+    // The bytes shim carries no f64 accessors; ship the raw IEEE bits.
+    buf.put_u64_le(ack.scaling_factor.to_bits());
+    buf.put_u8(ack.model_updated as u8);
+    buf.put_u64_le(ack.clock);
+    buf.put_u8(match ack.disposition {
+        ResultDisposition::Applied => 0,
+        ResultDisposition::Duplicate => 1,
+        ResultDisposition::Expired => 2,
+        ResultDisposition::Unsolicited => 3,
+    });
+    buf.freeze()
+}
+
+/// Decodes a [`ResultAck`] from bytes produced by [`encode_ack`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when the buffer is truncated, has an unknown
+/// version, or carries an out-of-range flag or disposition byte (reported as
+/// [`WireError::LengthOutOfBounds`] with the offending byte).
+pub fn decode_ack(mut buf: Bytes) -> Result<ResultAck, WireError> {
+    need(&buf, 1)?;
+    let version = buf.get_u8();
+    if version != RESPONSE_WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    need(&buf, 8 + 8 + 1 + 8 + 1)?;
+    let staleness = buf.get_u64_le();
+    let scaling_factor = f64::from_bits(buf.get_u64_le());
+    let model_updated = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        flag => return Err(WireError::LengthOutOfBounds(flag as usize)),
+    };
+    let clock = buf.get_u64_le();
+    let disposition = match buf.get_u8() {
+        0 => ResultDisposition::Applied,
+        1 => ResultDisposition::Duplicate,
+        2 => ResultDisposition::Expired,
+        3 => ResultDisposition::Unsolicited,
+        tag => return Err(WireError::LengthOutOfBounds(tag as usize)),
+    };
+    Ok(ResultAck {
+        staleness,
+        scaling_factor,
+        model_updated,
+        clock,
+        disposition,
     })
 }
 
@@ -376,6 +563,34 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn out_of_domain_probabilities_are_rejected_not_summed() {
+        // Corrupted-in-flight label distributions used to reach
+        // `LabelDistribution::from_counts` as saturated u64 counts and
+        // overflow its total; the decoder must reject them instead. Patch
+        // each probability slot of a valid encoding in turn.
+        let valid = encode_request(&sample_request()).to_vec();
+        let dist_len = sample_request().label_distribution.as_slice().len();
+        // version(1) + worker_id(8) + model(4 + 9) + features(5*4) + vec len(4)
+        let first_prob = 1 + 8 + 4 + "Galaxy S7".len() + 5 * 4 + 4;
+        for bad in [f32::MAX, f32::INFINITY, f32::NAN, -0.5, 1.5] {
+            for slot in 0..dist_len {
+                let mut raw = valid.clone();
+                let at = first_prob + slot * 4;
+                raw[at..at + 4].copy_from_slice(&bad.to_le_bytes());
+                assert!(
+                    matches!(
+                        decode_request(Bytes::from(raw)),
+                        Err(WireError::LengthOutOfBounds(_))
+                    ),
+                    "probability {bad} in slot {slot} must be rejected"
+                );
+            }
+        }
+        // In-range probabilities (the real encoding) still decode.
+        assert!(decode_request(Bytes::from(valid)).is_ok());
     }
 
     #[test]
@@ -510,6 +725,133 @@ mod tests {
         }
     }
 
+    fn sample_assignment() -> TaskAssignment {
+        TaskAssignment {
+            task_id: 9_001,
+            model_parameters: vec![0.5, -1.25, 3.75, 0.0],
+            model_version: 12,
+            shard_clocks: vec![12, 11, 12],
+            mini_batch_size: 96,
+        }
+    }
+
+    fn sample_ack() -> ResultAck {
+        ResultAck {
+            staleness: 3,
+            scaling_factor: 0.625,
+            model_updated: true,
+            clock: 41,
+            disposition: ResultDisposition::Applied,
+        }
+    }
+
+    #[test]
+    fn response_assignment_roundtrips_exactly() {
+        // The assignment's f32 parameters must survive bit-for-bit — the
+        // socket transport's digest parity depends on it.
+        let original = TaskResponse::Assignment(sample_assignment());
+        let decoded = decode_response(encode_response(&original)).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn response_rejections_roundtrip() {
+        for reason in [
+            RejectionReason::BatchTooSmall {
+                proposed: 3,
+                minimum: 16,
+            },
+            RejectionReason::TooSimilar,
+            RejectionReason::Overloaded { shard: 5 },
+        ] {
+            let original = TaskResponse::Rejected(reason);
+            assert_eq!(
+                decode_response(encode_response(&original)).unwrap(),
+                original
+            );
+        }
+    }
+
+    #[test]
+    fn ack_roundtrips_for_every_disposition() {
+        for disposition in [
+            ResultDisposition::Applied,
+            ResultDisposition::Duplicate,
+            ResultDisposition::Expired,
+            ResultDisposition::Unsolicited,
+        ] {
+            let mut original = sample_ack();
+            original.disposition = disposition;
+            original.model_updated = disposition == ResultDisposition::Applied;
+            assert_eq!(decode_ack(encode_ack(&original)).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn response_and_ack_reject_unknown_versions_and_tags() {
+        let mut raw =
+            encode_response(&TaskResponse::Rejected(RejectionReason::TooSimilar)).to_vec();
+        raw[0] = 99;
+        assert_eq!(
+            decode_response(Bytes::from(raw.clone())),
+            Err(WireError::UnsupportedVersion(99))
+        );
+        raw[0] = RESPONSE_WIRE_VERSION;
+        raw[1] = 7; // unknown variant tag
+        assert!(decode_response(Bytes::from(raw.clone())).is_err());
+        raw[1] = RESPONSE_TAG_REJECTED;
+        raw[2] = 9; // unknown rejection tag
+        assert!(decode_response(Bytes::from(raw)).is_err());
+
+        let mut ack_raw = encode_ack(&sample_ack()).to_vec();
+        ack_raw[0] = 42;
+        assert_eq!(
+            decode_ack(Bytes::from(ack_raw.clone())),
+            Err(WireError::UnsupportedVersion(42))
+        );
+        ack_raw[0] = RESPONSE_WIRE_VERSION;
+        let flag_offset = 1 + 8 + 8;
+        ack_raw[flag_offset] = 2; // model_updated must be 0 or 1
+        assert!(decode_ack(Bytes::from(ack_raw.clone())).is_err());
+        ack_raw[flag_offset] = 1;
+        let last = ack_raw.len() - 1;
+        ack_raw[last] = 4; // disposition out of range
+        assert!(decode_ack(Bytes::from(ack_raw)).is_err());
+    }
+
+    #[test]
+    fn response_truncation_errors_at_every_offset() {
+        let shapes = [
+            TaskResponse::Assignment(sample_assignment()),
+            TaskResponse::Rejected(RejectionReason::BatchTooSmall {
+                proposed: 1,
+                minimum: 2,
+            }),
+            TaskResponse::Rejected(RejectionReason::TooSimilar),
+            TaskResponse::Rejected(RejectionReason::Overloaded { shard: 0 }),
+        ];
+        for original in shapes {
+            let encoded = encode_response(&original);
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode_response(encoded.slice(0..cut)).is_err(),
+                    "response {original:?} cut at {cut} should fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ack_truncation_errors_at_every_offset() {
+        let encoded = encode_ack(&sample_ack());
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_ack(encoded.slice(0..cut)).is_err(),
+                "ack cut at {cut} should fail"
+            );
+        }
+    }
+
     #[test]
     fn empty_gradient_roundtrips() {
         let mut result = sample_result();
@@ -614,7 +956,52 @@ mod tests {
         #[test]
         fn prop_random_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_request(Bytes::from(raw.clone()));
-            let _ = decode_result(Bytes::from(raw));
+            let _ = decode_result(Bytes::from(raw.clone()));
+            let _ = decode_response(Bytes::from(raw.clone()));
+            let _ = decode_ack(Bytes::from(raw));
+        }
+
+        #[test]
+        fn prop_response_roundtrip(params in proptest::collection::vec(-10.0f32..10.0, 0..128),
+                                   task_id in any::<u64>(),
+                                   version in 0u64..10_000,
+                                   batch in 1usize..10_000,
+                                   clocks in proptest::collection::vec(0u64..1_000, 0..16)) {
+            let original = TaskResponse::Assignment(TaskAssignment {
+                task_id,
+                model_parameters: params,
+                model_version: version,
+                shard_clocks: clocks,
+                mini_batch_size: batch,
+            });
+            let decoded = decode_response(encode_response(&original)).unwrap();
+            prop_assert_eq!(decoded, original);
+        }
+
+        #[test]
+        fn prop_response_truncation_errors(params in proptest::collection::vec(-1.0f32..1.0, 0..32),
+                                           cut_seed in any::<u16>()) {
+            let mut assignment = sample_assignment();
+            assignment.model_parameters = params;
+            let encoded = encode_response(&TaskResponse::Assignment(assignment));
+            let cut = cut_seed as usize % encoded.len();
+            prop_assert!(decode_response(encoded.slice(0..cut)).is_err());
+        }
+
+        #[test]
+        fn prop_ack_roundtrip(staleness in any::<u64>(),
+                              scaling in -1.0f64..1.0,
+                              updated in any::<bool>(),
+                              clock in any::<u64>()) {
+            let original = ResultAck {
+                staleness,
+                scaling_factor: scaling,
+                model_updated: updated,
+                clock,
+                disposition: ResultDisposition::Applied,
+            };
+            let decoded = decode_ack(encode_ack(&original)).unwrap();
+            prop_assert_eq!(decoded, original);
         }
 
         #[test]

@@ -1,0 +1,407 @@
+//! The socket-facing server: an accept loop and one thread per connection,
+//! all multiplexed onto a single [`FleetServer`] core behind a mutex.
+//!
+//! ## Fault handling, per connection
+//!
+//! | event                                  | effect                         |
+//! |----------------------------------------|--------------------------------|
+//! | clean close (EOF on a frame boundary)  | connection ends, leases issued |
+//! |                                        | on it are reclaimed            |
+//! | torn frame / EOF mid-frame             | same, after a best-effort      |
+//! |                                        | `Error` frame                  |
+//! | oversized or malformed header          | same                           |
+//! | frame-read deadline expiry             | same                           |
+//! | malformed payload (wire decode error)  | same                           |
+//! | saturated shard on a request           | `Overloaded` rejection in a    |
+//! |                                        | `Response` frame; conn lives   |
+//!
+//! Nothing a single peer does can take down the accept loop or another
+//! connection. The core mutex serialises whole exchanges, so the byte-level
+//! trajectory of the model is exactly the one the same schedule produces
+//! in-process.
+
+use crate::conn::{Endpoint, Listener, Stream};
+use crate::deadline::DeadlineReader;
+use crate::frame::{
+    self, encode_status, read_frame, write_frame, FrameError, FrameKind, ServerStatus,
+};
+use bytes::Bytes;
+use fleet_server::protocol::{RejectionReason, TaskResponse};
+use fleet_server::{encode_checkpoint, FleetServer, FleetServerState, ResultDisposition};
+use std::collections::BTreeSet;
+use std::io;
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`TransportServer`].
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Hard bound on any received frame's declared length; longer headers
+    /// kill the connection before a body byte is read.
+    pub max_frame_len: usize,
+    /// Total wall-clock budget to receive one complete frame (header and
+    /// body), measured from its first byte. A connection idling *between*
+    /// frames is a worker computing and is left alone; a connection stalled
+    /// *mid-frame* is a slow-loris and is cut off.
+    pub read_budget: Duration,
+    /// Kernel timeout on any single write; a peer that stops draining its
+    /// receive buffer fails the write and loses the connection.
+    pub write_timeout: Duration,
+    /// When set, [`TransportServer::shutdown`] also persists the final
+    /// checkpoint (the binary `fleet_server::checkpoint` encoding) here.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_frame_len: frame::MAX_FRAME_LEN,
+            read_budget: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            checkpoint_path: None,
+        }
+    }
+}
+
+/// The mutable core every connection thread shares.
+struct Core {
+    server: FleetServer,
+    /// Completed protocol steps: applied results + terminal (non-overload)
+    /// rejections. See [`ServerStatus::steps`].
+    steps: u64,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    draining: AtomicBool,
+    /// `try_clone`d handles of every accepted connection, so shutdown can
+    /// force-close sockets that threads are blocked on. Dead entries are
+    /// harmless — `shutdown_both` on a closed socket is a no-op.
+    conns: Mutex<Vec<Stream>>,
+    /// Join handles of the connection threads.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    config: TransportConfig,
+}
+
+/// A [`FleetServer`] listening on a socket. Construct with
+/// [`TransportServer::bind`]; always end with [`TransportServer::shutdown`],
+/// which joins every thread and returns the drained core's checkpoint.
+pub struct TransportServer {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TransportServer {
+    /// Binds `endpoint` and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Whatever binding reports — notably `AddrInUse` when a UDS path
+    /// already exists (this function never deletes a path it did not
+    /// create; the caller owns stale-socket cleanup).
+    pub fn bind(
+        endpoint: &Endpoint,
+        server: FleetServer,
+        config: TransportConfig,
+    ) -> io::Result<Self> {
+        let (listener, resolved) = Listener::bind(endpoint)?;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core { server, steps: 0 }),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(TransportServer {
+            shared,
+            endpoint: resolved,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound endpoint (TCP port 0 resolved to the assigned port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Completed protocol steps so far (see [`ServerStatus::steps`]).
+    pub fn steps(&self) -> u64 {
+        self.shared.core.lock().expect("core mutex").steps
+    }
+
+    /// Whether a drain was requested — by [`TransportServer::shutdown`] or
+    /// by a client's `Shutdown` frame (the embedding process polls this to
+    /// decide when to actually shut down).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, force-closes every connection, joins every thread,
+    /// drains the core (per-shard pending gradients are flushed into the
+    /// model) and returns its checkpoint — also persisted to
+    /// [`TransportConfig::checkpoint_path`] when configured. For a UDS
+    /// endpoint the socket file is removed.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint persistence can fail; the teardown itself is
+    /// best-effort and infallible.
+    pub fn shutdown(mut self) -> io::Result<FleetServerState> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake the accept loop: it only observes the flag between accepts.
+        let _ = Stream::connect(&self.endpoint);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Force-close every connection; blocked handler threads wake with
+        // EOF/error, reclaim their leases and exit.
+        for conn in self.shared.conns.lock().expect("conns mutex").drain(..) {
+            conn.shutdown_both();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .handles
+            .lock()
+            .expect("handles mutex")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let state = {
+            let mut core = self.shared.core.lock().expect("core mutex");
+            core.server.drain();
+            core.server.checkpoint()
+        };
+        if let Some(path) = &self.shared.config.checkpoint_path {
+            std::fs::write(path, encode_checkpoint(&state).to_vec())?;
+        }
+        if let Endpoint::Uds(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(state)
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok(stream) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // The stream is dropped: during a drain new peers get an
+                    // immediate close, and the shutdown poke lands here.
+                    break;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().expect("conns mutex").push(clone);
+                }
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || serve_conn(&conn_shared, stream));
+                shared.handles.lock().expect("handles mutex").push(handle);
+            }
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                // A transient accept failure (EMFILE, aborted handshake)
+                // must not kill the server; yield and keep accepting.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// One connection's lifetime. Every fault path funnels to the same exit:
+/// best-effort `Error` frame, reclaim the leases issued on this connection,
+/// close the socket.
+fn serve_conn(shared: &Shared, mut stream: Stream) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    // Task ids assigned over this connection. On any disconnect they are
+    // force-reclaimed; ids whose results were applied are in the completed
+    // set by then, so reclaiming them is a no-op.
+    let mut issued: BTreeSet<u64> = BTreeSet::new();
+    loop {
+        // Wait indefinitely for the next frame to *start*: an idle worker is
+        // computing, not attacking. (Shutdown still wakes this read by
+        // force-closing the socket.) The deadline arms on the first byte.
+        let _ = stream.set_read_timeout(None);
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(1) => {}
+            // 0 bytes = clean close between frames; errors = reset or
+            // forced close. Either way the connection is over.
+            _ => break,
+        }
+        let frame = {
+            let mut reader = FrameInFlight {
+                first: Some(first[0]),
+                rest: DeadlineReader::new(&mut stream, shared.config.read_budget),
+            };
+            read_frame(&mut reader, shared.config.max_frame_len)
+        };
+        let outcome = match frame {
+            Ok((kind, payload)) => handle_frame(shared, kind, payload, &mut issued),
+            Err(FrameError::Closed) => break,
+            Err(err @ (FrameError::Io(_) | FrameError::Torn { .. })) => {
+                // The peer is gone or mid-crash; an Error frame would only
+                // race the close. Just drop the connection.
+                let _ = err;
+                break;
+            }
+            Err(err) => {
+                // Structural garbage from a live peer (oversized header,
+                // unknown kind, zero-length frame): tell it why, then cut it
+                // off.
+                let _ = write_frame(&mut stream, FrameKind::Error, err.to_string().as_bytes());
+                break;
+            }
+        };
+        match outcome {
+            ConnOutcome::Reply(kind, payload) => {
+                if write_frame(&mut stream, kind, &payload).is_err() {
+                    break;
+                }
+            }
+            ConnOutcome::Fatal(message) => {
+                let _ = write_frame(&mut stream, FrameKind::Error, message.as_bytes());
+                break;
+            }
+        }
+    }
+    if !issued.is_empty() {
+        let mut core = shared.core.lock().expect("core mutex");
+        for task_id in issued {
+            core.server.reclaim_task(task_id);
+        }
+    }
+    stream.shutdown_both();
+}
+
+/// Replays the frame's first byte (read without a deadline while the
+/// connection idled) ahead of the deadline-bounded remainder.
+struct FrameInFlight<'a> {
+    first: Option<u8>,
+    rest: DeadlineReader<'a>,
+}
+
+impl io::Read for FrameInFlight<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(byte) = self.first.take() {
+            if buf.is_empty() {
+                self.first = Some(byte);
+                return Ok(0);
+            }
+            buf[0] = byte;
+            return Ok(1);
+        }
+        self.rest.read(buf)
+    }
+}
+
+enum ConnOutcome {
+    /// Send this frame and keep serving.
+    Reply(FrameKind, Vec<u8>),
+    /// Send an `Error` frame with this message and close the connection.
+    Fatal(String),
+}
+
+fn handle_frame(
+    shared: &Shared,
+    kind: FrameKind,
+    payload: Vec<u8>,
+    issued: &mut BTreeSet<u64>,
+) -> ConnOutcome {
+    match kind {
+        FrameKind::Request => {
+            let mut core = shared.core.lock().expect("core mutex");
+            // `catch_unwind` *inside* the guard: a panic in the core (a bug,
+            // or input the decode layer failed to reject) stops at this
+            // boundary instead of unwinding through the guard and poisoning
+            // the mutex for every other connection. The offending peer is
+            // cut off; the server lives.
+            let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                core.server.handle_request_wire(Bytes::from(payload))
+            }));
+            let handled = match handled {
+                Ok(result) => result,
+                Err(_) => return ConnOutcome::Fatal("internal error handling request".into()),
+            };
+            match handled {
+                Ok(response) => {
+                    match &response {
+                        TaskResponse::Assignment(assignment) => {
+                            issued.insert(assignment.task_id);
+                        }
+                        // An overload rejection is backpressure, not an
+                        // answer: the worker still owes this exchange, so
+                        // the step counter must not move.
+                        TaskResponse::Rejected(RejectionReason::Overloaded { .. }) => {}
+                        // Terminal rejections consume the worker's turn.
+                        TaskResponse::Rejected(_) => core.steps += 1,
+                    }
+                    ConnOutcome::Reply(
+                        FrameKind::Response,
+                        fleet_server::wire::encode_response(&response).to_vec(),
+                    )
+                }
+                Err(err) => ConnOutcome::Fatal(format!("bad request payload: {err}")),
+            }
+        }
+        FrameKind::Result => {
+            let mut core = shared.core.lock().expect("core mutex");
+            let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                core.server.handle_result_wire(Bytes::from(payload))
+            }));
+            let handled = match handled {
+                Ok(result) => result,
+                Err(_) => return ConnOutcome::Fatal("internal error handling result".into()),
+            };
+            match handled {
+                Ok(ack) => {
+                    if ack.disposition == ResultDisposition::Applied {
+                        core.steps += 1;
+                    }
+                    ConnOutcome::Reply(
+                        FrameKind::Ack,
+                        fleet_server::wire::encode_ack(&ack).to_vec(),
+                    )
+                }
+                Err(err) => ConnOutcome::Fatal(format!("bad result payload: {err}")),
+            }
+        }
+        FrameKind::Status => {
+            let status = snapshot_status(shared);
+            ConnOutcome::Reply(FrameKind::StatusReply, encode_status(&status))
+        }
+        FrameKind::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let status = snapshot_status(shared);
+            ConnOutcome::Reply(FrameKind::StatusReply, encode_status(&status))
+        }
+        // Server→worker kinds arriving at the server are a protocol
+        // violation.
+        FrameKind::Response | FrameKind::Ack | FrameKind::StatusReply | FrameKind::Error => {
+            ConnOutcome::Fatal(format!(
+                "frame kind {} is server-to-worker only",
+                kind.as_byte()
+            ))
+        }
+    }
+}
+
+fn snapshot_status(shared: &Shared) -> ServerStatus {
+    let core = shared.core.lock().expect("core mutex");
+    ServerStatus {
+        steps: core.steps,
+        clock: core.server.clock(),
+        outstanding: core.server.tasks().outstanding_len() as u64,
+        draining: shared.draining.load(Ordering::SeqCst),
+    }
+}

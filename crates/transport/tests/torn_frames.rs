@@ -1,0 +1,163 @@
+//! Torn-frame / garbage-bytes fuzzing against a live server: every prefix
+//! of a valid frame, with and without random tails, is thrown at a real
+//! connection. The invariant under test is the robustness contract — a bad
+//! peer kills its own connection, never the server, and clean connections
+//! keep working throughout.
+
+mod common;
+
+use common::{base_config, build_workers, digest, fresh_server, uds_endpoint};
+use fleet_server::protocol::TaskResponse;
+use fleet_server::ResultDisposition;
+use fleet_transport::{
+    frame, FrameKind, Stream, TransportConfig, TransportServer, WorkerClient, MAX_FRAME_LEN,
+};
+use std::io::Write;
+use std::time::Duration;
+
+/// Tiny deterministic xorshift so the "random" tails are reproducible.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.next() & 0xff) as u8).collect()
+    }
+}
+
+/// One clean protocol exchange; proves the server is alive and consistent.
+fn clean_exchange(endpoint: &fleet_transport::Endpoint, worker: &mut fleet_server::Worker) {
+    let mut client = WorkerClient::new(endpoint.clone());
+    match client.request(&worker.request()).expect("request") {
+        TaskResponse::Assignment(a) => {
+            let ack = client
+                .submit(&worker.execute(&a).expect("execute"))
+                .expect("submit");
+            assert_eq!(ack.disposition, ResultDisposition::Applied);
+        }
+        TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+    }
+}
+
+#[test]
+fn every_prefix_of_a_valid_frame_leaves_the_server_standing() {
+    let server = TransportServer::bind(
+        &uds_endpoint("fuzz"),
+        fresh_server(base_config()),
+        TransportConfig {
+            // Keep the fuzz loop brisk: a torn prefix parks its connection
+            // until the frame deadline lapses, and the deadline threads all
+            // resolve concurrently.
+            read_budget: Duration::from_millis(200),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind");
+    let endpoint = server.endpoint().clone();
+    let mut fleet = build_workers(1);
+
+    // A genuine request frame, exactly as a well-behaved client sends it.
+    let payload = fleet[0].request_wire().to_vec();
+    let mut valid = Vec::new();
+    frame::write_frame(&mut valid, FrameKind::Request, &payload).expect("frame");
+
+    let mut rng = XorShift(0x5eed_f1ee7);
+    for cut in 0..valid.len() {
+        // The bare prefix (peer died mid-send) ...
+        let mut conn = Stream::connect(&endpoint).expect("connect");
+        conn.write_all(&valid[..cut]).expect("prefix");
+        drop(conn);
+
+        // ... and the prefix with a garbage tail (corruption in flight).
+        let mut conn = Stream::connect(&endpoint).expect("connect");
+        let mut corrupted = valid[..cut].to_vec();
+        let tail_len = 1 + (rng.next() as usize % 32);
+        corrupted.extend(rng.bytes(tail_len));
+        // The write may fail once the server cuts the connection mid-tail;
+        // that is the contract working, not a test failure.
+        let _ = conn.write_all(&corrupted);
+        drop(conn);
+
+        // Every 16th offset, prove a full clean exchange still works.
+        if cut % 16 == 0 {
+            clean_exchange(&endpoint, &mut fleet[0]);
+        }
+    }
+
+    // The server survived the whole barrage and still advances the model.
+    let before = server.steps();
+    clean_exchange(&endpoint, &mut fleet[0]);
+    assert_eq!(server.steps(), before + 1);
+    let state = server.shutdown().expect("shutdown");
+    assert_ne!(
+        digest(&state.parameter_server.parameters),
+        digest(&common::model_parameters()),
+        "the clean exchanges interleaved with the fuzzing must have applied"
+    );
+}
+
+#[test]
+fn hostile_headers_get_an_error_frame_then_the_boot() {
+    let server = TransportServer::bind(
+        &uds_endpoint("hostile"),
+        fresh_server(base_config()),
+        TransportConfig::default(),
+    )
+    .expect("bind");
+    let endpoint = server.endpoint().clone();
+    let mut fleet = build_workers(1);
+
+    let hostile: Vec<(&str, Vec<u8>)> = vec![
+        ("oversized length", {
+            let mut raw = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+            raw.push(FrameKind::Request.as_byte());
+            raw
+        }),
+        ("zero length", 0u32.to_le_bytes().to_vec()),
+        ("unknown kind", {
+            let mut raw = 2u32.to_le_bytes().to_vec();
+            raw.extend_from_slice(&[250, 0]);
+            raw
+        }),
+        ("well-framed garbage payload", {
+            let mut raw = Vec::new();
+            frame::write_frame(&mut raw, FrameKind::Request, &[0xde, 0xad, 0xbe, 0xef])
+                .expect("frame");
+            raw
+        }),
+        ("server-to-worker kind from a worker", {
+            let mut raw = Vec::new();
+            frame::write_frame(&mut raw, FrameKind::Ack, &[1, 2, 3]).expect("frame");
+            raw
+        }),
+    ];
+    for (what, bytes) in hostile {
+        let mut conn = Stream::connect(&endpoint).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        conn.write_all(&bytes).expect(what);
+        // The server answers with an Error frame, then closes.
+        let (kind, reply) = frame::read_frame(&mut conn, MAX_FRAME_LEN)
+            .unwrap_or_else(|e| panic!("{what}: expected an Error frame, got {e:?}"));
+        assert_eq!(kind, FrameKind::Error, "{what}");
+        assert!(!reply.is_empty(), "{what}: the diagnostic names the fault");
+        assert!(
+            matches!(
+                frame::read_frame(&mut conn, MAX_FRAME_LEN),
+                Err(frame::FrameError::Closed)
+            ),
+            "{what}: the connection must be closed after the Error frame"
+        );
+        // And the server is still there for honest peers.
+        clean_exchange(&endpoint, &mut fleet[0]);
+    }
+    server.shutdown().expect("shutdown");
+}

@@ -8,5 +8,9 @@
 //! * `staleness_awareness.rs` — AdaSGD vs DynSGD vs FedAvg under controlled staleness.
 //! * `profiler_slo.rs` — I-Prof vs MAUI predicting per-device mini-batch sizes.
 //! * `dp_training.rs` — differentially private Online FL.
+//! * `socket_demo.rs` — multi-process Online FL over the socket transport:
+//!   a `demo` mode proving cross-process digest parity and a `chaos` mode
+//!   exercising the fault-tolerance envelope (torn frames, dead peers,
+//!   overload) end to end.
 //!
 //! Run any of them with `cargo run -p fleet-examples --example <name>`.

@@ -7,9 +7,15 @@
 #                           scalar-forced parity suites, determinism digest
 #                           sweep (threads x SIMD; shard + CNN-training +
 #                           per-shard digests, checked against the pinned
-#                           values in scripts/expected_digests.txt), bench
+#                           values in scripts/expected_digests.txt), the
+#                           multi-process socket smoke (a TransportServer +
+#                           3 worker processes over UDS must reproduce the
+#                           pinned in-process digest bit-for-bit) and the
+#                           socket chaos smoke (torn frame, dead peer,
+#                           overload; run twice, digests must agree), bench
 #                           smoke writing BENCH_kernels.json,
-#                           BENCH_shards.json and BENCH_conv.json
+#                           BENCH_shards.json, BENCH_conv.json and
+#                           BENCH_transport.json
 #   scripts/ci.sh --quick   skip the digest sweep and the bench smoke (the
 #                           scalar-forced parity suites and fleet-lint still
 #                           run: on hosts whose dispatcher auto-selects AVX2,
@@ -123,6 +129,7 @@ if [[ "${1:-}" != "--quick" ]]; then
         chaos_p1_ref=""
         chaos_l2_ref=""
         chaos_p2_ref=""
+        socket_ref=""
     else
         shard_ref=$(expected_digest shard)
         cnn_ref=$(expected_digest cnn)
@@ -131,9 +138,10 @@ if [[ "${1:-}" != "--quick" ]]; then
         chaos_p1_ref=$(expected_digest chaos_p1)
         chaos_l2_ref=$(expected_digest chaos_l2)
         chaos_p2_ref=$(expected_digest chaos_p2)
+        socket_ref=$(expected_digest socket)
         if [[ -z "$shard_ref" || -z "$cnn_ref" || -z "$pershard_ref" ||
               -z "$chaos_l1_ref" || -z "$chaos_p1_ref" ||
-              -z "$chaos_l2_ref" || -z "$chaos_p2_ref" ]]; then
+              -z "$chaos_l2_ref" || -z "$chaos_p2_ref" || -z "$socket_ref" ]]; then
             echo "FAIL: scripts/expected_digests.txt is missing a pinned digest"
             exit 1
         fi
@@ -194,6 +202,52 @@ if [[ "${1:-}" != "--quick" ]]; then
             done
         done
     done
+    # Cross-process determinism: a real TransportServer plus three worker
+    # *processes* over a Unix socket must land on the pinned digest — the
+    # same trajectory the in-process protocol produces (the demo itself
+    # asserts socket == in-process; the pin catches silent drift of both).
+    echo "==> multi-process socket smoke (3 worker processes over uds)"
+    out=$(cargo run --release -q -p fleet-examples --example socket_demo -- demo) || {
+        echo "FAIL: multi-process socket demo"
+        exit 1
+    }
+    socket=$(grep -o 'socket digest: 0x[0-9a-f]*' <<<"$out" | head -1)
+    if [[ -z "$socket" ]]; then
+        echo "FAIL: socket demo printed no digest"
+        exit 1
+    fi
+    socket=${socket##* }
+    echo "    socket -> $socket"
+    if [[ -z "$socket_ref" ]]; then
+        socket_ref="$socket"
+    elif [[ "$socket" != "$socket_ref" ]]; then
+        echo "FAIL: socket digest drifted from $socket_ref"
+        exit 1
+    fi
+
+    # Fault tolerance under fire: the chaos choreography (worker killed
+    # mid-upload with a torn frame, dead peer's lease reclaimed, straggler
+    # upload expired, overload shed on the wire, duplicate deduplicated,
+    # garbage connection) must complete with the server alive — twice, with
+    # identical digests. The digest is checked for *stability*, not pinned:
+    # it asserts the faulty trajectory is deterministic on this host.
+    echo "==> socket chaos smoke (torn frame, dead peer, overload) x2"
+    chaos_digest() {
+        local out
+        out=$(cargo run --release -q -p fleet-examples --example socket_demo -- chaos) || {
+            echo "FAIL: socket chaos run"
+            exit 1
+        }
+        grep -o 'chaos digest: 0x[0-9a-f]*' <<<"$out" | head -1
+    }
+    chaos_a=$(chaos_digest)
+    chaos_b=$(chaos_digest)
+    if [[ -z "$chaos_a" || "$chaos_a" != "$chaos_b" ]]; then
+        echo "FAIL: chaos digest unstable across reruns ('$chaos_a' vs '$chaos_b')"
+        exit 1
+    fi
+    echo "    chaos -> ${chaos_a##* } (stable across reruns)"
+
     if [[ "${FLEET_PIN_DIGESTS:-0}" == "1" ]]; then
         # Keep the header comments, replace the pinned values.
         tmp=$(mktemp)
@@ -206,6 +260,7 @@ if [[ "${1:-}" != "--quick" ]]; then
             echo "chaos_p1 $chaos_p1_ref"
             echo "chaos_l2 $chaos_l2_ref"
             echo "chaos_p2 $chaos_p2_ref"
+            echo "socket $socket_ref"
         } >> "$tmp"
         mv "$tmp" scripts/expected_digests.txt
         echo "==> re-pinned scripts/expected_digests.txt (commit it deliberately)"
@@ -220,6 +275,7 @@ if [[ "${1:-}" != "--quick" ]]; then
     run_bench ml_kernels BENCH_kernels.json 200
     run_bench shards BENCH_shards.json 200
     run_bench conv BENCH_conv.json 400
+    run_bench transport BENCH_transport.json 200
 fi
 
 echo "==> CI gate passed"
