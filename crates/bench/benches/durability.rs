@@ -1,0 +1,124 @@
+//! The durability tax: full in-process protocol exchanges per second with
+//! journaling off, with every exchange write-ahead journaled, and with
+//! journaling plus a periodic checkpoint — the number later batching work
+//! is measured against.
+//!
+//! The exchange runs through the same wire entry points the transport uses
+//! (`handle_request_wire`/`handle_result_wire`), with the mini-batch clamped
+//! tiny, so the delta between modes is journal/checkpoint I/O, not model
+//! math. Fsync policy is `OnCheckpoint` (the production default): the
+//! journaled mode pays the write-path syscalls, the checkpoint mode
+//! additionally pays the fsync-and-rename every `CHECKPOINT_EVERY` applies.
+//!
+//! Run via `scripts/ci.sh` (or set `FLEET_BENCH_JSON=BENCH_durability.json`);
+//! timings are per-machine, so compare runs from the same host only.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fleet_data::partition::non_iid_shards;
+use fleet_data::synthetic::{generate, SyntheticSpec};
+use fleet_device::profile::catalogue;
+use fleet_device::Device;
+use fleet_durability::{DurabilityOptions, DurableStore, EventKind, FsyncPolicy};
+use fleet_ml::models::mlp_classifier;
+use fleet_server::protocol::TaskResponse;
+use fleet_server::{encode_checkpoint, FleetServer, FleetServerConfig, ResultDisposition, Worker};
+use std::sync::Arc;
+
+/// Checkpoint cadence of the `journal+ckpt` mode, matching the
+/// `DurabilityOptions` default.
+const CHECKPOINT_EVERY: u64 = 64;
+
+fn build_worker() -> Worker {
+    let dataset = Arc::new(generate(&SyntheticSpec::vector(4, 6, 160), 11));
+    let users = non_iid_shards(&dataset, 1, 2, 12);
+    let profiles = catalogue();
+    Worker::new(
+        0,
+        Device::new(profiles[0].clone(), 0),
+        Arc::clone(&dataset),
+        users.into_iter().next().expect("one shard"),
+        mlp_classifier(6, &[8], 4, 0),
+        100,
+    )
+}
+
+fn fresh_server() -> FleetServer {
+    FleetServer::new(
+        mlp_classifier(6, &[8], 4, 0).parameters(),
+        FleetServerConfig {
+            num_classes: 4,
+            ..FleetServerConfig::default()
+        },
+    )
+}
+
+fn durability_benches(c: &mut Criterion) {
+    for mode in ["off", "journal", "journal+ckpt"] {
+        c.bench_with_input(
+            BenchmarkId::new("durable_submits", mode),
+            &mode,
+            |b, &mode| {
+                let dir = std::env::temp_dir().join(format!(
+                    "fleet-bench-durable-{}-{}",
+                    std::process::id(),
+                    mode.replace('+', "-")
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut server = fresh_server();
+                let mut worker = build_worker();
+                let mut store = if mode == "off" {
+                    None
+                } else {
+                    let mut options = DurabilityOptions::new(dir.clone());
+                    options.fsync = FsyncPolicy::OnCheckpoint;
+                    let (mut store, _recovered) = DurableStore::open(&options).expect("open store");
+                    store
+                        .begin(encode_checkpoint(&server.checkpoint()), 0, 0)
+                        .expect("seal initial generation");
+                    Some(store)
+                };
+                let mut applied = 0u64;
+                b.iter(|| {
+                    let raw_request = worker.request_wire();
+                    let response = server
+                        .handle_request_wire(raw_request.clone())
+                        .expect("self-encoded request");
+                    let mut assignment = match response {
+                        TaskResponse::Assignment(a) => a,
+                        TaskResponse::Rejected(reason) => panic!("bench rejected: {reason:?}"),
+                    };
+                    if let Some(store) = store.as_mut() {
+                        store
+                            .append(EventKind::Request, raw_request)
+                            .expect("journal request");
+                    }
+                    // Clamp the workload so the measurement is protocol +
+                    // journal I/O time, not gradient math.
+                    assignment.mini_batch_size = assignment.mini_batch_size.min(8);
+                    let raw_result = worker.execute_wire(&assignment).expect("execute");
+                    let ack = server
+                        .handle_result_wire(raw_result.clone())
+                        .expect("self-encoded result");
+                    assert_eq!(ack.disposition, ResultDisposition::Applied);
+                    if let Some(store) = store.as_mut() {
+                        store
+                            .append(EventKind::Result, raw_result)
+                            .expect("journal result");
+                        applied += 1;
+                        if mode == "journal+ckpt" && applied.is_multiple_of(CHECKPOINT_EVERY) {
+                            store
+                                .checkpoint(encode_checkpoint(&server.checkpoint()), applied)
+                                .expect("periodic checkpoint");
+                        }
+                    }
+                    black_box(ack.model_updated);
+                });
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+}
+
+criterion_group!(benches, durability_benches);
+criterion_main!(benches);

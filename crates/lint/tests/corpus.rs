@@ -152,6 +152,65 @@ fn wire_exhaustive_fixtures() {
 }
 
 #[test]
+fn journal_codec_fixtures() {
+    // The durability codec is a policy codec file: a field dropped from the
+    // record decoder + an orphaned tombstone encoder must both fire there.
+    let fail = lint_fixture("journal_codec_fail.rs", "crates/durability/src/codec.rs");
+    assert_eq!(
+        rule_counts(&fail, "wire-exhaustive"),
+        2,
+        "{:#?}",
+        fail.findings
+    );
+    assert!(fail.findings.iter().any(|f| f.message.contains("`steps`")));
+    assert!(fail
+        .findings
+        .iter()
+        .any(|f| f.message.contains("encode_tombstone")));
+
+    // The identical source elsewhere in the crate is not wire-checked.
+    let elsewhere = lint_fixture("journal_codec_fail.rs", "crates/durability/src/store.rs");
+    assert_eq!(rule_counts(&elsewhere, "wire-exhaustive"), 0);
+
+    let pass = lint_fixture("journal_codec_pass.rs", "crates/durability/src/codec.rs");
+    assert_clean(&pass, "journal_codec_pass.rs");
+}
+
+#[test]
+fn durability_scope_fixtures() {
+    // The durability crate is fully in scope for the hygiene rules: the
+    // same fail fixtures that fire in the server crate fire there too.
+    let clock = lint_fixture("wall_clock_fail.rs", "crates/durability/src/store.rs");
+    assert_eq!(
+        rule_counts(&clock, "wall-clock"),
+        5,
+        "{:#?}",
+        clock.findings
+    );
+    let threads = lint_fixture("thread_hygiene_fail.rs", "crates/durability/src/x.rs");
+    assert_eq!(
+        rule_counts(&threads, "thread-hygiene"),
+        3,
+        "{:#?}",
+        threads.findings
+    );
+    let collections = lint_fixture("det_collections_fail.rs", "crates/durability/src/x.rs");
+    assert_eq!(
+        rule_counts(&collections, "det-collections"),
+        3,
+        "{:#?}",
+        collections.findings
+    );
+
+    // An fsync-latency clock read is waivable per site, with the reason
+    // kept on record — scoped rules, not blanket exemptions.
+    let waived = lint_fixture("durability_scope_pass.rs", "crates/durability/src/store.rs");
+    assert_clean(&waived, "durability_scope_pass.rs");
+    assert_eq!(waived.suppressed.len(), 1, "{:#?}", waived.suppressed);
+    assert!(waived.suppressed[0].reason.contains("telemetry"));
+}
+
+#[test]
 fn suppression_fixtures() {
     // Malformed or mistargeted markers never waive anything.
     let fail = lint_fixture("suppression_fail.rs", "crates/server/src/x.rs");
@@ -189,6 +248,9 @@ fn every_fixture_is_exercised() {
     let wired = [
         "det_collections_fail.rs",
         "det_collections_pass.rs",
+        "durability_scope_pass.rs",
+        "journal_codec_fail.rs",
+        "journal_codec_pass.rs",
         "suppression_fail.rs",
         "suppression_pass.rs",
         "thread_hygiene_fail.rs",

@@ -1,0 +1,13 @@
+// Fixture (scanned as a durability source file): the durability crate is
+// fully scoped for the wall-clock rule, so an fsync-adjacent timing read
+// needs a per-site justified marker. Expect zero live findings and one
+// suppression.
+
+pub fn fsync_with_stall_warning(file: &std::fs::File) -> std::io::Result<()> {
+    // lint:allow(wall-clock): fsync latency telemetry only — the measured
+    // duration is logged, never fed into recovery or replay decisions.
+    let started = std::time::Instant::now();
+    file.sync_all()?;
+    let _stalled_for = started.elapsed();
+    Ok(())
+}

@@ -1,0 +1,32 @@
+// Fixture (scanned as the durability codec file): drift in the journal
+// record codec. `steps` was added to the record and its encoder, but the
+// decoder was never taught about it — and `encode_tombstone` has no decoder
+// at all, so tombstones written today are unreadable on recovery. Expect
+// two wire-exhaustive findings.
+
+pub struct JournalRecord {
+    pub seq: u64,
+    pub payload: Vec<u8>,
+    pub steps: u64,
+}
+
+pub fn encode_journal_record(r: &JournalRecord, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&r.seq.to_le_bytes());
+    buf.extend_from_slice(&(r.payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&r.payload);
+    buf.extend_from_slice(&r.steps.to_le_bytes());
+}
+
+pub fn decode_journal_record(buf: &[u8]) -> Result<JournalRecord, String> {
+    let seq = u64::from_le_bytes(buf[0..8].try_into().map_err(|_| "short")?);
+    let payload = buf[16..].to_vec();
+    Ok(JournalRecord::with_defaults(seq, payload))
+}
+
+pub struct Tombstone {
+    pub generation: u64,
+}
+
+pub fn encode_tombstone(t: &Tombstone, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&t.generation.to_le_bytes());
+}

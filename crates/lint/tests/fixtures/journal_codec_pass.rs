@@ -1,0 +1,24 @@
+// Fixture: a symmetric journal-record codec — every field of
+// `JournalRecord` appears in both the encode and decode paths. Expect zero
+// findings.
+
+pub struct JournalRecord {
+    pub seq: u64,
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+pub fn encode_journal_record(r: &JournalRecord, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&r.seq.to_le_bytes());
+    buf.push(r.kind);
+    buf.extend_from_slice(&(r.payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&r.payload);
+}
+
+pub fn decode_journal_record(buf: &[u8]) -> Result<JournalRecord, String> {
+    let seq = u64::from_le_bytes(buf[0..8].try_into().map_err(|_| "short")?);
+    let kind = buf[8];
+    let len = u64::from_le_bytes(buf[9..17].try_into().map_err(|_| "short")?) as usize;
+    let payload = buf[17..17 + len].to_vec();
+    Ok(JournalRecord { seq, kind, payload })
+}

@@ -87,11 +87,27 @@
 //! |                                    | wire as an ordinary `TaskResponse` |
 //! | server drain/shutdown              | pending shard gradients flushed,   |
 //! |                                    | checkpoint written, socket closed  |
+//! | server process death (SIGKILL,     | with durability on                 |
+//! | power loss) mid-run                | (`fleet-transport`'s               |
+//! |                                    | `DurabilityOptions`): every        |
+//! |                                    | applied submission is already in   |
+//! |                                    | the write-ahead journal, so the    |
+//! |                                    | restarted process replays to the   |
+//! |                                    | exact pre-crash state              |
+//! | upload acked `Applied` before the  | the journal entry is written       |
+//! | crash, ack lost                    | *before* the ack, so replay        |
+//! |                                    | re-applies it and the worker's     |
+//! |                                    | retransmission gets `Duplicate`    |
+//! | request answered, response lost to | lease recovered from the journal,  |
+//! | the crash                          | left to expire; the worker's retry |
+//! |                                    | gets a fresh assignment            |
 //!
 //! No event in this table can take down the accept loop or another
 //! connection, and none of them perturbs the model trajectory: a reclaimed
-//! lease is the same logical event as a timed-out one, and an `Overloaded`
-//! rejection leaves no trace in the parameter server.
+//! lease is the same logical event as a timed-out one, an `Overloaded`
+//! rejection leaves no trace in the parameter server, and a crash-restart
+//! with durability on reproduces the uninterrupted trajectory bit-for-bit
+//! (CI pins this as the `chaos_kill` digest).
 
 use fleet_data::LabelDistribution;
 use fleet_device::DeviceFeatures;

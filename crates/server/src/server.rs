@@ -887,6 +887,60 @@ mod tests {
     }
 
     #[test]
+    fn lease_straddling_a_checkpoint_survives_restore() {
+        // Audit regression: a lease outstanding at checkpoint time must
+        // travel through the checkpoint codec intact — a restore must
+        // neither orphan the issued task id (the upload would come back
+        // `Unsolicited`) nor forget the dedup/expiry bookkeeping around it.
+        let (mut server, mut workers, _) = build_world(2);
+        let assignment = match server.handle_request(&workers[0].request()) {
+            TaskResponse::Assignment(a) => a,
+            TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+        };
+        let encoded = crate::checkpoint::encode_checkpoint(&server.checkpoint());
+        let state = crate::checkpoint::decode_checkpoint(encoded).expect("roundtrip");
+        assert_eq!(state.tasks.outstanding.len(), 1, "lease must be captured");
+
+        let mut restored = FleetServer::new(
+            vec![0.0; server.parameters().len()],
+            server.config().clone(),
+        );
+        restored.restore_checkpoint(state.clone());
+        assert_eq!(restored.tasks().outstanding_len(), 1);
+
+        // The pre-checkpoint upload applies exactly once after restore.
+        let result = workers[0].execute(&assignment).unwrap();
+        let ack = restored.handle_result(result.clone());
+        assert_eq!(ack.disposition, ResultDisposition::Applied);
+        assert_eq!(
+            restored.handle_result(result.clone()).disposition,
+            ResultDisposition::Duplicate
+        );
+        assert_eq!(restored.tasks().outstanding_len(), 0);
+        assert_eq!(restored.tasks().completed_len(), 1);
+
+        // Task-id continuity: the restored table never reuses the id.
+        match restored.handle_request(&workers[1].request()) {
+            TaskResponse::Assignment(next) => assert!(next.task_id > assignment.task_id),
+            TaskResponse::Rejected(r) => panic!("rejected: {r:?}"),
+        }
+
+        // The other deterministic fate: a restore that reclaims the lease
+        // (worker presumed dead) classifies the straggler Expired.
+        let mut reclaimed = FleetServer::new(
+            vec![0.0; server.parameters().len()],
+            server.config().clone(),
+        );
+        reclaimed.restore_checkpoint(state);
+        assert!(reclaimed.reclaim_task(assignment.task_id));
+        let straggler = workers[0].execute(&assignment).unwrap();
+        assert_eq!(
+            reclaimed.handle_result(straggler).disposition,
+            ResultDisposition::Expired
+        );
+    }
+
+    #[test]
     fn checkpoint_restore_resumes_bitwise() {
         // Crash-restart the server mid-run: encode the checkpoint through
         // the binary codec, restore into a freshly built server, and both

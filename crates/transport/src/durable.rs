@@ -1,0 +1,132 @@
+//! Glue between the [`TransportServer`] core and [`fleet_durability`]: crash
+//! recovery on startup and the journal/checkpoint bookkeeping the apply path
+//! carries per event.
+//!
+//! The replay contract mirrors the live `handle_frame` path exactly — same
+//! entry points, same step accounting — so `recover` is the live path run
+//! against journaled bytes instead of socket bytes. That is what makes a
+//! kill-restart run reproduce the uninterrupted run's digest bit-for-bit:
+//! the core never sees a different event sequence, only a differently
+//! sourced one.
+//!
+//! [`TransportServer`]: crate::server::TransportServer
+
+use bytes::Bytes;
+use fleet_durability::{DurabilityOptions, DurableStore, EventKind};
+use fleet_server::protocol::{RejectionReason, TaskResponse};
+use fleet_server::{decode_checkpoint, encode_checkpoint, FleetServer};
+use std::io;
+
+/// The durable half of the transport core, living inside the core mutex so
+/// journal order is exactly apply order.
+pub(crate) struct Durable {
+    pub(crate) store: DurableStore,
+    /// Applied steps between policy-driven checkpoints (0 = startup and
+    /// shutdown only).
+    pub(crate) checkpoint_every: u64,
+    /// The step counter when the last checkpoint was written.
+    pub(crate) steps_at_checkpoint: u64,
+}
+
+impl Durable {
+    /// Journals one applied event. Called *before* the reply frame is sent,
+    /// so an acknowledged exchange is always on disk (or in the kernel, per
+    /// fsync policy) — a reply can never outlive its journal entry.
+    pub(crate) fn append(&mut self, kind: EventKind, payload: Bytes) -> io::Result<u64> {
+        self.store.append(kind, payload)
+    }
+
+    /// Writes a cadence checkpoint when enough steps have passed since the
+    /// last one.
+    pub(crate) fn maybe_checkpoint(&mut self, server: &FleetServer, steps: u64) -> io::Result<()> {
+        if self.checkpoint_every == 0
+            || steps.saturating_sub(self.steps_at_checkpoint) < self.checkpoint_every
+        {
+            return Ok(());
+        }
+        self.force_checkpoint(server, steps)
+    }
+
+    /// Writes a checkpoint unconditionally (shutdown path).
+    pub(crate) fn force_checkpoint(&mut self, server: &FleetServer, steps: u64) -> io::Result<()> {
+        let payload = Bytes::from(encode_checkpoint(&server.checkpoint()).to_vec());
+        self.store.checkpoint(payload, steps)?;
+        self.steps_at_checkpoint = steps;
+        Ok(())
+    }
+}
+
+/// Recovers `server` from the durable directory and returns the live
+/// [`Durable`] plus the recovered step counter.
+///
+/// Recovery = restore the newest valid checkpoint, then replay the journal
+/// suffix through the same wire entry points the live path uses (with the
+/// same step accounting), then seal the result as a fresh checkpoint
+/// generation so the journal never grows without bound across restarts.
+///
+/// Replay is forgiving the same way the on-disk readers are: a record the
+/// core rejects ends the replay there (everything after it depended on state
+/// this build cannot reconstruct) instead of failing startup.
+pub(crate) fn recover(
+    server: &mut FleetServer,
+    options: &DurabilityOptions,
+) -> io::Result<(Durable, u64)> {
+    let (mut store, recovered) = DurableStore::open(options)?;
+
+    let mut steps = 0u64;
+    let mut covered_seq = 0u64;
+    if let Some(doc) = &recovered.checkpoint {
+        let state = decode_checkpoint(doc.payload.clone())
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        server.restore_checkpoint(state);
+        steps = doc.steps;
+        covered_seq = doc.seq;
+    }
+
+    for record in &recovered.records {
+        match record.kind {
+            EventKind::Request => {
+                match server.handle_request_wire(record.payload.clone()) {
+                    // Same accounting as the live path: terminal rejections
+                    // consume the worker's turn, overload does not.
+                    Ok(TaskResponse::Rejected(RejectionReason::Overloaded { .. })) => {}
+                    Ok(TaskResponse::Rejected(_)) => steps += 1,
+                    Ok(TaskResponse::Assignment(_)) => {}
+                    Err(_) => break,
+                }
+            }
+            EventKind::Result => match server.handle_result_wire(record.payload.clone()) {
+                Ok(ack) => {
+                    if ack.disposition == fleet_server::ResultDisposition::Applied {
+                        steps += 1;
+                    }
+                }
+                Err(_) => break,
+            },
+            EventKind::Reclaim => {
+                let raw = record.payload.to_vec();
+                let Ok(raw) = <[u8; 8]>::try_from(raw.as_slice()) else {
+                    break;
+                };
+                server.reclaim_task(u64::from_le_bytes(raw));
+            }
+        }
+        covered_seq = record.seq;
+    }
+
+    let payload = Bytes::from(encode_checkpoint(&server.checkpoint()).to_vec());
+    store.begin(payload, covered_seq, steps)?;
+    Ok((
+        Durable {
+            store,
+            checkpoint_every: options.checkpoint_every,
+            steps_at_checkpoint: steps,
+        },
+        steps,
+    ))
+}
+
+/// Encodes a reclaim record payload (8-byte LE task id).
+pub(crate) fn reclaim_payload(task_id: u64) -> Bytes {
+    Bytes::from(task_id.to_le_bytes().to_vec())
+}

@@ -35,6 +35,13 @@
 //! * **Shutdown drains**: [`TransportServer::shutdown`] stops accepting,
 //!   closes every connection, flushes per-shard pending gradients and
 //!   returns (optionally persists) a checkpoint.
+//! * **Server death is recoverable**: with [`TransportConfig::durability`]
+//!   set, every applied exchange is journaled (write-ahead, CRC-framed)
+//!   before its reply frame leaves, checkpoints land atomically on a step
+//!   cadence, and [`TransportServer::bind`] recovers checkpoint + journal
+//!   replay before the accept loop opens — a SIGKILLed server restarted
+//!   from disk reproduces the uninterrupted run's digest bit-for-bit, and a
+//!   pre-crash upload retransmitted after restart classifies `Duplicate`.
 //!
 //! Determinism note: the transport never reorders what the core applies —
 //! every request/result exchange runs under one mutex over the
@@ -46,6 +53,7 @@
 pub mod client;
 pub mod conn;
 pub mod deadline;
+pub(crate) mod durable;
 pub mod frame;
 pub mod server;
 
@@ -53,4 +61,7 @@ pub use client::{ClientConfig, ClientError, WorkerClient};
 pub use conn::{Endpoint, Stream};
 pub use deadline::DeadlineReader;
 pub use frame::{FrameError, FrameKind, ServerStatus, MAX_FRAME_LEN};
+// Re-exported so embedders configure durability without a direct
+// fleet-durability dependency.
+pub use fleet_durability::{DurabilityOptions, FsyncPolicy};
 pub use server::{TransportConfig, TransportServer};

@@ -19,13 +19,22 @@
 //! connection. The core mutex serialises whole exchanges, so the byte-level
 //! trajectory of the model is exactly the one the same schedule produces
 //! in-process.
+//!
+//! With [`TransportConfig::durability`] set, death of the server *process*
+//! joins the fault envelope: every applied exchange is journaled inside the
+//! core mutex before its reply frame leaves, checkpoints are written on a
+//! step cadence, and [`TransportServer::bind`] recovers
+//! checkpoint-plus-journal from disk before the accept loop opens (see
+//! [`crate::durable`]).
 
 use crate::conn::{Endpoint, Listener, Stream};
 use crate::deadline::DeadlineReader;
+use crate::durable::{self, reclaim_payload, Durable};
 use crate::frame::{
     self, encode_status, read_frame, write_frame, FrameError, FrameKind, ServerStatus,
 };
 use bytes::Bytes;
+use fleet_durability::{DurabilityOptions, EventKind};
 use fleet_server::protocol::{RejectionReason, TaskResponse};
 use fleet_server::{encode_checkpoint, FleetServer, FleetServerState, ResultDisposition};
 use std::collections::BTreeSet;
@@ -54,6 +63,12 @@ pub struct TransportConfig {
     /// When set, [`TransportServer::shutdown`] also persists the final
     /// checkpoint (the binary `fleet_server::checkpoint` encoding) here.
     pub checkpoint_path: Option<PathBuf>,
+    /// When set, the server is durable: [`TransportServer::bind`] recovers
+    /// checkpoint + write-ahead journal from this directory before
+    /// accepting, every applied exchange is journaled before its reply, and
+    /// checkpoints are written every
+    /// [`DurabilityOptions::checkpoint_every`] steps.
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for TransportConfig {
@@ -63,6 +78,7 @@ impl Default for TransportConfig {
             read_budget: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             checkpoint_path: None,
+            durability: None,
         }
     }
 }
@@ -73,6 +89,9 @@ struct Core {
     /// Completed protocol steps: applied results + terminal (non-overload)
     /// rejections. See [`ServerStatus::steps`].
     steps: u64,
+    /// The durable store, when configured — inside the mutex so journal
+    /// order is exactly apply order.
+    durable: Option<Durable>,
 }
 
 struct Shared {
@@ -103,15 +122,30 @@ impl TransportServer {
     ///
     /// Whatever binding reports — notably `AddrInUse` when a UDS path
     /// already exists (this function never deletes a path it did not
-    /// create; the caller owns stale-socket cleanup).
+    /// create; the caller owns stale-socket cleanup). With
+    /// [`TransportConfig::durability`] set, also whatever crash recovery
+    /// reports — recovery runs (and must succeed) before the endpoint is
+    /// bound, so a worker that can connect always sees recovered state.
     pub fn bind(
         endpoint: &Endpoint,
         server: FleetServer,
         config: TransportConfig,
     ) -> io::Result<Self> {
+        let mut server = server;
+        let (durable, steps) = match &config.durability {
+            Some(options) => {
+                let (durable, steps) = durable::recover(&mut server, options)?;
+                (Some(durable), steps)
+            }
+            None => (None, 0),
+        };
         let (listener, resolved) = Listener::bind(endpoint)?;
         let shared = Arc::new(Shared {
-            core: Mutex::new(Core { server, steps: 0 }),
+            core: Mutex::new(Core {
+                server,
+                steps,
+                durable,
+            }),
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             handles: Mutex::new(Vec::new()),
@@ -178,7 +212,18 @@ impl TransportServer {
         let state = {
             let mut core = self.shared.core.lock().expect("core mutex");
             core.server.drain();
-            core.server.checkpoint()
+            let state = core.server.checkpoint();
+            let Core {
+                server,
+                steps,
+                durable,
+            } = &mut *core;
+            if let Some(durable) = durable {
+                // Seal the drained state as the final generation so the next
+                // bind recovers it without replaying this run's journal.
+                durable.force_checkpoint(server, *steps)?;
+            }
+            state
         };
         if let Some(path) = &self.shared.config.checkpoint_path {
             std::fs::write(path, encode_checkpoint(&state).to_vec())?;
@@ -187,6 +232,37 @@ impl TransportServer {
             let _ = std::fs::remove_file(path);
         }
         Ok(state)
+    }
+
+    /// Tears the server down as a *crash* would: no drain, no final
+    /// checkpoint, and — unlike [`TransportServer::shutdown`] — the UDS
+    /// socket file is left on disk. The durable directory is frozen exactly
+    /// as an uncontrolled kill at this instant leaves it, which is what the
+    /// restart tests recover from. Threads are still joined so the process
+    /// can continue.
+    pub fn abort(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let _ = Stream::connect(&self.endpoint);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Freeze the journal before connections close: the disconnect
+        // reclaims that follow must not be journaled, exactly as a real kill
+        // would never get to journal them.
+        self.shared.core.lock().expect("core mutex").durable = None;
+        for conn in self.shared.conns.lock().expect("conns mutex").drain(..) {
+            conn.shutdown_both();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .handles
+            .lock()
+            .expect("handles mutex")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -277,8 +353,19 @@ fn serve_conn(shared: &Shared, mut stream: Stream) {
     }
     if !issued.is_empty() {
         let mut core = shared.core.lock().expect("core mutex");
+        let Core {
+            server, durable, ..
+        } = &mut *core;
         for task_id in issued {
-            core.server.reclaim_task(task_id);
+            if server.reclaim_task(task_id) {
+                if let Some(durable) = durable {
+                    // Best-effort: a reclaim that misses the journal is not
+                    // lost state, just a lease that replay re-issues as
+                    // outstanding — it re-expires through the lease clock,
+                    // the same path a crashed worker's lease always takes.
+                    let _ = durable.append(EventKind::Reclaim, reclaim_payload(task_id));
+                }
+            }
         }
     }
     stream.shutdown_both();
@@ -320,14 +407,20 @@ fn handle_frame(
 ) -> ConnOutcome {
     match kind {
         FrameKind::Request => {
+            let raw = Bytes::from(payload);
             let mut core = shared.core.lock().expect("core mutex");
+            let Core {
+                server,
+                steps,
+                durable,
+            } = &mut *core;
             // `catch_unwind` *inside* the guard: a panic in the core (a bug,
             // or input the decode layer failed to reject) stops at this
             // boundary instead of unwinding through the guard and poisoning
             // the mutex for every other connection. The offending peer is
             // cut off; the server lives.
             let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                core.server.handle_request_wire(Bytes::from(payload))
+                server.handle_request_wire(raw.clone())
             }));
             let handled = match handled {
                 Ok(result) => result,
@@ -344,7 +437,17 @@ fn handle_frame(
                         // the step counter must not move.
                         TaskResponse::Rejected(RejectionReason::Overloaded { .. }) => {}
                         // Terminal rejections consume the worker's turn.
-                        TaskResponse::Rejected(_) => core.steps += 1,
+                        TaskResponse::Rejected(_) => *steps += 1,
+                    }
+                    // Journal before replying: even a rejected request
+                    // mutates controller/profiler state, so replay needs it.
+                    if let Some(durable) = durable {
+                        if let Err(err) = durable.append(EventKind::Request, raw) {
+                            return ConnOutcome::Fatal(format!("journal append failed: {err}"));
+                        }
+                        if let Err(err) = durable.maybe_checkpoint(server, *steps) {
+                            return ConnOutcome::Fatal(format!("checkpoint failed: {err}"));
+                        }
                     }
                     ConnOutcome::Reply(
                         FrameKind::Response,
@@ -355,9 +458,15 @@ fn handle_frame(
             }
         }
         FrameKind::Result => {
+            let raw = Bytes::from(payload);
             let mut core = shared.core.lock().expect("core mutex");
+            let Core {
+                server,
+                steps,
+                durable,
+            } = &mut *core;
             let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                core.server.handle_result_wire(Bytes::from(payload))
+                server.handle_result_wire(raw.clone())
             }));
             let handled = match handled {
                 Ok(result) => result,
@@ -366,7 +475,18 @@ fn handle_frame(
             match handled {
                 Ok(ack) => {
                     if ack.disposition == ResultDisposition::Applied {
-                        core.steps += 1;
+                        *steps += 1;
+                    }
+                    // Journal whatever the disposition — even a Duplicate
+                    // exchange advances the logical clock's expiry sweep, so
+                    // replay must see it to reconverge bit-for-bit.
+                    if let Some(durable) = durable {
+                        if let Err(err) = durable.append(EventKind::Result, raw) {
+                            return ConnOutcome::Fatal(format!("journal append failed: {err}"));
+                        }
+                        if let Err(err) = durable.maybe_checkpoint(server, *steps) {
+                            return ConnOutcome::Fatal(format!("checkpoint failed: {err}"));
+                        }
                     }
                     ConnOutcome::Reply(
                         FrameKind::Ack,

@@ -17,6 +17,15 @@
 //!   off — and the server drains cleanly with a deterministic digest.
 //! * `turn <socket> <id> [torn]` — a single worker turn over raw frames,
 //!   optionally dying mid-upload (used by `chaos` as the crashing process).
+//! * `kill` — the durable-recovery showcase: a *durable* server process is
+//!   SIGKILLed mid-run, a second server process recovers checkpoint + journal
+//!   from disk, the workers ride their retry loops across the outage, and
+//!   the finished model reproduces the uninterrupted digest bit-for-bit
+//!   (pinned as `chaos_kill`).
+//! * `serve <socket> <dir>` — one durable server process (used by `kill` as
+//!   both the victim and the survivor): binds with a write-ahead journal
+//!   under `<dir>`, serves until a client requests shutdown, then drains
+//!   and prints its digest.
 //!
 //! Run with: `cargo run -p fleet-examples --example socket_demo -- demo`
 
@@ -26,10 +35,10 @@ use fleet_device::profile::catalogue;
 use fleet_device::Device;
 use fleet_ml::models::mlp_classifier;
 use fleet_server::protocol::{RejectionReason, TaskResponse};
-use fleet_server::{wire, FleetServer, FleetServerConfig, ResultDisposition, Worker};
+use fleet_server::{wire, FleetServer, FleetServerConfig, ResultDisposition, RetryPolicy, Worker};
 use fleet_transport::{
-    frame, Endpoint, FrameKind, Stream, TransportConfig, TransportServer, WorkerClient,
-    MAX_FRAME_LEN,
+    frame, ClientConfig, DurabilityOptions, Endpoint, FrameKind, Stream, TransportConfig,
+    TransportServer, WorkerClient, MAX_FRAME_LEN,
 };
 use std::io::Write as _;
 use std::process::Command;
@@ -100,8 +109,13 @@ fn main() {
         Some("worker") => worker_process(&args[1..]),
         Some("chaos") => chaos(),
         Some("turn") => turn(&args[1..]),
+        Some("kill") => kill(),
+        Some("serve") => serve(&args[1..]),
         _ => {
-            eprintln!("usage: socket_demo demo|chaos|worker <socket> <id> <n> <rounds>|turn <socket> <id> [torn]");
+            eprintln!(
+                "usage: socket_demo demo|chaos|kill|worker <socket> <id> <n> <rounds> [lenient]\
+                 |turn <socket> <id> [torn]|serve <socket> <dir>"
+            );
             std::process::exit(2);
         }
     }
@@ -183,25 +197,44 @@ fn demo() {
 /// completed, which makes the distributed schedule identical to the
 /// in-process double loop.
 fn worker_process(args: &[String]) {
-    let (socket, id, n, rounds) = match args {
-        [socket, id, n, rounds] => (
-            socket.clone(),
-            id.parse::<usize>().expect("worker id"),
-            n.parse::<usize>().expect("worker count"),
-            rounds.parse::<usize>().expect("round count"),
-        ),
+    let (socket, id, n, rounds, lenient) = match args {
+        [socket, id, n, rounds] => (socket, id, n, rounds, false),
+        [socket, id, n, rounds, flag] if flag == "lenient" => (socket, id, n, rounds, true),
         _ => {
-            eprintln!("usage: socket_demo worker <socket> <id> <n> <rounds>");
+            eprintln!("usage: socket_demo worker <socket> <id> <n> <rounds> [lenient]");
             std::process::exit(2);
         }
     };
-    let endpoint = Endpoint::uds(socket);
-    let mut client = WorkerClient::new(endpoint);
+    let id = id.parse::<usize>().expect("worker id");
+    let n = n.parse::<usize>().expect("worker count");
+    let rounds = rounds.parse::<usize>().expect("round count");
+    let endpoint = Endpoint::uds(socket.clone());
+    // In lenient mode the server process may be SIGKILLed and restarted
+    // under the worker's feet: retry patiently instead of giving up, and
+    // accept `Duplicate` — the crash may land between the journal append
+    // and the ack, in which case the retransmitted upload was already
+    // applied before the crash.
+    let mut client = if lenient {
+        WorkerClient::with_config(endpoint, patient_client_config())
+    } else {
+        WorkerClient::new(endpoint)
+    };
     let mut worker = build_workers(n).remove(id);
     for round in 0..rounds {
         let gate = (round * n + id) as u64;
         let mut polls = 0u32;
-        while client.status().expect("status").steps < gate {
+        loop {
+            let steps = if lenient {
+                match client.status() {
+                    Ok(status) => status.steps,
+                    Err(_) => 0, // server mid-restart: keep polling
+                }
+            } else {
+                client.status().expect("status").steps
+            };
+            if steps >= gate {
+                break;
+            }
             polls += 1;
             assert!(polls < 30_000, "worker {id}: gate {gate} never arrived");
             std::thread::sleep(Duration::from_millis(2));
@@ -210,10 +243,35 @@ fn worker_process(args: &[String]) {
             TaskResponse::Assignment(assignment) => {
                 let result = worker.execute(&assignment).expect("execute");
                 let ack = client.submit(&result).expect("submit");
-                assert_eq!(ack.disposition, ResultDisposition::Applied);
+                if lenient {
+                    assert!(
+                        matches!(
+                            ack.disposition,
+                            ResultDisposition::Applied | ResultDisposition::Duplicate
+                        ),
+                        "worker {id} round {round}: unexpected disposition {:?}",
+                        ack.disposition
+                    );
+                } else {
+                    assert_eq!(ack.disposition, ResultDisposition::Applied);
+                }
             }
             TaskResponse::Rejected(reason) => panic!("worker {id} rejected: {reason:?}"),
         }
+    }
+}
+
+/// A retry plan wide enough to ride out a server kill-and-restart: forty
+/// attempts with backoff capped at 32 rounds of the 10 ms unit gives the
+/// replacement process ten-plus seconds to come back up.
+fn patient_client_config() -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            base_rounds: 1,
+            max_backoff_rounds: 32,
+            max_attempts: 40,
+        },
+        ..ClientConfig::default()
     }
 }
 
@@ -457,4 +515,154 @@ fn chaos() {
     let chaos_digest = digest(&state.parameter_server.parameters);
     println!("chaos digest: {chaos_digest:#018x}");
     println!("chaos: survived a crash, a torn frame, overload and garbage; drained clean");
+}
+
+/// Steps the `kill` monitor waits for before SIGKILLing the first server
+/// process: far enough in that real state (checkpoint + journal tail) is on
+/// disk, early enough that most of the schedule still runs post-restart.
+const KILL_AT_STEPS: u64 = 2;
+
+/// One durable server process: binds the socket with a write-ahead journal
+/// under `<dir>`, serves until a client requests shutdown, drains and prints
+/// its digest. `kill` runs this twice over the same `<dir>` — the second
+/// incarnation recovers the first's checkpoint and journal before accepting
+/// connections. Exiting on request (never on a step count) matters: the
+/// last journaled step may have an unacked worker still retransmitting, and
+/// only the driver knows when every ack has landed.
+fn serve(args: &[String]) {
+    let (socket, dir) = match args {
+        [socket, dir] => (socket.clone(), std::path::PathBuf::from(dir)),
+        _ => {
+            eprintln!("usage: socket_demo serve <socket> <dir>");
+            std::process::exit(2);
+        }
+    };
+    // A SIGKILLed predecessor leaves its socket file behind; claim it.
+    let _ = std::fs::remove_file(&socket);
+    let mut options = DurabilityOptions::new(dir);
+    options.checkpoint_every = KILL_AT_STEPS;
+    let server = TransportServer::bind(
+        &Endpoint::uds(socket),
+        FleetServer::new(model_parameters(), base_config()),
+        TransportConfig {
+            durability: Some(options),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind durable socket");
+    let mut polls = 0u32;
+    while !server.shutdown_requested() {
+        polls += 1;
+        assert!(polls < 60_000, "serve: shutdown never requested");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let state = server.shutdown().expect("shutdown");
+    println!(
+        "serve digest: {:#018x}",
+        digest(&state.parameter_server.parameters)
+    );
+}
+
+/// The durable-recovery showcase: the same gated schedule as `demo`, but the
+/// server is a *separate process* that gets SIGKILLed mid-run — no drain, no
+/// final checkpoint, a dead socket file left behind — and a replacement
+/// process recovers checkpoint + journal from disk. The lenient workers ride
+/// their retry loops across the outage, and the finished model must
+/// reproduce the uninterrupted in-process digest bit-for-bit.
+fn kill() {
+    let reference = in_process_digest();
+    println!("in-process reference digest: {reference:#018x}");
+
+    let dir = std::env::temp_dir().join(format!("fleet-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let socket = socket_path("kill");
+    let socket_arg = socket.display().to_string();
+    let dir_arg = dir.display().to_string();
+
+    // First server incarnation — the victim. It never prints a digest: it
+    // serves until SIGKILLed.
+    let mut victim = self_command(&["serve".into(), socket_arg.clone(), dir_arg.clone()])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim server");
+
+    let workers: Vec<std::process::Child> = (0..DEMO_WORKERS)
+        .map(|id| {
+            self_command(&[
+                "worker".into(),
+                socket_arg.clone(),
+                id.to_string(),
+                DEMO_WORKERS.to_string(),
+                DEMO_ROUNDS.to_string(),
+                "lenient".into(),
+            ])
+            .spawn()
+            .expect("spawn lenient worker")
+        })
+        .collect();
+
+    // Wait until durable state exists on disk, then SIGKILL the server —
+    // mid-run, no warning, exactly what a machine failure looks like to the
+    // protocol.
+    let mut monitor =
+        WorkerClient::with_config(Endpoint::uds(socket.clone()), patient_client_config());
+    let mut polls = 0u32;
+    loop {
+        if let Ok(status) = monitor.status() {
+            if status.steps >= KILL_AT_STEPS {
+                break;
+            }
+        }
+        polls += 1;
+        assert!(polls < 30_000, "kill: step {KILL_AT_STEPS} never arrived");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    monitor.disconnect();
+    victim.kill().expect("SIGKILL server");
+    victim.wait().expect("reap server");
+    println!("kill: server SIGKILLed after step {KILL_AT_STEPS}");
+
+    // Second incarnation over the same directory: recovers, finishes the
+    // schedule against the still-retrying workers, drains, prints its digest.
+    let survivor = self_command(&["serve".into(), socket_arg.clone(), dir_arg.clone()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn survivor server");
+
+    // Every worker exiting cleanly means every upload was acked — only then
+    // may the survivor drain and go down.
+    for (id, mut child) in workers.into_iter().enumerate() {
+        let status = child.wait().expect("wait for worker");
+        assert!(status.success(), "lenient worker {id} failed: {status}");
+    }
+    let mut closer =
+        WorkerClient::with_config(Endpoint::uds(socket.clone()), patient_client_config());
+    closer
+        .request_shutdown()
+        .expect("request survivor shutdown");
+    closer.disconnect();
+    let output = survivor.wait_with_output().expect("wait for survivor");
+    assert!(
+        output.status.success(),
+        "survivor server failed: {}",
+        output.status
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("serve digest: 0x"))
+        .expect("survivor digest line");
+    let kill_digest = u64::from_str_radix(line.trim(), 16).expect("digest hex");
+
+    assert_eq!(
+        kill_digest, reference,
+        "the kill-restart run must reproduce the uninterrupted digest bit-for-bit"
+    );
+    println!("chaos-kill digest: {kill_digest:#018x}");
+    println!(
+        "chaos-kill: SIGKILL mid-run + recovery from checkpoint/journal \
+         reproduced the in-process digest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&socket);
 }

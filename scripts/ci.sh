@@ -12,10 +12,15 @@
 #                           3 worker processes over UDS must reproduce the
 #                           pinned in-process digest bit-for-bit) and the
 #                           socket chaos smoke (torn frame, dead peer,
-#                           overload; run twice, digests must agree), bench
+#                           overload; run twice, digests must agree), the
+#                           kill-restart chaos smoke (a durable server
+#                           process SIGKILLed mid-run, a replacement
+#                           recovers checkpoint + journal from disk; run
+#                           twice, the digest is pinned as chaos_kill and
+#                           must equal the uninterrupted trajectory), bench
 #                           smoke writing BENCH_kernels.json,
-#                           BENCH_shards.json, BENCH_conv.json and
-#                           BENCH_transport.json
+#                           BENCH_shards.json, BENCH_conv.json,
+#                           BENCH_transport.json and BENCH_durability.json
 #   scripts/ci.sh --quick   skip the digest sweep and the bench smoke (the
 #                           scalar-forced parity suites and fleet-lint still
 #                           run: on hosts whose dispatcher auto-selects AVX2,
@@ -130,6 +135,7 @@ if [[ "${1:-}" != "--quick" ]]; then
         chaos_l2_ref=""
         chaos_p2_ref=""
         socket_ref=""
+        chaos_kill_ref=""
     else
         shard_ref=$(expected_digest shard)
         cnn_ref=$(expected_digest cnn)
@@ -139,9 +145,11 @@ if [[ "${1:-}" != "--quick" ]]; then
         chaos_l2_ref=$(expected_digest chaos_l2)
         chaos_p2_ref=$(expected_digest chaos_p2)
         socket_ref=$(expected_digest socket)
+        chaos_kill_ref=$(expected_digest chaos_kill)
         if [[ -z "$shard_ref" || -z "$cnn_ref" || -z "$pershard_ref" ||
               -z "$chaos_l1_ref" || -z "$chaos_p1_ref" ||
-              -z "$chaos_l2_ref" || -z "$chaos_p2_ref" || -z "$socket_ref" ]]; then
+              -z "$chaos_l2_ref" || -z "$chaos_p2_ref" || -z "$socket_ref" ||
+              -z "$chaos_kill_ref" ]]; then
             echo "FAIL: scripts/expected_digests.txt is missing a pinned digest"
             exit 1
         fi
@@ -248,6 +256,37 @@ if [[ "${1:-}" != "--quick" ]]; then
     fi
     echo "    chaos -> ${chaos_a##* } (stable across reruns)"
 
+    # Durable crash recovery: a server process with checkpoints + a
+    # write-ahead journal is SIGKILLed mid-run and a replacement process
+    # recovers its state from disk; the finished model must be bit-for-bit
+    # the uninterrupted trajectory. The digest is pinned (it must equal the
+    # socket/in-process value — same schedule, one crash inside it) and the
+    # scenario runs twice: the kill lands at a slightly different point each
+    # time, and recovery must erase the difference.
+    echo "==> kill-restart chaos smoke (SIGKILL mid-run, recover from disk) x2"
+    kill_digest() {
+        local out
+        out=$(cargo run --release -q -p fleet-examples --example socket_demo -- kill) || {
+            echo "FAIL: kill-restart chaos run"
+            exit 1
+        }
+        grep -o 'chaos-kill digest: 0x[0-9a-f]*' <<<"$out" | head -1
+    }
+    kill_a=$(kill_digest)
+    kill_b=$(kill_digest)
+    if [[ -z "$kill_a" || "$kill_a" != "$kill_b" ]]; then
+        echo "FAIL: chaos-kill digest unstable across reruns ('$kill_a' vs '$kill_b')"
+        exit 1
+    fi
+    kill_a=${kill_a##* }
+    echo "    chaos_kill -> $kill_a (stable across reruns)"
+    if [[ -z "$chaos_kill_ref" ]]; then
+        chaos_kill_ref="$kill_a"
+    elif [[ "$kill_a" != "$chaos_kill_ref" ]]; then
+        echo "FAIL: chaos_kill digest drifted from $chaos_kill_ref"
+        exit 1
+    fi
+
     if [[ "${FLEET_PIN_DIGESTS:-0}" == "1" ]]; then
         # Keep the header comments, replace the pinned values.
         tmp=$(mktemp)
@@ -261,6 +300,7 @@ if [[ "${1:-}" != "--quick" ]]; then
             echo "chaos_l2 $chaos_l2_ref"
             echo "chaos_p2 $chaos_p2_ref"
             echo "socket $socket_ref"
+            echo "chaos_kill $chaos_kill_ref"
         } >> "$tmp"
         mv "$tmp" scripts/expected_digests.txt
         echo "==> re-pinned scripts/expected_digests.txt (commit it deliberately)"
@@ -276,6 +316,7 @@ if [[ "${1:-}" != "--quick" ]]; then
     run_bench shards BENCH_shards.json 200
     run_bench conv BENCH_conv.json 400
     run_bench transport BENCH_transport.json 200
+    run_bench durability BENCH_durability.json 200
 fi
 
 echo "==> CI gate passed"
