@@ -45,10 +45,10 @@ fn build_worker() -> Worker {
 fn fresh_server() -> FleetServer {
     FleetServer::new(
         mlp_classifier(6, &[8], 4, 0).parameters(),
-        FleetServerConfig {
-            num_classes: 4,
-            ..FleetServerConfig::default()
-        },
+        FleetServerConfig::builder()
+            .num_classes(4)
+            .build()
+            .expect("bench config is valid"),
     )
 }
 

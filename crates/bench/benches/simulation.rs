@@ -15,14 +15,14 @@ fn simulation_benches(c: &mut Criterion) {
 
     c.bench_function("async_simulation_100_steps_adasgd", |b| {
         b.iter(|| {
-            let cfg = SimulationConfig {
-                steps: 100,
-                batch_size: 32,
-                staleness: StalenessDistribution::d1(),
-                eval_every: 1000,
-                seed: 3,
-                ..SimulationConfig::default()
-            };
+            let cfg = SimulationConfig::builder()
+                .steps(100)
+                .batch_size(32)
+                .staleness(StalenessDistribution::d1())
+                .eval_every(1000)
+                .seed(3)
+                .build()
+                .expect("bench config is valid");
             let sim = AsyncSimulation::new(&train, &test, &users, cfg);
             let mut model = mlp_classifier(32, &[32], 10, 0);
             black_box(sim.run(&mut model, AdaSgd::new(10, 99.7)))
@@ -31,15 +31,15 @@ fn simulation_benches(c: &mut Criterion) {
 
     c.bench_function("async_simulation_50_steps_k4_parallel", |b| {
         b.iter(|| {
-            let cfg = SimulationConfig {
-                steps: 50,
-                batch_size: 32,
-                aggregation_k: 4,
-                staleness: StalenessDistribution::d1(),
-                eval_every: 1000,
-                seed: 3,
-                ..SimulationConfig::default()
-            };
+            let cfg = SimulationConfig::builder()
+                .steps(50)
+                .batch_size(32)
+                .aggregation_k(4)
+                .staleness(StalenessDistribution::d1())
+                .eval_every(1000)
+                .seed(3)
+                .build()
+                .expect("bench config is valid");
             let sim = AsyncSimulation::new(&train, &test, &users, cfg);
             let mut model = mlp_classifier(32, &[32], 10, 0);
             black_box(sim.run(&mut model, AdaSgd::new(10, 99.7)))
@@ -48,16 +48,16 @@ fn simulation_benches(c: &mut Criterion) {
 
     c.bench_function("async_simulation_50_steps_k4_sharded8", |b| {
         b.iter(|| {
-            let cfg = SimulationConfig {
-                steps: 50,
-                batch_size: 32,
-                aggregation_k: 4,
-                shards: 8,
-                staleness: StalenessDistribution::d1(),
-                eval_every: 1000,
-                seed: 3,
-                ..SimulationConfig::default()
-            };
+            let cfg = SimulationConfig::builder()
+                .steps(50)
+                .batch_size(32)
+                .aggregation_k(4)
+                .shards(8)
+                .staleness(StalenessDistribution::d1())
+                .eval_every(1000)
+                .seed(3)
+                .build()
+                .expect("bench config is valid");
             let sim = AsyncSimulation::new(&train, &test, &users, cfg);
             let mut model = mlp_classifier(32, &[32], 10, 0);
             black_box(sim.run(&mut model, AdaSgd::new(10, 99.7)))

@@ -89,13 +89,13 @@ fn transport_benches(c: &mut Criterion) {
                     &Endpoint::uds(path),
                     FleetServer::new(
                         mlp_classifier(6, &[8], 4, 0).parameters(),
-                        FleetServerConfig {
-                            num_classes: 4,
+                        FleetServerConfig::builder()
+                            .num_classes(4)
                             // Concurrent unsynchronised clients: leases must
                             // survive however long a neighbour's turn takes.
-                            lease_min_rounds: 1 << 32,
-                            ..FleetServerConfig::default()
-                        },
+                            .lease_min_rounds(1 << 32)
+                            .build()
+                            .expect("bench config is valid"),
                     ),
                     TransportConfig::default(),
                 )

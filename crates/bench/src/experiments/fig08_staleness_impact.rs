@@ -8,17 +8,17 @@ use fleet_core::{AdaSgd, Aggregator, DynSgd, FedAvg, Ssgd};
 use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
 
 fn config(scale: Scale, staleness: StalenessDistribution, seed: u64) -> SimulationConfig {
-    SimulationConfig {
-        steps: scale.pick(400, 2500),
-        learning_rate: 0.03,
-        batch_size: scale.pick(50, 100),
-        aggregation_k: 1,
-        staleness,
-        eval_every: scale.pick(60, 100),
-        eval_examples: 800,
-        seed,
-        ..SimulationConfig::default()
-    }
+    SimulationConfig::builder()
+        .steps(scale.pick(400, 2500))
+        .learning_rate(0.03)
+        .batch_size(scale.pick(50, 100))
+        .aggregation_k(1)
+        .staleness(staleness)
+        .eval_every(scale.pick(60, 100))
+        .eval_examples(800)
+        .seed(seed)
+        .build()
+        .expect("fig08 config is valid")
 }
 
 fn run_one<A: Aggregator>(

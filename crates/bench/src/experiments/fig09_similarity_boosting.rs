@@ -9,18 +9,18 @@ use fleet_core::{AdaSgd, Aggregator, DynSgd, Ssgd};
 use fleet_server::{AsyncSimulation, SimulationConfig, StalenessDistribution, TrainingHistory};
 
 fn config(scale: Scale) -> SimulationConfig {
-    SimulationConfig {
-        steps: scale.pick(400, 2500),
-        learning_rate: 0.03,
-        batch_size: scale.pick(50, 100),
-        staleness: StalenessDistribution::d1(),
-        class_straggler: Some((0, 48)),
-        track_class: Some(0),
-        eval_every: scale.pick(60, 100),
-        eval_examples: 800,
-        seed: 13,
-        ..SimulationConfig::default()
-    }
+    SimulationConfig::builder()
+        .steps(scale.pick(400, 2500))
+        .learning_rate(0.03)
+        .batch_size(scale.pick(50, 100))
+        .staleness(StalenessDistribution::d1())
+        .class_straggler(0, 48)
+        .track_class(0)
+        .eval_every(scale.pick(60, 100))
+        .eval_examples(800)
+        .seed(13)
+        .build()
+        .expect("fig09 config is valid")
 }
 
 fn run_one<A: Aggregator>(world: &common::World, scale: Scale, aggregator: A) -> TrainingHistory {

@@ -12,16 +12,16 @@ fn run_one<A: Aggregator>(
     staleness: StalenessDistribution,
     aggregator: A,
 ) -> TrainingHistory {
-    let cfg = SimulationConfig {
-        steps: scale.pick(400, 3000),
-        learning_rate: 0.2,
-        batch_size: scale.pick(32, 100),
-        staleness,
-        eval_every: scale.pick(60, 150),
-        eval_examples: 1000,
-        seed: 3,
-        ..SimulationConfig::default()
-    };
+    let cfg = SimulationConfig::builder()
+        .steps(scale.pick(400, 3000))
+        .learning_rate(0.2)
+        .batch_size(scale.pick(32, 100))
+        .staleness(staleness)
+        .eval_every(scale.pick(60, 150))
+        .eval_examples(1000)
+        .seed(3)
+        .build()
+        .expect("fig10 config is valid");
     let sim = AsyncSimulation::new(&world.train, &world.test, &world.users, cfg);
     let mut model = common::model(world.train.num_classes(), 4);
     sim.run(&mut model, aggregator)

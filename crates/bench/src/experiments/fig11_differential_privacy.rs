@@ -14,17 +14,18 @@ fn run_one<A: Aggregator>(
     dp: Option<(f32, f32)>,
     aggregator: A,
 ) -> TrainingHistory {
-    let cfg = SimulationConfig {
-        steps: scale.pick(300, 2500),
-        learning_rate: 0.05,
-        batch_size: scale.pick(32, 100),
-        staleness: StalenessDistribution::d2(),
-        dp,
-        eval_every: scale.pick(60, 100),
-        eval_examples: 800,
-        seed: 8,
-        ..SimulationConfig::default()
-    };
+    let mut builder = SimulationConfig::builder()
+        .steps(scale.pick(300, 2500))
+        .learning_rate(0.05)
+        .batch_size(scale.pick(32, 100))
+        .staleness(StalenessDistribution::d2())
+        .eval_every(scale.pick(60, 100))
+        .eval_examples(800)
+        .seed(8);
+    if let Some((clip_norm, noise_multiplier)) = dp {
+        builder = builder.dp(clip_norm, noise_multiplier);
+    }
+    let cfg = builder.build().expect("fig11 config is valid");
     let sim = AsyncSimulation::new(&world.train, &world.test, &world.users, cfg);
     let mut model = common::model(world.train.num_classes(), 6);
     sim.run(&mut model, aggregator)

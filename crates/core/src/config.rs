@@ -1,0 +1,273 @@
+//! The shared core-knob cluster and its validating builder.
+//!
+//! Before this module, the `learning_rate` / `aggregation_k` / `shards` /
+//! `apply_mode` (+ `max_pending`) cluster was duplicated across
+//! `ParameterServerConfig`, `FleetServerConfig` and `SimulationConfig`, and
+//! the load harness would have been a fourth copy. [`CoreConfig`] is now
+//! the single owner: the parameter server consumes it directly
+//! ([`crate::ParameterServer::from_config`]), and the FLeet server /
+//! simulation configs embed it as their `core` field, flattening its knobs
+//! through their builders.
+//!
+//! Construction goes through [`CoreConfig::builder`] (or the embedding
+//! configs' builders), which returns a typed [`ConfigError`] for
+//! nonsensical combinations instead of panicking deep inside the engine.
+//! The plain struct stays constructible for the defining crates; everything
+//! outside them builds through the validated path.
+
+use crate::server::ApplyMode;
+use std::error::Error;
+use std::fmt;
+
+/// The knobs every layer of the stack shares: how gradients are scaled,
+/// aggregated, partitioned and scheduled.
+///
+/// Embedded as the `core` field of `FleetServerConfig` and
+/// `SimulationConfig`; consumed directly by
+/// [`crate::ParameterServer::from_config`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Learning rate γ applied to weighted gradients.
+    pub learning_rate: f32,
+    /// Aggregation parameter K (gradients per update trigger).
+    pub aggregation_k: usize,
+    /// Number of range-partitioned shards.
+    pub shards: usize,
+    /// How shard applies are scheduled.
+    pub apply_mode: ApplyMode,
+    /// Backpressure bound on a shard's pending buffer: when any shard holds
+    /// this many unapplied gradient segments, [`crate::ParameterServer::is_saturated`]
+    /// reports overload so admission layers can shed new tasks instead of
+    /// growing the buffer without bound. `0` disables the bound. Only
+    /// meaningful below `aggregation_k` in lockstep mode (the buffer never
+    /// exceeds `K − 1` there); in per-shard mode flush-starved shards can
+    /// otherwise queue arbitrarily deep.
+    pub max_pending: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 5e-2,
+            aggregation_k: 1,
+            shards: 1,
+            apply_mode: ApplyMode::Lockstep,
+            max_pending: 0,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// A builder over the defaults.
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            config: CoreConfig::default(),
+        }
+    }
+
+    /// A builder seeded from this configuration.
+    pub fn to_builder(&self) -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
+    /// Checks the invariants the engines assert at construction time —
+    /// positive finite learning rate, nonzero K and shard count — so
+    /// builder users get a typed error instead of a panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(ConfigError::LearningRateNotPositive {
+                value: self.learning_rate,
+            });
+        }
+        if self.aggregation_k == 0 {
+            return Err(ConfigError::ZeroAggregationK);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CoreConfig`]; `build` validates.
+#[derive(Debug, Clone)]
+pub struct CoreConfigBuilder {
+    config: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Sets the learning rate γ.
+    pub fn learning_rate(mut self, value: f32) -> Self {
+        self.config.learning_rate = value;
+        self
+    }
+
+    /// Sets the aggregation parameter K.
+    pub fn aggregation_k(mut self, value: usize) -> Self {
+        self.config.aggregation_k = value;
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn shards(mut self, value: usize) -> Self {
+        self.config.shards = value;
+        self
+    }
+
+    /// Sets the apply-scheduling mode.
+    pub fn apply_mode(mut self, value: ApplyMode) -> Self {
+        self.config.apply_mode = value;
+        self
+    }
+
+    /// Sets the per-shard pending backpressure bound (0 disables).
+    pub fn max_pending(mut self, value: usize) -> Self {
+        self.config.max_pending = value;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CoreConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Why a configuration failed validation. One shared error type covers the
+/// core cluster and the configs embedding it (`FleetServerConfig`,
+/// `SimulationConfig`), so callers match on a single vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The learning rate is zero, negative, or not finite.
+    LearningRateNotPositive {
+        /// The offending value.
+        value: f32,
+    },
+    /// The aggregation parameter K is zero.
+    ZeroAggregationK,
+    /// The shard count is zero.
+    ZeroShards,
+    /// `flush_every > 0` with [`ApplyMode::Lockstep`]: scripted shard
+    /// flushes only exist to diverge the vector clock, which lockstep mode
+    /// does not have.
+    LockstepFlush {
+        /// The configured flush cadence.
+        flush_every: usize,
+    },
+    /// A simulation with zero steps.
+    ZeroSteps,
+    /// A zero mini-batch size.
+    ZeroBatchSize,
+    /// A zero evaluation cadence (the simulation evaluates on a
+    /// `steps % eval_every` schedule, so 0 cannot mean "never").
+    ZeroEvalEvery,
+    /// A model with zero classes.
+    ZeroNumClasses,
+    /// The similarity percentile is outside `(0, 100]`.
+    SPercentileOutOfRange {
+        /// The offending value.
+        value: f32,
+    },
+    /// The lease budget rate is negative or not finite (zero is allowed:
+    /// the lease then falls back to its floor in rounds).
+    LeaseRateInvalid {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::LearningRateNotPositive { value } => {
+                write!(f, "learning rate must be positive and finite, got {value}")
+            }
+            ConfigError::ZeroAggregationK => {
+                write!(f, "aggregation parameter K must be at least 1")
+            }
+            ConfigError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ConfigError::LockstepFlush { flush_every } => write!(
+                f,
+                "flush_every = {flush_every} requires ApplyMode::PerShard \
+                 (lockstep shards have no vector clock to diverge)"
+            ),
+            ConfigError::ZeroSteps => write!(f, "a simulation needs at least 1 step"),
+            ConfigError::ZeroBatchSize => write!(f, "mini-batch size must be at least 1"),
+            ConfigError::ZeroEvalEvery => write!(f, "eval_every must be at least 1"),
+            ConfigError::ZeroNumClasses => write!(f, "num_classes must be at least 1"),
+            ConfigError::SPercentileOutOfRange { value } => {
+                write!(f, "s_percentile must be in (0, 100], got {value}")
+            }
+            ConfigError::LeaseRateInvalid { value } => write!(
+                f,
+                "lease_rounds_per_second must be non-negative and finite, got {value}"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_defaults_and_setters() {
+        let config = CoreConfig::builder()
+            .shards(8)
+            .aggregation_k(4)
+            .apply_mode(ApplyMode::PerShard)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.shards, 8);
+        assert_eq!(config.aggregation_k, 4);
+        assert_eq!(config.apply_mode, ApplyMode::PerShard);
+        assert_eq!(config.learning_rate, CoreConfig::default().learning_rate);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations_with_typed_errors() {
+        assert_eq!(
+            CoreConfig::builder().shards(0).build(),
+            Err(ConfigError::ZeroShards)
+        );
+        assert_eq!(
+            CoreConfig::builder().aggregation_k(0).build(),
+            Err(ConfigError::ZeroAggregationK)
+        );
+        assert_eq!(
+            CoreConfig::builder().learning_rate(0.0).build(),
+            Err(ConfigError::LearningRateNotPositive { value: 0.0 })
+        );
+        assert!(CoreConfig::builder()
+            .learning_rate(f32::NAN)
+            .build()
+            .is_err());
+        assert!(CoreConfig::builder()
+            .learning_rate(f32::INFINITY)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let config = CoreConfig::builder()
+            .learning_rate(0.1)
+            .shards(3)
+            .build()
+            .unwrap();
+        let again = config.to_builder().build().unwrap();
+        assert_eq!(config, again);
+    }
+
+    #[test]
+    fn errors_display_something_actionable() {
+        let err = CoreConfig::builder().shards(0).build().unwrap_err();
+        assert!(err.to_string().contains("shard count"));
+        let err = ConfigError::LockstepFlush { flush_every: 2 };
+        assert!(err.to_string().contains("PerShard"));
+    }
+}

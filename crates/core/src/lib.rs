@@ -59,15 +59,15 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregator;
+pub mod config;
 pub mod dampening;
 pub mod server;
 pub mod staleness;
 pub mod update;
 
 pub use aggregator::{AdaSgd, Aggregator, AggregatorState, DynSgd, FedAvg, Ssgd};
+pub use config::{ConfigError, CoreConfig, CoreConfigBuilder};
 pub use dampening::DampeningPolicy;
-pub use server::{
-    ApplyMode, ParameterServer, ParameterServerConfig, ParameterServerState, SubmitOutcome,
-};
+pub use server::{ApplyMode, ParameterServer, ParameterServerState, SubmitOutcome};
 pub use staleness::StalenessTracker;
 pub use update::WorkerUpdate;

@@ -49,6 +49,7 @@
 //! wall-clock arrival — and flushes are caller-ordered.
 
 use crate::aggregator::{Aggregator, AggregatorState};
+use crate::config::CoreConfig;
 use crate::update::WorkerUpdate;
 use std::ops::Range;
 
@@ -70,41 +71,6 @@ pub enum ApplyMode {
     /// explicit flush); staleness is evaluated per shard against the vector
     /// clock.
     PerShard,
-}
-
-/// Construction-time knobs of a [`ParameterServer`], bundled so callers that
-/// thread configuration through layers (the FLeet server, the simulation
-/// driver) don't grow one builder call per knob.
-#[derive(Debug, Clone)]
-pub struct ParameterServerConfig {
-    /// Learning rate γ applied to weighted gradients.
-    pub learning_rate: f32,
-    /// Aggregation parameter K (gradients per update trigger).
-    pub aggregation_k: usize,
-    /// Number of range-partitioned shards.
-    pub shards: usize,
-    /// How shard applies are scheduled.
-    pub apply_mode: ApplyMode,
-    /// Backpressure bound on a shard's pending buffer: when any shard holds
-    /// this many unapplied gradient segments, [`ParameterServer::is_saturated`]
-    /// reports overload so admission layers can shed new tasks instead of
-    /// growing the buffer without bound. `0` disables the bound. Only
-    /// meaningful below `aggregation_k` in lockstep mode (the buffer never
-    /// exceeds `K − 1` there); in per-shard mode flush-starved shards can
-    /// otherwise queue arbitrarily deep.
-    pub max_pending: usize,
-}
-
-impl Default for ParameterServerConfig {
-    fn default() -> Self {
-        Self {
-            learning_rate: 5e-2,
-            aggregation_k: 1,
-            shards: 1,
-            apply_mode: ApplyMode::Lockstep,
-            max_pending: 0,
-        }
-    }
 }
 
 /// The full mutable state of a [`ParameterServer`], exported as plain data
@@ -248,17 +214,16 @@ impl<A: Aggregator> ParameterServer<A> {
         server
     }
 
-    /// Creates a server from a bundled [`ParameterServerConfig`].
+    /// Creates a server from a bundled [`CoreConfig`]. Prefer validating
+    /// first via [`CoreConfig::builder`](crate::config::CoreConfig::builder)
+    /// to get a typed [`crate::config::ConfigError`] instead of the panics
+    /// below.
     ///
     /// # Panics
     ///
     /// Panics if the config's learning rate is not positive or its `K` or
     /// shard count is zero.
-    pub fn from_config(
-        initial_parameters: Vec<f32>,
-        aggregator: A,
-        config: &ParameterServerConfig,
-    ) -> Self {
+    pub fn from_config(initial_parameters: Vec<f32>, aggregator: A, config: &CoreConfig) -> Self {
         Self::new(
             initial_parameters,
             aggregator,
@@ -271,7 +236,7 @@ impl<A: Aggregator> ParameterServer<A> {
     }
 
     /// Sets the backpressure bound on per-shard pending buffers (see
-    /// [`ParameterServerConfig::max_pending`]). `0` disables the bound.
+    /// [`CoreConfig::max_pending`]). `0` disables the bound.
     pub fn with_max_pending(mut self, max_pending: usize) -> Self {
         self.max_pending = max_pending;
         self
@@ -459,13 +424,25 @@ impl<A: Aggregator> ParameterServer<A> {
         self.shards[shard].pending.len()
     }
 
+    /// Every shard's pending-buffer depth, in shard order — the queue-depth
+    /// signal telemetry sinks sample after each submission.
+    pub fn shard_pending_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.pending.len()).collect()
+    }
+
+    /// Every shard's applied-gradient count, in shard order — the
+    /// per-shard apply-rate signal for telemetry.
+    pub fn shard_applied_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.applied).collect()
+    }
+
     /// The configured backpressure bound (`0` = unbounded).
     pub fn max_pending(&self) -> usize {
         self.max_pending
     }
 
     /// The first shard whose pending buffer has reached the
-    /// [`ParameterServerConfig::max_pending`] bound, if any — the overload
+    /// [`CoreConfig::max_pending`] bound, if any — the overload
     /// signal an admission layer turns into backpressure (shed the task now
     /// rather than queue a gradient the saturated shard cannot absorb).
     /// Always `None` when the bound is disabled.
@@ -1181,22 +1158,20 @@ mod tests {
 
     #[test]
     fn from_config_wires_every_knob() {
-        let config = ParameterServerConfig {
-            learning_rate: 0.25,
-            aggregation_k: 2,
-            shards: 3,
-            apply_mode: ApplyMode::PerShard,
-            max_pending: 5,
-        };
+        let config = CoreConfig::builder()
+            .learning_rate(0.25)
+            .aggregation_k(2)
+            .shards(3)
+            .apply_mode(ApplyMode::PerShard)
+            .max_pending(5)
+            .build()
+            .expect("valid config");
         let server = ParameterServer::from_config(vec![0.0; 9], FedAvg::new(), &config);
         assert_eq!(server.learning_rate(), 0.25);
         assert_eq!(server.num_shards(), 3);
         assert_eq!(server.apply_mode(), ApplyMode::PerShard);
         assert_eq!(server.max_pending(), 5);
-        assert_eq!(
-            ParameterServerConfig::default().apply_mode,
-            ApplyMode::Lockstep
-        );
+        assert_eq!(CoreConfig::default().apply_mode, ApplyMode::Lockstep);
     }
 
     /// A per-shard server with a missing read clock falls back to the scalar
@@ -1242,13 +1217,13 @@ mod tests {
     /// run bit for bit.
     #[test]
     fn state_roundtrip_resumes_bitwise() {
-        let config = ParameterServerConfig {
-            learning_rate: 0.5,
-            aggregation_k: 3,
-            shards: 3,
-            apply_mode: ApplyMode::PerShard,
-            max_pending: 0,
-        };
+        let config = CoreConfig::builder()
+            .learning_rate(0.5)
+            .aggregation_k(3)
+            .shards(3)
+            .apply_mode(ApplyMode::PerShard)
+            .build()
+            .expect("valid config");
         let build = || ParameterServer::from_config(vec![0.1; 7], AdaSgd::new(4, 99.0), &config);
         let updates: Vec<WorkerUpdate> = (0..11)
             .map(|i| update(vec![(i as f32 * 0.3).sin(); 7], i % 4))

@@ -106,6 +106,12 @@ impl Default for Policy {
             wall_clock_exempt: vec![
                 "crates/bench/".into(),
                 "crates/compat/criterion/".into(),
+                // The telemetry recorder owns the workspace's measurement
+                // clock (`Recorder::now_ns`). Everything else — including
+                // the load harness in `crates/loadgen`, which paces itself
+                // through sink timestamps — stays under the rule, so
+                // workload *generation* can never read wall clocks.
+                "crates/telemetry/".into(),
                 // The socket transport's deadline module is the one place the
                 // transport reads wall clocks; the rest of the crate stays
                 // under the rule so socket code cannot quietly grow

@@ -102,6 +102,19 @@ fn wall_clock_fixtures() {
         transport_elsewhere.findings
     );
 
+    // The telemetry crate owns the measurement clock and is exempt as a
+    // whole; the load harness next to it is not — its pacing must go
+    // through sink timestamps, never `Instant`.
+    let telemetry = lint_fixture("wall_clock_fail.rs", "crates/telemetry/src/recorder.rs");
+    assert_clean(&telemetry, "wall_clock_fail.rs under crates/telemetry");
+    let loadgen = lint_fixture("wall_clock_fail.rs", "crates/loadgen/src/driver.rs");
+    assert_eq!(
+        rule_counts(&loadgen, "wall-clock"),
+        5,
+        "the load harness is not wall-clock exempt: {:#?}",
+        loadgen.findings
+    );
+
     let pass = lint_fixture("wall_clock_pass.rs", "crates/server/src/x.rs");
     assert_clean(&pass, "wall_clock_pass.rs");
 }

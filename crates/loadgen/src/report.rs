@@ -1,0 +1,131 @@
+//! Turns one load run into a `fleet-bench-v2` [`BenchReport`] entry.
+//!
+//! The primary metric (`mean_ns` / `iterations`) is the client-observed
+//! request exchange; everything else rides in the frozen extended-field
+//! catalogue (see `crates/telemetry/README.md`): latency percentiles per
+//! metric, protocol counters, queue depths, per-shard apply counts and
+//! rates, and process resource usage.
+
+use crate::driver::DriveStats;
+use crate::schedule::Schedule;
+use fleet_telemetry::{
+    BenchEntry, BenchReport, Counter, FieldValue, Latency, ResourceUsage, TelemetrySnapshot,
+};
+
+/// Assembles the report entry for one `(schedule, run)` pair.
+///
+/// `wall_ns` is the measured duration of the drive phase; `usage_before`
+/// was captured before the run so CPU seconds are attributable to it
+/// (max RSS stays a process-lifetime peak — that is what the kernel
+/// exposes).
+pub fn load_entry(
+    name: impl Into<String>,
+    schedule: &Schedule,
+    stats: &DriveStats,
+    snapshot: &TelemetrySnapshot,
+    usage_before: &ResourceUsage,
+    wall_ns: u64,
+) -> BenchEntry {
+    let request = snapshot.latency[Latency::RequestExchange as usize].snapshot();
+    let mut entry = BenchEntry::new(name, request.mean, request.count);
+
+    entry.field("workers", FieldValue::U64(schedule.spec().workers as u64));
+    entry.field(
+        "ops_per_worker",
+        FieldValue::U64(schedule.spec().ops_per_worker as u64),
+    );
+    entry.field(
+        "schedule_digest",
+        FieldValue::Str(format!("{:#018x}", schedule.digest())),
+    );
+    entry.field(
+        "schedule_horizon_ns",
+        FieldValue::U64(schedule.horizon_ns()),
+    );
+    entry.field("wall_ns", FieldValue::U64(wall_ns));
+
+    // Latency percentiles for every metric, flat snake_case fields.
+    for metric in Latency::ALL {
+        let snap = snapshot.latency[metric as usize].snapshot();
+        let base = metric.name();
+        entry.field(format!("{base}_count"), FieldValue::U64(snap.count));
+        entry.field(format!("{base}_mean_ns"), FieldValue::F64(snap.mean));
+        entry.field(format!("{base}_p50_ns"), FieldValue::U64(snap.p50));
+        entry.field(format!("{base}_p99_ns"), FieldValue::U64(snap.p99));
+        entry.field(format!("{base}_p999_ns"), FieldValue::U64(snap.p999));
+        entry.field(format!("{base}_max_ns"), FieldValue::U64(snap.max));
+    }
+
+    // Server + client protocol counters.
+    for counter in Counter::ALL {
+        entry.field(
+            counter.name(),
+            FieldValue::U64(snapshot.counters[counter as usize]),
+        );
+    }
+
+    // Queue depths and per-shard apply activity.
+    entry.field("queue_depth_p50", FieldValue::U64(snapshot.queue_depth.p50));
+    entry.field("queue_depth_p99", FieldValue::U64(snapshot.queue_depth.p99));
+    entry.field("queue_depth_max", FieldValue::U64(snapshot.queue_depth.max));
+    entry.field(
+        "shard_max_depth",
+        FieldValue::U64Array(snapshot.shard_max_depth.clone()),
+    );
+    entry.field(
+        "shard_applies",
+        FieldValue::U64Array(snapshot.shard_applies.clone()),
+    );
+    let wall_seconds = wall_ns as f64 / 1e9;
+    let apply_rates: Vec<f64> = snapshot
+        .shard_applies
+        .iter()
+        .map(|&a| {
+            if wall_seconds > 0.0 {
+                a as f64 / wall_seconds
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    entry.field("shard_apply_rate_hz", FieldValue::F64Array(apply_rates));
+
+    // Driver-side protocol outcomes.
+    entry.field("drive_requests", FieldValue::U64(stats.requests));
+    entry.field("drive_assignments", FieldValue::U64(stats.assignments));
+    entry.field(
+        "drive_rejected_overloaded",
+        FieldValue::U64(stats.rejected_overloaded),
+    );
+    entry.field(
+        "drive_rejected_other",
+        FieldValue::U64(stats.rejected_other),
+    );
+    entry.field("drive_submits", FieldValue::U64(stats.submits));
+    entry.field("drive_applied", FieldValue::U64(stats.applied));
+    entry.field("drive_discarded", FieldValue::U64(stats.discarded));
+    entry.field(
+        "drive_skipped_submits",
+        FieldValue::U64(stats.skipped_submits),
+    );
+    entry.field(
+        "drive_transport_errors",
+        FieldValue::U64(stats.transport_errors),
+    );
+
+    // Process resources.
+    let usage = ResourceUsage::capture();
+    entry.field("max_rss_bytes", FieldValue::U64(usage.max_rss_bytes));
+    entry.field(
+        "cpu_seconds",
+        FieldValue::F64(usage.cpu_seconds_since(usage_before)),
+    );
+    entry
+}
+
+/// A fresh report shell with the standard meta block plus the harness tag.
+pub fn load_report() -> BenchReport {
+    let mut report = BenchReport::with_standard_meta();
+    report.meta_str("harness", "fleet_load");
+    report
+}

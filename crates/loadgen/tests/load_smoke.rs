@@ -1,0 +1,120 @@
+//! End-to-end harness smoke: a small open-loop run over a real UDS
+//! transport server, with one shared recorder on both sides of the wire.
+
+use fleet_loadgen::{
+    build_fleet, drive, load_entry, model_parameters, DriveOptions, FleetShape, Schedule,
+    WorkloadSpec,
+};
+use fleet_server::{FleetServer, FleetServerConfig};
+use fleet_telemetry::{Counter, Latency, Recorder, ResourceUsage, TelemetryHandle, TelemetrySink};
+use fleet_transport::{Endpoint, TransportConfig, TransportServer};
+use std::sync::Arc;
+
+#[test]
+fn small_fleet_load_runs_clean_and_reports() {
+    let spec = WorkloadSpec {
+        workers: 8,
+        ops_per_worker: 2,
+        seed: 9,
+        ..WorkloadSpec::default()
+    };
+    let shape = FleetShape::default();
+    let schedule = Schedule::generate(&spec).expect("spec is valid");
+    let recorder: Arc<Recorder> = Arc::new(Recorder::new());
+
+    let socket =
+        std::env::temp_dir().join(format!("fleet-loadgen-{}-smoke.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let endpoint = Endpoint::uds(socket);
+    let config = FleetServerConfig::builder()
+        .num_classes(shape.num_classes)
+        .shards(2)
+        .aggregation_k(1)
+        .lease_min_rounds(1 << 20)
+        .build()
+        .expect("server config is valid");
+    let server = TransportServer::bind(
+        &endpoint,
+        FleetServer::new(model_parameters(&shape), config),
+        TransportConfig::builder()
+            .telemetry(TelemetryHandle::new(
+                Arc::clone(&recorder) as Arc<dyn TelemetrySink>
+            ))
+            .build()
+            .expect("transport config is valid"),
+    )
+    .expect("bind smoke socket");
+
+    let fleet = build_fleet(&spec, &shape);
+    assert_eq!(fleet.len(), spec.workers);
+    let usage_before = ResourceUsage::capture();
+    let started = recorder.now_ns();
+    let stats = drive(
+        &endpoint,
+        &schedule,
+        fleet,
+        Arc::clone(&recorder) as Arc<dyn TelemetrySink>,
+        &DriveOptions {
+            connections: 3,
+            time_scale: 0.0,
+        },
+    );
+    let wall_ns = recorder.now_ns().saturating_sub(started);
+    server.shutdown().expect("shutdown");
+
+    // Every scheduled op made it to the wire and nothing broke.
+    assert_eq!(stats.transport_errors, 0, "{stats:?}");
+    assert_eq!(stats.requests, 16, "{stats:?}");
+    assert_eq!(
+        stats.assignments + stats.rejected_overloaded + stats.rejected_other,
+        16
+    );
+    assert_eq!(stats.submits + stats.skipped_submits, 16);
+    assert!(stats.applied > 0, "{stats:?}");
+
+    // The shared recorder saw both sides of the exchange.
+    let snapshot = recorder.snapshot();
+    assert_eq!(snapshot.counters[Counter::Requests as usize], 16);
+    assert_eq!(
+        snapshot.counters[Counter::Results as usize],
+        stats.submits,
+        "server-side results must match driver-side submits"
+    );
+    assert!(snapshot.counters[Counter::ConnectionsOpened as usize] >= 3);
+    let request = snapshot.latency[Latency::RequestExchange as usize].snapshot();
+    assert_eq!(request.count, 16, "one request-exchange sample per request");
+    assert!(request.p50 > 0 && request.p50 <= request.p99);
+    let handled = snapshot.latency[Latency::HandleFrame as usize].snapshot();
+    assert_eq!(
+        handled.count, 32,
+        "the server handled one frame per request and per submit"
+    );
+
+    // The report entry carries the frozen v2 fields.
+    let entry = load_entry(
+        "fleet_load/smoke",
+        &schedule,
+        &stats,
+        &snapshot,
+        &usage_before,
+        wall_ns,
+    );
+    assert_eq!(entry.iterations, 16);
+    for key in [
+        "schedule_digest",
+        "request_exchange_p99_ns",
+        "submit_exchange_p999_ns",
+        "handle_frame_p50_ns",
+        "queue_depth_max",
+        "shard_apply_rate_hz",
+        "max_rss_bytes",
+        "cpu_seconds",
+        "requests",
+        "retries",
+    ] {
+        assert!(
+            entry.fields.iter().any(|(k, _)| k == key),
+            "report entry is missing frozen field {key}"
+        );
+    }
+}

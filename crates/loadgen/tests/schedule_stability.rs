@@ -1,0 +1,56 @@
+//! Schedule determinism: the parallel generation path must be bit-stable
+//! across thread counts and sensitive to the seed.
+//!
+//! The thread count is pinned high for the whole test process (it is
+//! cached process-wide), and every parallel schedule is compared against
+//! the serial oracle — if any fan-out partition reassociated per-worker
+//! state, the comparison would catch it. CI additionally pins the digest
+//! across *processes* at two `FLEET_NUM_THREADS` settings.
+
+use fleet_loadgen::{Schedule, WorkloadSpec};
+
+fn pin_threads() {
+    // First caller wins; both tests want the same pin.
+    let _ = fleet_parallel::set_max_threads(8);
+}
+
+#[test]
+fn parallel_generation_matches_the_serial_oracle() {
+    pin_threads();
+    for (workers, ops, seed) in [(1usize, 1usize, 0u64), (13, 3, 42), (96, 4, 7)] {
+        let spec = WorkloadSpec {
+            workers,
+            ops_per_worker: ops,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let parallel = Schedule::generate(&spec).expect("spec is valid");
+        let serial = Schedule::generate_serial(&spec).expect("spec is valid");
+        assert_eq!(
+            parallel, serial,
+            "parallel generation diverged from the serial oracle \
+             (workers={workers} ops={ops} seed={seed})"
+        );
+        assert_eq!(parallel.digest(), serial.digest());
+    }
+}
+
+#[test]
+fn digest_is_repeatable_and_seed_sensitive() {
+    pin_threads();
+    let spec = WorkloadSpec {
+        workers: 48,
+        ops_per_worker: 3,
+        ..WorkloadSpec::default()
+    };
+    let a = Schedule::generate(&spec).expect("spec is valid");
+    let b = Schedule::generate(&spec).expect("spec is valid");
+    assert_eq!(a.digest(), b.digest(), "same spec, same digest");
+
+    let reseeded = WorkloadSpec {
+        seed: spec.seed + 1,
+        ..spec
+    };
+    let c = Schedule::generate(&reseeded).expect("spec is valid");
+    assert_ne!(a.digest(), c.digest(), "seed must move the digest");
+}

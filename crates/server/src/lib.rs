@@ -37,9 +37,10 @@ pub use controller::{Controller, ControllerCounters, ControllerThresholds};
 pub use faults::{FaultPlan, FaultStats, ResultFate};
 pub use fleet_core::ApplyMode;
 pub use protocol::ResultDisposition;
-pub use server::{FleetServer, FleetServerConfig, FleetServerState};
+pub use server::{FleetServer, FleetServerConfig, FleetServerConfigBuilder, FleetServerState};
 pub use simulation::{
-    AsyncSimulation, SimulationCheckpoint, SimulationConfig, StalenessDistribution, TrainingHistory,
+    AsyncSimulation, SimulationCheckpoint, SimulationConfig, SimulationConfigBuilder,
+    StalenessDistribution, TrainingHistory,
 };
 pub use tasks::{Lease, TaskTable, TaskTableState};
 pub use worker::{RetryPolicy, Worker};

@@ -10,29 +10,27 @@ use crate::tasks::{TaskTable, TaskTableState};
 use crate::wire::{self, WireError};
 use bytes::Bytes;
 use fleet_core::{
-    AdaSgd, ApplyMode, ParameterServer, ParameterServerConfig, ParameterServerState, WorkerUpdate,
+    AdaSgd, ApplyMode, ConfigError, CoreConfig, ParameterServer, ParameterServerState, WorkerUpdate,
 };
 use fleet_device::NetworkKind;
 use fleet_profiler::{IProf, IProfState, Slo, WorkloadProfiler};
+use fleet_telemetry::{Counter, TelemetryHandle};
 use std::collections::HashMap;
 
 /// Configuration of a [`FleetServer`].
+///
+/// The learning-rate / K / shards / apply-mode / backpressure cluster lives
+/// in the embedded [`CoreConfig`] (shared with the simulation and the load
+/// harness); [`FleetServerConfig::builder`] flattens those knobs so callers
+/// write `.shards(8)` rather than reaching through `core`.
 #[derive(Debug, Clone)]
 pub struct FleetServerConfig {
-    /// Learning rate γ applied to weighted gradients.
-    pub learning_rate: f32,
-    /// Aggregation parameter K (gradients per model update).
-    pub aggregation_k: usize,
-    /// Number of range-partitioned parameter-server shards aggregation fans
-    /// out across (in lockstep mode results are identical at any shard
-    /// count; more shards buy throughput on multi-core for large models).
-    pub shards: usize,
-    /// How the shards schedule their applies: [`ApplyMode::Lockstep`]
-    /// (default, every shard applies on the same K-th submission) or
-    /// [`ApplyMode::PerShard`] (each shard applies independently;
-    /// assignments then carry the shard vector clock, and staleness is
-    /// attributed per shard from the echoed read clock).
-    pub apply_mode: ApplyMode,
+    /// The shared core knobs: learning rate γ, aggregation parameter K,
+    /// shard count and apply mode, plus the `max_pending` backpressure bound
+    /// (when a shard sits at the bound, new task requests are rejected with
+    /// [`RejectionReason::Overloaded`] instead of queueing gradients the
+    /// server cannot absorb).
+    pub core: CoreConfig,
     /// Expected percentage of non-stragglers (AdaSGD's s%).
     pub s_percentile: f64,
     /// Number of classes of the learning task (for the global label
@@ -42,11 +40,6 @@ pub struct FleetServerConfig {
     pub slo: Slo,
     /// Controller thresholds.
     pub thresholds: ControllerThresholds,
-    /// Backpressure bound on any shard's pending gradient buffer; `0`
-    /// disables shedding. When a shard sits at the bound, new task requests
-    /// are rejected with [`RejectionReason::Overloaded`] instead of queueing
-    /// gradients the server cannot absorb.
-    pub max_pending: usize,
     /// The network the lease deadline budgets model transfer time for.
     pub network: NetworkKind,
     /// Floor on a task lease, in logical rounds: even an instant prediction
@@ -60,19 +53,145 @@ pub struct FleetServerConfig {
 impl Default for FleetServerConfig {
     fn default() -> Self {
         Self {
-            learning_rate: 5e-2,
-            aggregation_k: 1,
-            shards: 1,
-            apply_mode: ApplyMode::Lockstep,
+            core: CoreConfig::default(),
             s_percentile: 99.7,
             num_classes: 10,
             slo: Slo::paper_latency_default(),
             thresholds: ControllerThresholds::default(),
-            max_pending: 0,
             network: NetworkKind::Lte4G,
             lease_min_rounds: 4,
             lease_rounds_per_second: 1.0,
         }
+    }
+}
+
+impl FleetServerConfig {
+    /// A builder over the defaults.
+    pub fn builder() -> FleetServerConfigBuilder {
+        FleetServerConfigBuilder {
+            config: FleetServerConfig::default(),
+        }
+    }
+
+    /// A builder seeded from this configuration.
+    pub fn to_builder(&self) -> FleetServerConfigBuilder {
+        FleetServerConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
+    /// Checks the combined invariants (core cluster plus the server-level
+    /// knobs) and returns the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.core.validate()?;
+        if self.num_classes == 0 {
+            return Err(ConfigError::ZeroNumClasses);
+        }
+        if !(self.s_percentile > 0.0 && self.s_percentile <= 100.0) {
+            return Err(ConfigError::SPercentileOutOfRange {
+                value: self.s_percentile as f32,
+            });
+        }
+        if !(self.lease_rounds_per_second >= 0.0 && self.lease_rounds_per_second.is_finite()) {
+            return Err(ConfigError::LeaseRateInvalid {
+                value: self.lease_rounds_per_second,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FleetServerConfig`]; `build` validates and returns a typed
+/// [`ConfigError`]. Core-cluster setters (`learning_rate`, `aggregation_k`,
+/// `shards`, `apply_mode`, `max_pending`) are flattened into this builder.
+#[derive(Debug, Clone)]
+pub struct FleetServerConfigBuilder {
+    config: FleetServerConfig,
+}
+
+impl FleetServerConfigBuilder {
+    /// Sets the learning rate γ.
+    pub fn learning_rate(mut self, value: f32) -> Self {
+        self.config.core.learning_rate = value;
+        self
+    }
+
+    /// Sets the aggregation parameter K.
+    pub fn aggregation_k(mut self, value: usize) -> Self {
+        self.config.core.aggregation_k = value;
+        self
+    }
+
+    /// Sets the parameter-server shard count.
+    pub fn shards(mut self, value: usize) -> Self {
+        self.config.core.shards = value;
+        self
+    }
+
+    /// Sets the shard apply-scheduling mode.
+    pub fn apply_mode(mut self, value: ApplyMode) -> Self {
+        self.config.core.apply_mode = value;
+        self
+    }
+
+    /// Sets the per-shard backpressure bound (0 disables shedding).
+    pub fn max_pending(mut self, value: usize) -> Self {
+        self.config.core.max_pending = value;
+        self
+    }
+
+    /// Replaces the whole core cluster at once.
+    pub fn core(mut self, value: CoreConfig) -> Self {
+        self.config.core = value;
+        self
+    }
+
+    /// Sets AdaSGD's expected percentage of non-stragglers.
+    pub fn s_percentile(mut self, value: f64) -> Self {
+        self.config.s_percentile = value;
+        self
+    }
+
+    /// Sets the number of classes of the learning task.
+    pub fn num_classes(mut self, value: usize) -> Self {
+        self.config.num_classes = value;
+        self
+    }
+
+    /// Sets the per-task SLO handed to I-Prof.
+    pub fn slo(mut self, value: Slo) -> Self {
+        self.config.slo = value;
+        self
+    }
+
+    /// Sets the controller thresholds.
+    pub fn thresholds(mut self, value: ControllerThresholds) -> Self {
+        self.config.thresholds = value;
+        self
+    }
+
+    /// Sets the network model the lease deadline budgets for.
+    pub fn network(mut self, value: NetworkKind) -> Self {
+        self.config.network = value;
+        self
+    }
+
+    /// Sets the lease floor in logical rounds.
+    pub fn lease_min_rounds(mut self, value: u64) -> Self {
+        self.config.lease_min_rounds = value;
+        self
+    }
+
+    /// Sets the seconds → logical-rounds lease conversion rate.
+    pub fn lease_rounds_per_second(mut self, value: f64) -> Self {
+        self.config.lease_rounds_per_second = value;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<FleetServerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -108,30 +227,36 @@ pub struct FleetServer {
     /// result feedback can be routed to the right personalised I-Prof model.
     device_models: HashMap<u64, String>,
     config: FleetServerConfig,
+    /// Where protocol events are reported; disabled (one branch per event
+    /// site, no clock reads) unless a sink is installed via
+    /// [`FleetServer::set_telemetry`].
+    telemetry: TelemetryHandle,
 }
 
 impl FleetServer {
     /// Creates a server around an initial flat model parameter vector.
     pub fn new(initial_parameters: Vec<f32>, config: FleetServerConfig) -> Self {
         let aggregator = AdaSgd::new(config.num_classes, config.s_percentile);
+        let core = CoreConfig {
+            shards: config.core.shards.max(1),
+            ..config.core.clone()
+        };
         Self {
-            parameter_server: ParameterServer::from_config(
-                initial_parameters,
-                aggregator,
-                &ParameterServerConfig {
-                    learning_rate: config.learning_rate,
-                    aggregation_k: config.aggregation_k,
-                    shards: config.shards.max(1),
-                    apply_mode: config.apply_mode,
-                    max_pending: config.max_pending,
-                },
-            ),
+            parameter_server: ParameterServer::from_config(initial_parameters, aggregator, &core),
             iprof: IProf::new(config.slo),
             controller: Controller::new(config.thresholds),
             tasks: TaskTable::new(),
             device_models: HashMap::new(),
             config,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink; all protocol events from here on are
+    /// reported through it. Pass [`TelemetryHandle::disabled`] to turn
+    /// reporting back off.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// The server configuration.
@@ -192,7 +317,11 @@ impl FleetServer {
     /// budgets I-Prof's predicted compute time plus the modelled network
     /// transfer.
     pub fn handle_request(&mut self, request: &TaskRequest) -> TaskResponse {
-        self.tasks.reclaim_expired(self.parameter_server.clock());
+        let reclaimed = self.tasks.reclaim_expired(self.parameter_server.clock());
+        if let Some(sink) = self.telemetry.get() {
+            sink.add(Counter::Requests, 1);
+            sink.add(Counter::TasksReclaimed, reclaimed.len() as u64);
+        }
         self.device_models
             .insert(request.worker_id, request.device_model.clone());
 
@@ -200,6 +329,9 @@ impl FleetServer {
         // it when a shard's pending buffer is already at its bound.
         if let Some(shard) = self.parameter_server.saturated_shard() {
             self.controller.note_overload();
+            if let Some(sink) = self.telemetry.get() {
+                sink.add(Counter::RejectedOverloaded, 1);
+            }
             return TaskResponse::Rejected(RejectionReason::Overloaded { shard });
         }
 
@@ -222,6 +354,9 @@ impl FleetServer {
                     self.parameter_server.clock(),
                     self.lease_rounds(&prediction),
                 );
+                if let Some(sink) = self.telemetry.get() {
+                    sink.add(Counter::Assignments, 1);
+                }
                 TaskResponse::Assignment(TaskAssignment {
                     task_id,
                     model_parameters: self.parameter_server.parameters().to_vec(),
@@ -230,14 +365,26 @@ impl FleetServer {
                     // worker can echo it back and get per-shard staleness
                     // attribution; lockstep assignments stay as before
                     // (empty).
-                    shard_clocks: match self.config.apply_mode {
+                    shard_clocks: match self.config.core.apply_mode {
                         ApplyMode::Lockstep => Vec::new(),
                         ApplyMode::PerShard => self.parameter_server.shard_clocks(),
                     },
                     mini_batch_size: batch,
                 })
             }
-            Err(reason) => TaskResponse::Rejected(reason),
+            Err(reason) => {
+                if let Some(sink) = self.telemetry.get() {
+                    sink.add(
+                        match reason {
+                            RejectionReason::BatchTooSmall { .. } => Counter::RejectedBatchTooSmall,
+                            RejectionReason::TooSimilar => Counter::RejectedTooSimilar,
+                            RejectionReason::Overloaded { .. } => Counter::RejectedOverloaded,
+                        },
+                        1,
+                    );
+                }
+                TaskResponse::Rejected(reason)
+            }
         }
     }
 
@@ -285,7 +432,11 @@ impl FleetServer {
     /// worker stops retrying) but never touch the model: the handler is
     /// idempotent.
     pub fn handle_result(&mut self, result: TaskResult) -> ResultAck {
-        self.tasks.reclaim_expired(self.parameter_server.clock());
+        let reclaimed = self.tasks.reclaim_expired(self.parameter_server.clock());
+        if let Some(sink) = self.telemetry.get() {
+            sink.add(Counter::Results, 1);
+            sink.add(Counter::TasksReclaimed, reclaimed.len() as u64);
+        }
         let disposition = match result.task_id {
             Some(task_id) => self.tasks.classify(task_id, result.worker_id),
             // Legacy id-less results (wire v1/v2 peers) bypass dedup, but a
@@ -298,6 +449,16 @@ impl FleetServer {
             None => ResultDisposition::Unsolicited,
         };
         if disposition != ResultDisposition::Applied {
+            if let Some(sink) = self.telemetry.get() {
+                sink.add(
+                    match disposition {
+                        ResultDisposition::Duplicate => Counter::Duplicates,
+                        ResultDisposition::Expired => Counter::Expired,
+                        _ => Counter::Unsolicited,
+                    },
+                    1,
+                );
+            }
             return ResultAck {
                 staleness: 0,
                 scaling_factor: 0.0,
@@ -328,7 +489,7 @@ impl FleetServer {
         // A result carrying the read-time vector clock gets per-shard
         // staleness attribution (per-shard mode; a lockstep server ignores
         // it). Results from v1 peers fall back to the scalar staleness.
-        if self.config.apply_mode == ApplyMode::PerShard
+        if self.config.core.apply_mode == ApplyMode::PerShard
             && result
                 .read_clock
                 .as_ref()
@@ -336,7 +497,34 @@ impl FleetServer {
         {
             update.read_clock = result.read_clock;
         }
+        let applied_before = if self.telemetry.is_enabled() {
+            self.parameter_server.shard_applied_counts()
+        } else {
+            Vec::new()
+        };
         let outcome = self.parameter_server.submit(update);
+        if let Some(sink) = self.telemetry.get() {
+            sink.add(Counter::Applied, 1);
+            if outcome.applied {
+                sink.add(Counter::ModelUpdates, 1);
+            }
+            let applied_after = self.parameter_server.shard_applied_counts();
+            for (shard, (after, before)) in
+                applied_after.iter().zip(applied_before.iter()).enumerate()
+            {
+                if after > before {
+                    sink.shard_applies(shard, after - before);
+                }
+            }
+            for (shard, depth) in self
+                .parameter_server
+                .shard_pending_depths()
+                .iter()
+                .enumerate()
+            {
+                sink.queue_depth(shard, *depth as u64);
+            }
+        }
         // Record the execution for the profiler (device features omitted from
         // the result message; use the slope directly via a synthetic feature
         // observation keyed by the device model).
@@ -368,7 +556,13 @@ impl FleetServer {
     /// same expired-set path a timed-out lease takes, so a straggler result
     /// from a resurrected worker is classified `Expired`, never applied.
     pub fn reclaim_task(&mut self, task_id: u64) -> bool {
-        self.tasks.reclaim(task_id).is_some()
+        let reclaimed = self.tasks.reclaim(task_id).is_some();
+        if reclaimed {
+            if let Some(sink) = self.telemetry.get() {
+                sink.add(Counter::TasksReclaimed, 1);
+            }
+        }
+        reclaimed
     }
 
     /// Drains the parameter server ahead of a shutdown: in per-shard mode
@@ -378,7 +572,7 @@ impl FleetServer {
     /// checkpointed as pending instead. Returns the number of shards
     /// flushed.
     pub fn drain(&mut self) -> usize {
-        match self.config.apply_mode {
+        match self.config.core.apply_mode {
             ApplyMode::Lockstep => 0,
             ApplyMode::PerShard => (0..self.parameter_server.num_shards())
                 .filter(|&shard| self.parameter_server.flush_shard(shard))
@@ -447,11 +641,11 @@ mod tests {
         let model = mlp_classifier(6, &[8], 4, 0);
         let server = FleetServer::new(
             model.parameters(),
-            FleetServerConfig {
-                num_classes: 4,
-                learning_rate: 0.05,
-                ..FleetServerConfig::default()
-            },
+            FleetServerConfig::builder()
+                .num_classes(4)
+                .learning_rate(0.05)
+                .build()
+                .expect("valid config"),
         );
         let profiles = catalogue();
         let workers: Vec<Worker> = users
@@ -549,17 +743,11 @@ mod tests {
         let (mut sharded, mut workers, _) = build_world(4);
         let mut reference = FleetServer::new(
             sharded.parameters().to_vec(),
-            FleetServerConfig {
-                shards: 1,
-                ..sharded.config().clone()
-            },
+            sharded.config().to_builder().shards(1).build().unwrap(),
         );
         sharded = FleetServer::new(
             sharded.parameters().to_vec(),
-            FleetServerConfig {
-                shards: 8,
-                ..sharded.config().clone()
-            },
+            sharded.config().to_builder().shards(8).build().unwrap(),
         );
         for _ in 0..3 {
             for worker in workers.iter_mut() {
@@ -586,12 +774,13 @@ mod tests {
         let (base, mut workers, _) = build_world(2);
         let mut server = FleetServer::new(
             base.parameters().to_vec(),
-            FleetServerConfig {
-                shards: 4,
-                aggregation_k: 2,
-                apply_mode: ApplyMode::PerShard,
-                ..base.config().clone()
-            },
+            base.config()
+                .to_builder()
+                .shards(4)
+                .aggregation_k(2)
+                .apply_mode(ApplyMode::PerShard)
+                .build()
+                .unwrap(),
         );
         // Both workers pull at vector clock [0, 0, 0, 0].
         let pull = |server: &mut FleetServer, worker: &mut Worker| {
@@ -630,14 +819,14 @@ mod tests {
         let model = mlp_classifier(6, &[8], 4, 0);
         let mut server = FleetServer::new(
             model.parameters(),
-            FleetServerConfig {
-                num_classes: 4,
-                thresholds: ControllerThresholds {
+            FleetServerConfig::builder()
+                .num_classes(4)
+                .thresholds(ControllerThresholds {
                     min_batch_size: usize::MAX,
                     max_similarity: None,
-                },
-                ..FleetServerConfig::default()
-            },
+                })
+                .build()
+                .expect("valid config"),
         );
         let mut worker = Worker::new(
             0,
@@ -765,11 +954,12 @@ mod tests {
         // A one-round lease: zero rounds-per-second budget floored at 1.
         let mut server = FleetServer::new(
             base.parameters().to_vec(),
-            FleetServerConfig {
-                lease_min_rounds: 1,
-                lease_rounds_per_second: 0.0,
-                ..base.config().clone()
-            },
+            base.config()
+                .to_builder()
+                .lease_min_rounds(1)
+                .lease_rounds_per_second(0.0)
+                .build()
+                .unwrap(),
         );
         let slow_assignment = match server.handle_request(&workers[0].request()) {
             TaskResponse::Assignment(a) => a,
@@ -796,11 +986,12 @@ mod tests {
         // single shard after one buffered gradient.
         let mut server = FleetServer::new(
             base.parameters().to_vec(),
-            FleetServerConfig {
-                aggregation_k: 100,
-                max_pending: 1,
-                ..base.config().clone()
-            },
+            base.config()
+                .to_builder()
+                .aggregation_k(100)
+                .max_pending(1)
+                .build()
+                .unwrap(),
         );
         let a = match server.handle_request(&workers[0].request()) {
             TaskResponse::Assignment(a) => a,
@@ -852,10 +1043,7 @@ mod tests {
         let (base, mut workers, _) = build_world(2);
         let mut lockstep = FleetServer::new(
             base.parameters().to_vec(),
-            FleetServerConfig {
-                aggregation_k: 2,
-                ..base.config().clone()
-            },
+            base.config().to_builder().aggregation_k(2).build().unwrap(),
         );
         if let TaskResponse::Assignment(a) = lockstep.handle_request(&workers[0].request()) {
             lockstep.handle_result(workers[0].execute(&a).unwrap());
@@ -866,12 +1054,13 @@ mod tests {
 
         let mut per_shard = FleetServer::new(
             base.parameters().to_vec(),
-            FleetServerConfig {
-                aggregation_k: 2,
-                shards: 2,
-                apply_mode: ApplyMode::PerShard,
-                ..base.config().clone()
-            },
+            base.config()
+                .to_builder()
+                .aggregation_k(2)
+                .shards(2)
+                .apply_mode(ApplyMode::PerShard)
+                .build()
+                .unwrap(),
         );
         if let TaskResponse::Assignment(a) = per_shard.handle_request(&workers[1].request()) {
             per_shard.handle_result(workers[1].execute(&a).unwrap());

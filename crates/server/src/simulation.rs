@@ -36,13 +36,17 @@ use crate::protocol::{ResultDisposition, TaskResult};
 use crate::tasks::{TaskTable, TaskTableState};
 use crate::wire;
 use bytes::Bytes;
-use fleet_core::{Aggregator, ApplyMode, ParameterServer, ParameterServerState, WorkerUpdate};
+use fleet_core::{
+    Aggregator, ApplyMode, ConfigError, CoreConfig, ParameterServer, ParameterServerState,
+    WorkerUpdate,
+};
 use fleet_data::partition::UserPartition;
 use fleet_data::sampling::MiniBatchSampler;
 use fleet_data::{Dataset, LabelDistribution};
 use fleet_dp::GaussianMechanism;
 use fleet_ml::metrics::{accuracy, class_accuracy};
 use fleet_ml::Sequential;
+use fleet_telemetry::{Counter, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -95,16 +99,20 @@ impl StalenessDistribution {
 }
 
 /// Configuration of one asynchronous training run.
+///
+/// The learning-rate / K / shards / apply-mode cluster lives in the embedded
+/// [`CoreConfig`] (shared with the FLeet server and the load harness);
+/// [`SimulationConfig::builder`] flattens those knobs. The engine ignores
+/// `core.max_pending` — the simulation has no admission layer to shed load.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
+    /// The shared core knobs: learning rate γ, aggregation parameter K,
+    /// shard count and apply mode.
+    pub core: CoreConfig,
     /// Number of global model updates (steps).
     pub steps: usize,
-    /// Learning rate γ.
-    pub learning_rate: f32,
     /// Mini-batch size per learning task (the paper uses 100).
     pub batch_size: usize,
-    /// Aggregation parameter K (gradients per model update).
-    pub aggregation_k: usize,
     /// Staleness distribution of worker updates.
     pub staleness: StalenessDistribution,
     /// Forces the staleness of every task whose mini-batch contains the given
@@ -119,18 +127,6 @@ pub struct SimulationConfig {
     pub eval_examples: usize,
     /// Track the accuracy of this class separately (Fig. 9a).
     pub track_class: Option<usize>,
-    /// Number of range-partitioned parameter-server shards the K-gradient
-    /// aggregation fans out across. In lockstep mode results are bit-for-bit
-    /// identical at any shard count; more shards buy aggregation throughput
-    /// on multi-core for large models. In per-shard mode the shard count is
-    /// part of the semantics (each shard slice carries its own τ).
-    pub shards: usize,
-    /// How the parameter-server shards schedule their applies:
-    /// [`ApplyMode::Lockstep`] (default; bit-identical to the pre-`ApplyMode`
-    /// engine) or [`ApplyMode::PerShard`], where each shard applies on its
-    /// own trigger, workers read and echo the shard vector clock through the
-    /// wire codec, and staleness — hence Λ(τ) — is attributed per shard.
-    pub apply_mode: ApplyMode,
     /// In per-shard mode, flush one shard (round-robin) after the first
     /// submission of every `flush_every`-th round — a deterministic stand-in
     /// for the divergent shard cadences a deployed scheduler would produce
@@ -150,22 +146,170 @@ pub struct SimulationConfig {
 impl Default for SimulationConfig {
     fn default() -> Self {
         Self {
+            core: CoreConfig::default(),
             steps: 500,
-            learning_rate: 5e-2,
             batch_size: 100,
-            aggregation_k: 1,
             staleness: StalenessDistribution::d1(),
             class_straggler: None,
             dp: None,
             eval_every: 50,
             eval_examples: 512,
             track_class: None,
-            shards: 1,
-            apply_mode: ApplyMode::Lockstep,
             flush_every: 0,
             faults: FaultPlan::none(),
             seed: 0,
         }
+    }
+}
+
+impl SimulationConfig {
+    /// A builder over the defaults.
+    pub fn builder() -> SimulationConfigBuilder {
+        SimulationConfigBuilder {
+            config: SimulationConfig::default(),
+        }
+    }
+
+    /// A builder seeded from this configuration.
+    pub fn to_builder(&self) -> SimulationConfigBuilder {
+        SimulationConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
+    /// Checks the combined invariants (core cluster plus the simulation
+    /// knobs) and returns the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.core.validate()?;
+        if self.steps == 0 {
+            return Err(ConfigError::ZeroSteps);
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.eval_every == 0 {
+            return Err(ConfigError::ZeroEvalEvery);
+        }
+        if self.flush_every > 0 && self.core.apply_mode == ApplyMode::Lockstep {
+            return Err(ConfigError::LockstepFlush {
+                flush_every: self.flush_every,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SimulationConfig`]; `build` validates and returns a typed
+/// [`ConfigError`] — e.g. [`ConfigError::LockstepFlush`] for a scripted
+/// flush cadence in lockstep mode, which would silently do nothing. The
+/// core-cluster setters (`learning_rate`, `aggregation_k`, `shards`,
+/// `apply_mode`) are flattened into this builder.
+#[derive(Debug, Clone)]
+pub struct SimulationConfigBuilder {
+    config: SimulationConfig,
+}
+
+impl SimulationConfigBuilder {
+    /// Sets the learning rate γ.
+    pub fn learning_rate(mut self, value: f32) -> Self {
+        self.config.core.learning_rate = value;
+        self
+    }
+
+    /// Sets the aggregation parameter K.
+    pub fn aggregation_k(mut self, value: usize) -> Self {
+        self.config.core.aggregation_k = value;
+        self
+    }
+
+    /// Sets the parameter-server shard count.
+    pub fn shards(mut self, value: usize) -> Self {
+        self.config.core.shards = value;
+        self
+    }
+
+    /// Sets the shard apply-scheduling mode.
+    pub fn apply_mode(mut self, value: ApplyMode) -> Self {
+        self.config.core.apply_mode = value;
+        self
+    }
+
+    /// Replaces the whole core cluster at once.
+    pub fn core(mut self, value: CoreConfig) -> Self {
+        self.config.core = value;
+        self
+    }
+
+    /// Sets the number of global steps.
+    pub fn steps(mut self, value: usize) -> Self {
+        self.config.steps = value;
+        self
+    }
+
+    /// Sets the mini-batch size per learning task.
+    pub fn batch_size(mut self, value: usize) -> Self {
+        self.config.batch_size = value;
+        self
+    }
+
+    /// Sets the staleness distribution of worker updates.
+    pub fn staleness(mut self, value: StalenessDistribution) -> Self {
+        self.config.staleness = value;
+        self
+    }
+
+    /// Forces the staleness of tasks containing `class` to `staleness`.
+    pub fn class_straggler(mut self, class: usize, staleness: u64) -> Self {
+        self.config.class_straggler = Some((class, staleness));
+        self
+    }
+
+    /// Enables the Gaussian DP mechanism with `(clip_norm, noise_multiplier)`.
+    pub fn dp(mut self, clip_norm: f32, noise_multiplier: f32) -> Self {
+        self.config.dp = Some((clip_norm, noise_multiplier));
+        self
+    }
+
+    /// Sets the evaluation cadence in steps.
+    pub fn eval_every(mut self, value: usize) -> Self {
+        self.config.eval_every = value;
+        self
+    }
+
+    /// Caps the number of test examples per evaluation.
+    pub fn eval_examples(mut self, value: usize) -> Self {
+        self.config.eval_examples = value;
+        self
+    }
+
+    /// Tracks the accuracy of one class separately.
+    pub fn track_class(mut self, class: usize) -> Self {
+        self.config.track_class = Some(class);
+        self
+    }
+
+    /// Sets the scripted shard-flush cadence (per-shard mode only).
+    pub fn flush_every(mut self, value: usize) -> Self {
+        self.config.flush_every = value;
+        self
+    }
+
+    /// Sets the fault-injection schedule.
+    pub fn faults(mut self, value: FaultPlan) -> Self {
+        self.config.faults = value;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, value: u64) -> Self {
+        self.config.seed = value;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SimulationConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -285,6 +429,8 @@ pub struct AsyncSimulation<'a> {
     test: &'a Dataset,
     users: &'a UserPartition,
     config: SimulationConfig,
+    /// Where round/delivery events are reported; disabled by default.
+    telemetry: TelemetryHandle,
 }
 
 /// The mutable state of a run in flight (see the phase comments in
@@ -315,12 +461,12 @@ impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
         let server = ParameterServer::new(
             model.parameters(),
             aggregator,
-            cfg.learning_rate,
-            cfg.aggregation_k,
+            cfg.core.learning_rate,
+            cfg.core.aggregation_k,
         )
-        .with_shards(cfg.shards.max(1))
-        .with_apply_mode(cfg.apply_mode);
-        let per_shard = cfg.apply_mode == ApplyMode::PerShard;
+        .with_shards(cfg.core.shards.max(1))
+        .with_apply_mode(cfg.core.apply_mode);
+        let per_shard = cfg.core.apply_mode == ApplyMode::PerShard;
 
         // Bounded history of past parameter snapshots; index 0 is the oldest.
         let max_history = sim.max_history();
@@ -369,11 +515,11 @@ impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
         let mut server = ParameterServer::new(
             checkpoint.server.parameters.clone(),
             aggregator,
-            cfg.learning_rate,
-            cfg.aggregation_k,
+            cfg.core.learning_rate,
+            cfg.core.aggregation_k,
         )
-        .with_shards(cfg.shards.max(1))
-        .with_apply_mode(cfg.apply_mode);
+        .with_shards(cfg.core.shards.max(1))
+        .with_apply_mode(cfg.core.apply_mode);
         server.restore_state(checkpoint.server.clone());
 
         let (eval_inputs, eval_labels) = sim.eval_batch();
@@ -388,7 +534,7 @@ impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
                 GaussianMechanism::from_rng_state(clip, sigma, state)
             }),
             server,
-            per_shard: cfg.apply_mode == ApplyMode::PerShard,
+            per_shard: cfg.core.apply_mode == ApplyMode::PerShard,
             max_history: sim.max_history(),
             history: checkpoint.history.iter().cloned().collect(),
             clock_history: checkpoint.clock_history.iter().cloned().collect(),
@@ -464,18 +610,57 @@ impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
                     decoded.worker_id,
                 );
                 update.read_clock = decoded.read_clock;
+                let applied_before = if self.sim.telemetry.is_enabled() {
+                    self.server.shard_applied_counts()
+                } else {
+                    Vec::new()
+                };
                 let outcome = self.server.submit(update);
+                if let Some(sink) = self.sim.telemetry.get() {
+                    sink.add(Counter::Results, 1);
+                    sink.add(Counter::Applied, 1);
+                    if outcome.applied {
+                        sink.add(Counter::ModelUpdates, 1);
+                    }
+                    let applied_after = self.server.shard_applied_counts();
+                    for (shard, (after, before)) in
+                        applied_after.iter().zip(applied_before.iter()).enumerate()
+                    {
+                        if after > before {
+                            sink.shard_applies(shard, after - before);
+                        }
+                    }
+                    for (shard, depth) in self.server.shard_pending_depths().iter().enumerate() {
+                        sink.queue_depth(shard, *depth as u64);
+                    }
+                }
                 self.result.scaling_factors.push(outcome.scaling_factor);
                 self.result.faults.applied += 1;
                 if was_delayed {
                     self.result.faults.delayed_delivered += 1;
                 }
             }
-            ResultDisposition::Duplicate => self.result.faults.duplicates_rejected += 1,
-            ResultDisposition::Expired => self.result.faults.expired_rejected += 1,
-            // The simulation only replays results it leased itself, so this
-            // arm is unreachable in practice; counting keeps it honest.
-            ResultDisposition::Unsolicited => self.result.faults.expired_rejected += 1,
+            disposition => {
+                if let Some(sink) = self.sim.telemetry.get() {
+                    sink.add(Counter::Results, 1);
+                    sink.add(
+                        match disposition {
+                            ResultDisposition::Duplicate => Counter::Duplicates,
+                            ResultDisposition::Expired => Counter::Expired,
+                            _ => Counter::Unsolicited,
+                        },
+                        1,
+                    );
+                }
+                match disposition {
+                    ResultDisposition::Duplicate => self.result.faults.duplicates_rejected += 1,
+                    ResultDisposition::Expired => self.result.faults.expired_rejected += 1,
+                    // The simulation only replays results it leased itself,
+                    // so this arm is unreachable in practice; counting keeps
+                    // it honest.
+                    _ => self.result.faults.expired_rejected += 1,
+                }
+            }
         }
     }
 
@@ -514,8 +699,8 @@ impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
         // planning commutes with gradient computation bit-for-bit. Fault
         // decisions are stateless hashes — they consume nothing.
         let clock = self.server.clock();
-        let mut tasks = Vec::with_capacity(cfg.aggregation_k);
-        for _ in 0..cfg.aggregation_k {
+        let mut tasks = Vec::with_capacity(cfg.core.aggregation_k);
+        for _ in 0..cfg.core.aggregation_k {
             // Pick a user with local data.
             let user = loop {
                 let candidate = self.rng.gen_range(0..self.sim.users.len());
@@ -693,6 +878,9 @@ impl<'s, 'a, A: Aggregator> Engine<'s, 'a, A> {
                     .and_then(|c| class_accuracy(&predictions, &self.eval_labels, c)),
             });
         }
+        if let Some(sink) = self.sim.telemetry.get() {
+            sink.add(Counter::SimRounds, 1);
+        }
     }
 
     fn finish(self, model: &mut Sequential) -> TrainingHistory {
@@ -722,7 +910,15 @@ impl<'a> AsyncSimulation<'a> {
             test,
             users,
             config,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink; round and delivery events from here on are
+    /// reported through it. Telemetry never influences the trajectory — a
+    /// run with a sink installed stays bit-identical to one without.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// Runs the simulation with the given aggregator, starting from `model`'s
@@ -819,8 +1015,11 @@ mod tests {
 
     fn fast_config(staleness: StalenessDistribution) -> SimulationConfig {
         SimulationConfig {
+            core: CoreConfig {
+                learning_rate: 0.1,
+                ..CoreConfig::default()
+            },
             steps: 150,
-            learning_rate: 0.1,
             batch_size: 20,
             eval_every: 50,
             eval_examples: 120,
@@ -945,7 +1144,7 @@ mod tests {
         // parameters, whatever the thread count.
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::d1());
-        cfg.aggregation_k = 4;
+        cfg.core.aggregation_k = 4;
         cfg.steps = 40;
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
 
@@ -967,9 +1166,9 @@ mod tests {
         let mut params = Vec::new();
         for shards in [1usize, 2, 8] {
             let mut cfg = fast_config(StalenessDistribution::d1());
-            cfg.aggregation_k = 4;
+            cfg.core.aggregation_k = 4;
             cfg.steps = 30;
-            cfg.shards = shards;
+            cfg.core.shards = shards;
             let sim = AsyncSimulation::new(&train, &test, &users, cfg);
             let mut model = mlp_classifier(8, &[16], 5, 3);
             histories.push(sim.run(&mut model, AdaSgd::new(5, 99.7)));
@@ -991,10 +1190,10 @@ mod tests {
         let mut runs = Vec::new();
         for mode in [ApplyMode::Lockstep, ApplyMode::PerShard] {
             let mut cfg = fast_config(StalenessDistribution::d1());
-            cfg.aggregation_k = 4;
+            cfg.core.aggregation_k = 4;
             cfg.steps = 30;
-            cfg.shards = 4;
-            cfg.apply_mode = mode;
+            cfg.core.shards = 4;
+            cfg.core.apply_mode = mode;
             let sim = AsyncSimulation::new(&train, &test, &users, cfg);
             let mut model = mlp_classifier(8, &[16], 5, 3);
             runs.push((
@@ -1014,10 +1213,10 @@ mod tests {
         let (train, test, users) = world();
         let run = |mode: ApplyMode, flush_every: usize| {
             let mut cfg = fast_config(StalenessDistribution::d1());
-            cfg.aggregation_k = 4;
+            cfg.core.aggregation_k = 4;
             cfg.steps = 30;
-            cfg.shards = 4;
-            cfg.apply_mode = mode;
+            cfg.core.shards = 4;
+            cfg.core.apply_mode = mode;
             cfg.flush_every = flush_every;
             let sim = AsyncSimulation::new(&train, &test, &users, cfg);
             let mut model = mlp_classifier(8, &[16], 5, 3);
@@ -1041,7 +1240,7 @@ mod tests {
         // DP noise is drawn in the ordered apply phase; it must replay.
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::Constant(2));
-        cfg.aggregation_k = 3;
+        cfg.core.aggregation_k = 3;
         cfg.steps = 30;
         cfg.dp = Some((1.0, 0.5));
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
@@ -1070,7 +1269,7 @@ mod tests {
         // bit-for-bit reproducible, and (c) differ from the clean run.
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::d1());
-        cfg.aggregation_k = 4;
+        cfg.core.aggregation_k = 4;
         cfg.steps = 40;
         cfg.faults = FaultPlan::chaos(7);
         let sim = AsyncSimulation::new(&train, &test, &users, cfg.clone());
@@ -1111,7 +1310,7 @@ mod tests {
         // this guards the invariant that fault decisions consume no RNG).
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::d1());
-        cfg.aggregation_k = 4;
+        cfg.core.aggregation_k = 4;
         cfg.steps = 30;
         let mut explicit = cfg.clone();
         explicit.faults = FaultPlan::none();
@@ -1133,10 +1332,10 @@ mod tests {
         // uninterrupted one bit for bit — under faults and DP no less.
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::d1());
-        cfg.aggregation_k = 4;
+        cfg.core.aggregation_k = 4;
         cfg.steps = 40;
-        cfg.shards = 4;
-        cfg.apply_mode = ApplyMode::PerShard;
+        cfg.core.shards = 4;
+        cfg.core.apply_mode = ApplyMode::PerShard;
         cfg.flush_every = 2;
         cfg.dp = Some((1.0, 0.5));
         cfg.faults = FaultPlan::chaos(3);
@@ -1162,7 +1361,7 @@ mod tests {
     fn checkpoints_are_reproducible() {
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::d1());
-        cfg.aggregation_k = 3;
+        cfg.core.aggregation_k = 3;
         cfg.steps = 30;
         cfg.faults = FaultPlan::chaos(11);
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
@@ -1182,7 +1381,7 @@ mod tests {
         // modest margin of the fault-free run.
         let (train, test, users) = world();
         let mut cfg = fast_config(StalenessDistribution::d1());
-        cfg.aggregation_k = 4;
+        cfg.core.aggregation_k = 4;
         cfg.steps = 150;
         let mut chaos_cfg = cfg.clone();
         chaos_cfg.faults = FaultPlan::chaos(5);
@@ -1210,7 +1409,7 @@ mod tests {
         let (train, test, users) = world();
         for seed in [1u64, 2, 3] {
             let mut cfg = fast_config(StalenessDistribution::d1());
-            cfg.aggregation_k = 4;
+            cfg.core.aggregation_k = 4;
             cfg.steps = 30;
             let mut plan = FaultPlan::chaos(seed);
             // Exaggerate duplication so the test bites.

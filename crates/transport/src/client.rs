@@ -23,6 +23,7 @@ use bytes::Bytes;
 use fleet_server::protocol::{ResultAck, TaskRequest, TaskResponse, TaskResult};
 use fleet_server::wire::{self, WireError};
 use fleet_server::RetryPolicy;
+use fleet_telemetry::{Counter, Latency, TelemetryHandle};
 use std::io;
 use std::time::Duration;
 
@@ -39,6 +40,9 @@ pub struct ClientConfig {
     pub write_timeout: Duration,
     /// Bound on a received frame's declared length.
     pub max_frame_len: usize,
+    /// Where client-observed exchange latencies and retry counts are
+    /// reported. Disabled by default.
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for ClientConfig {
@@ -49,6 +53,7 @@ impl Default for ClientConfig {
             read_budget: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_frame_len: frame::MAX_FRAME_LEN,
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 }
@@ -155,7 +160,12 @@ impl WorkerClient {
     /// exactly as in-process.
     pub fn request(&mut self, request: &TaskRequest) -> Result<TaskResponse, ClientError> {
         let raw = wire::encode_request(request).to_vec();
-        let reply = self.exchange(FrameKind::Request, &raw, FrameKind::Response)?;
+        let reply = self.timed_exchange(
+            FrameKind::Request,
+            &raw,
+            FrameKind::Response,
+            Latency::RequestExchange,
+        )?;
         Ok(wire::decode_response(Bytes::from(reply))?)
     }
 
@@ -177,7 +187,12 @@ impl WorkerClient {
     ///
     /// As [`WorkerClient::request`].
     pub fn submit_raw(&mut self, raw: &[u8]) -> Result<ResultAck, ClientError> {
-        let reply = self.exchange(FrameKind::Result, raw, FrameKind::Ack)?;
+        let reply = self.timed_exchange(
+            FrameKind::Result,
+            raw,
+            FrameKind::Ack,
+            Latency::SubmitExchange,
+        )?;
         Ok(wire::decode_ack(Bytes::from(reply))?)
     }
 
@@ -202,6 +217,29 @@ impl WorkerClient {
         decode_status(&reply).map_err(|_| ClientError::Protocol("malformed status reply"))
     }
 
+    /// An [`WorkerClient::exchange`] with its end-to-end duration (including
+    /// reconnects and backoff sleeps — the latency a worker actually
+    /// experiences) reported to the configured telemetry sink.
+    fn timed_exchange(
+        &mut self,
+        kind: FrameKind,
+        payload: &[u8],
+        expect: FrameKind,
+        metric: Latency,
+    ) -> Result<Vec<u8>, ClientError> {
+        let started = self
+            .config
+            .telemetry
+            .get()
+            .map(|sink| sink.now_ns())
+            .unwrap_or(0);
+        let outcome = self.exchange(kind, payload, expect);
+        if let Some(sink) = self.config.telemetry.get() {
+            sink.record_latency(metric, sink.now_ns().saturating_sub(started));
+        }
+        outcome
+    }
+
     /// One request/reply exchange with transparent reconnect: transient
     /// failures cost an attempt and a backoff sleep; definitive answers
     /// (including server `Error` frames) return immediately.
@@ -220,6 +258,9 @@ impl WorkerClient {
                     self.disconnect();
                     match self.config.retry.backoff_rounds(attempt) {
                         Some(rounds) => {
+                            if let Some(sink) = self.config.telemetry.get() {
+                                sink.add(Counter::Retries, 1);
+                            }
                             std::thread::sleep(saturating_mul(self.config.backoff_unit, rounds));
                             attempt += 1;
                         }

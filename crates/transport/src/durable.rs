@@ -37,14 +37,19 @@ impl Durable {
     }
 
     /// Writes a cadence checkpoint when enough steps have passed since the
-    /// last one.
-    pub(crate) fn maybe_checkpoint(&mut self, server: &FleetServer, steps: u64) -> io::Result<()> {
+    /// last one; returns whether one was written.
+    pub(crate) fn maybe_checkpoint(
+        &mut self,
+        server: &FleetServer,
+        steps: u64,
+    ) -> io::Result<bool> {
         if self.checkpoint_every == 0
             || steps.saturating_sub(self.steps_at_checkpoint) < self.checkpoint_every
         {
-            return Ok(());
+            return Ok(false);
         }
-        self.force_checkpoint(server, steps)
+        self.force_checkpoint(server, steps)?;
+        Ok(true)
     }
 
     /// Writes a checkpoint unconditionally (shutdown path).

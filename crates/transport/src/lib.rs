@@ -64,4 +64,4 @@ pub use frame::{FrameError, FrameKind, ServerStatus, MAX_FRAME_LEN};
 // Re-exported so embedders configure durability without a direct
 // fleet-durability dependency.
 pub use fleet_durability::{DurabilityOptions, FsyncPolicy};
-pub use server::{TransportConfig, TransportServer};
+pub use server::{TransportConfig, TransportConfigBuilder, TransportConfigError, TransportServer};

@@ -34,9 +34,10 @@ use crate::frame::{
     self, encode_status, read_frame, write_frame, FrameError, FrameKind, ServerStatus,
 };
 use bytes::Bytes;
-use fleet_durability::{DurabilityOptions, EventKind};
+use fleet_durability::{DurabilityOptions, EventKind, FsyncPolicy};
 use fleet_server::protocol::{RejectionReason, TaskResponse};
 use fleet_server::{encode_checkpoint, FleetServer, FleetServerState, ResultDisposition};
+use fleet_telemetry::{Counter, Latency, TelemetryHandle};
 use std::collections::BTreeSet;
 use std::io;
 use std::io::Read as _;
@@ -69,6 +70,11 @@ pub struct TransportConfig {
     /// checkpoints are written every
     /// [`DurabilityOptions::checkpoint_every`] steps.
     pub durability: Option<DurabilityOptions>,
+    /// Where connection/frame events (and, through the shared core, the
+    /// protocol events of the embedded [`FleetServer`]) are reported.
+    /// Disabled by default; installed on the core after crash recovery so
+    /// replayed events are never double-counted.
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for TransportConfig {
@@ -79,7 +85,189 @@ impl Default for TransportConfig {
             write_timeout: Duration::from_secs(10),
             checkpoint_path: None,
             durability: None,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+}
+
+impl TransportConfig {
+    /// A builder over the defaults. Durability is part of the builder — a
+    /// journal knob without a durable directory is a [`TransportConfigError`]
+    /// at `build` time, so a server can no longer be constructed with the
+    /// journal half-configured.
+    pub fn builder() -> TransportConfigBuilder {
+        TransportConfigBuilder::default()
+    }
+}
+
+/// Why a [`TransportConfigBuilder::build`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportConfigError {
+    /// `max_frame_len` is zero — no frame could ever be received.
+    ZeroMaxFrameLen,
+    /// The per-frame read budget is zero — every frame would time out.
+    ZeroReadBudget,
+    /// The write timeout is zero — every reply would fail.
+    ZeroWriteTimeout,
+    /// A durability knob was set without [`TransportConfigBuilder::durable`]:
+    /// the journal would silently not exist.
+    DurabilityWithoutDir {
+        /// The knob that was set (`checkpoint_every`, `fsync`,
+        /// `keep_generations`).
+        knob: &'static str,
+    },
+    /// `keep_generations` is zero — recovery needs at least one checkpoint
+    /// generation on disk.
+    ZeroKeepGenerations,
+}
+
+impl std::fmt::Display for TransportConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportConfigError::ZeroMaxFrameLen => write!(f, "max_frame_len must be at least 1"),
+            TransportConfigError::ZeroReadBudget => write!(f, "read_budget must be non-zero"),
+            TransportConfigError::ZeroWriteTimeout => write!(f, "write_timeout must be non-zero"),
+            TransportConfigError::DurabilityWithoutDir { knob } => write!(
+                f,
+                "durability knob `{knob}` set without a durable directory; call .durable(dir)"
+            ),
+            TransportConfigError::ZeroKeepGenerations => {
+                write!(f, "keep_generations must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportConfigError {}
+
+/// Builder for [`TransportConfig`]. The durability options are folded in:
+/// `.durable(dir)` turns the journal on, and the cadence/fsync/retention
+/// knobs refine it — setting any of them *without* `.durable(dir)` is a
+/// typed error instead of a silently non-durable server.
+#[derive(Debug, Clone, Default)]
+pub struct TransportConfigBuilder {
+    max_frame_len: Option<usize>,
+    read_budget: Option<Duration>,
+    write_timeout: Option<Duration>,
+    checkpoint_path: Option<PathBuf>,
+    telemetry: Option<TelemetryHandle>,
+    durable_dir: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    fsync: Option<FsyncPolicy>,
+    keep_generations: Option<u64>,
+}
+
+impl TransportConfigBuilder {
+    /// Bounds any received frame's declared length.
+    pub fn max_frame_len(mut self, value: usize) -> Self {
+        self.max_frame_len = Some(value);
+        self
+    }
+
+    /// Sets the wall-clock budget to receive one complete frame.
+    pub fn read_budget(mut self, value: Duration) -> Self {
+        self.read_budget = Some(value);
+        self
+    }
+
+    /// Sets the kernel timeout on any single write.
+    pub fn write_timeout(mut self, value: Duration) -> Self {
+        self.write_timeout = Some(value);
+        self
+    }
+
+    /// Also persists the final shutdown checkpoint to this path.
+    pub fn checkpoint_path(mut self, value: PathBuf) -> Self {
+        self.checkpoint_path = Some(value);
+        self
+    }
+
+    /// Installs a telemetry handle on the server (and its core).
+    pub fn telemetry(mut self, value: TelemetryHandle) -> Self {
+        self.telemetry = Some(value);
+        self
+    }
+
+    /// Turns durability on: recover from (and journal into) `dir`.
+    pub fn durable(mut self, dir: PathBuf) -> Self {
+        self.durable_dir = Some(dir);
+        self
+    }
+
+    /// Applied steps between cadence checkpoints (0 = startup/shutdown
+    /// only). Requires [`TransportConfigBuilder::durable`].
+    pub fn checkpoint_every(mut self, value: u64) -> Self {
+        self.checkpoint_every = Some(value);
+        self
+    }
+
+    /// When the durable store fsyncs. Requires
+    /// [`TransportConfigBuilder::durable`].
+    pub fn fsync(mut self, value: FsyncPolicy) -> Self {
+        self.fsync = Some(value);
+        self
+    }
+
+    /// Checkpoint generations retained on disk. Requires
+    /// [`TransportConfigBuilder::durable`].
+    pub fn keep_generations(mut self, value: u64) -> Self {
+        self.keep_generations = Some(value);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<TransportConfig, TransportConfigError> {
+        let defaults = TransportConfig::default();
+        let max_frame_len = self.max_frame_len.unwrap_or(defaults.max_frame_len);
+        if max_frame_len == 0 {
+            return Err(TransportConfigError::ZeroMaxFrameLen);
+        }
+        let read_budget = self.read_budget.unwrap_or(defaults.read_budget);
+        if read_budget.is_zero() {
+            return Err(TransportConfigError::ZeroReadBudget);
+        }
+        let write_timeout = self.write_timeout.unwrap_or(defaults.write_timeout);
+        if write_timeout.is_zero() {
+            return Err(TransportConfigError::ZeroWriteTimeout);
+        }
+        let durability = match self.durable_dir {
+            Some(dir) => {
+                let mut options = DurabilityOptions::new(dir);
+                if let Some(every) = self.checkpoint_every {
+                    options.checkpoint_every = every;
+                }
+                if let Some(fsync) = self.fsync {
+                    options.fsync = fsync;
+                }
+                if let Some(keep) = self.keep_generations {
+                    if keep == 0 {
+                        return Err(TransportConfigError::ZeroKeepGenerations);
+                    }
+                    options.keep_generations = keep;
+                }
+                Some(options)
+            }
+            None => {
+                for (set, knob) in [
+                    (self.checkpoint_every.is_some(), "checkpoint_every"),
+                    (self.fsync.is_some(), "fsync"),
+                    (self.keep_generations.is_some(), "keep_generations"),
+                ] {
+                    if set {
+                        return Err(TransportConfigError::DurabilityWithoutDir { knob });
+                    }
+                }
+                None
+            }
+        };
+        Ok(TransportConfig {
+            max_frame_len,
+            read_budget,
+            write_timeout,
+            checkpoint_path: self.checkpoint_path,
+            durability,
+            telemetry: self.telemetry.unwrap_or_default(),
+        })
     }
 }
 
@@ -139,6 +327,9 @@ impl TransportServer {
             }
             None => (None, 0),
         };
+        // Installed after recovery so journal replay is never double-counted
+        // as live protocol traffic.
+        server.set_telemetry(config.telemetry.clone());
         let (listener, resolved) = Listener::bind(endpoint)?;
         let shared = Arc::new(Shared {
             core: Mutex::new(Core {
@@ -298,6 +489,9 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) {
 /// best-effort `Error` frame, reclaim the leases issued on this connection,
 /// close the socket.
 fn serve_conn(shared: &Shared, mut stream: Stream) {
+    if let Some(sink) = shared.config.telemetry.get() {
+        sink.add(Counter::ConnectionsOpened, 1);
+    }
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     // Task ids assigned over this connection. On any disconnect they are
     // force-reclaimed; ids whose results were applied are in the completed
@@ -323,7 +517,22 @@ fn serve_conn(shared: &Shared, mut stream: Stream) {
             read_frame(&mut reader, shared.config.max_frame_len)
         };
         let outcome = match frame {
-            Ok((kind, payload)) => handle_frame(shared, kind, payload, &mut issued),
+            Ok((kind, payload)) => {
+                let started = shared
+                    .config
+                    .telemetry
+                    .get()
+                    .map(|sink| sink.now_ns())
+                    .unwrap_or(0);
+                let outcome = handle_frame(shared, kind, payload, &mut issued);
+                if let Some(sink) = shared.config.telemetry.get() {
+                    sink.record_latency(
+                        Latency::HandleFrame,
+                        sink.now_ns().saturating_sub(started),
+                    );
+                }
+                outcome
+            }
             Err(FrameError::Closed) => break,
             Err(err @ (FrameError::Io(_) | FrameError::Torn { .. })) => {
                 // The peer is gone or mid-crash; an Error frame would only
@@ -350,6 +559,9 @@ fn serve_conn(shared: &Shared, mut stream: Stream) {
                 break;
             }
         }
+    }
+    if let Some(sink) = shared.config.telemetry.get() {
+        sink.add(Counter::ConnectionsClosed, 1);
     }
     if !issued.is_empty() {
         let mut core = shared.core.lock().expect("core mutex");
@@ -445,8 +657,17 @@ fn handle_frame(
                         if let Err(err) = durable.append(EventKind::Request, raw) {
                             return ConnOutcome::Fatal(format!("journal append failed: {err}"));
                         }
-                        if let Err(err) = durable.maybe_checkpoint(server, *steps) {
-                            return ConnOutcome::Fatal(format!("checkpoint failed: {err}"));
+                        let checkpointed = match durable.maybe_checkpoint(server, *steps) {
+                            Ok(wrote) => wrote,
+                            Err(err) => {
+                                return ConnOutcome::Fatal(format!("checkpoint failed: {err}"))
+                            }
+                        };
+                        if let Some(sink) = shared.config.telemetry.get() {
+                            sink.add(Counter::JournalAppends, 1);
+                            if checkpointed {
+                                sink.add(Counter::Checkpoints, 1);
+                            }
                         }
                     }
                     ConnOutcome::Reply(
@@ -484,8 +705,17 @@ fn handle_frame(
                         if let Err(err) = durable.append(EventKind::Result, raw) {
                             return ConnOutcome::Fatal(format!("journal append failed: {err}"));
                         }
-                        if let Err(err) = durable.maybe_checkpoint(server, *steps) {
-                            return ConnOutcome::Fatal(format!("checkpoint failed: {err}"));
+                        let checkpointed = match durable.maybe_checkpoint(server, *steps) {
+                            Ok(wrote) => wrote,
+                            Err(err) => {
+                                return ConnOutcome::Fatal(format!("checkpoint failed: {err}"))
+                            }
+                        };
+                        if let Some(sink) = shared.config.telemetry.get() {
+                            sink.add(Counter::JournalAppends, 1);
+                            if checkpointed {
+                                sink.add(Counter::Checkpoints, 1);
+                            }
                         }
                     }
                     ConnOutcome::Reply(

@@ -31,10 +31,10 @@ pub fn fresh_server(config: FleetServerConfig) -> FleetServer {
 
 /// The tests' base config (matching the 4-class dataset).
 pub fn base_config() -> FleetServerConfig {
-    FleetServerConfig {
-        num_classes: 4,
-        ..FleetServerConfig::default()
-    }
+    FleetServerConfig::builder()
+        .num_classes(4)
+        .build()
+        .expect("base config is valid")
 }
 
 /// Deterministic workers over a shared synthetic dataset: same seeds, same

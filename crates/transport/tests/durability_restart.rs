@@ -9,9 +9,7 @@ mod common;
 use common::{base_config, build_workers, digest, fresh_server, uds_endpoint};
 use fleet_server::protocol::TaskResponse;
 use fleet_server::{FleetServerConfig, ResultDisposition};
-use fleet_transport::{
-    DurabilityOptions, Endpoint, FsyncPolicy, TransportConfig, TransportServer, WorkerClient,
-};
+use fleet_transport::{Endpoint, FsyncPolicy, TransportConfig, TransportServer, WorkerClient};
 use std::path::{Path, PathBuf};
 
 /// A fresh durable directory under the system temp dir.
@@ -24,22 +22,22 @@ fn durable_dir(tag: &str) -> PathBuf {
 /// Tight-cadence durability options (checkpoint every step) so restart
 /// exercises both checkpoint restore *and* journal replay.
 fn durable_config(dir: &Path, checkpoint_every: u64) -> TransportConfig {
-    let mut options = DurabilityOptions::new(dir.to_path_buf());
-    options.checkpoint_every = checkpoint_every;
-    options.fsync = FsyncPolicy::Never;
-    TransportConfig {
-        durability: Some(options),
-        ..TransportConfig::default()
-    }
+    TransportConfig::builder()
+        .durable(dir.to_path_buf())
+        .checkpoint_every(checkpoint_every)
+        .fsync(FsyncPolicy::Never)
+        .build()
+        .expect("durable config is valid")
 }
 
 /// The long-lease config the crash tests run under: leases must outlive the
 /// crash, not expire across it.
 fn long_lease_config() -> FleetServerConfig {
-    FleetServerConfig {
-        lease_min_rounds: 1 << 32,
-        ..base_config()
-    }
+    base_config()
+        .to_builder()
+        .lease_min_rounds(1 << 32)
+        .build()
+        .expect("long-lease config is valid")
 }
 
 /// The reference trajectory: the same schedule through the in-process wire

@@ -92,11 +92,12 @@ fn overload_rejection_travels_the_wire() {
     // K = 100 never applies; max_pending = 1 saturates the shard after one
     // buffered gradient, so the second worker's request is shed over the
     // socket exactly as it would be in-process.
-    let config = FleetServerConfig {
-        aggregation_k: 100,
-        max_pending: 1,
-        ..base_config()
-    };
+    let config = base_config()
+        .to_builder()
+        .aggregation_k(100)
+        .max_pending(1)
+        .build()
+        .expect("overload config is valid");
     let server = TransportServer::bind(
         &uds_endpoint("overload"),
         fresh_server(config),
@@ -178,10 +179,10 @@ fn read_deadline_kills_a_stalled_peer_but_not_the_server() {
     let server = TransportServer::bind(
         &uds_endpoint("deadline"),
         fresh_server(base_config()),
-        TransportConfig {
-            read_budget: Duration::from_millis(80),
-            ..TransportConfig::default()
-        },
+        TransportConfig::builder()
+            .read_budget(Duration::from_millis(80))
+            .build()
+            .expect("deadline config is valid"),
     )
     .expect("bind");
     let endpoint = server.endpoint().clone();
@@ -285,19 +286,20 @@ fn shutdown_drains_shards_and_persists_the_checkpoint() {
     let checkpoint_path =
         std::env::temp_dir().join(format!("fleet-transport-{}-drain.ckpt", std::process::id()));
     let _ = std::fs::remove_file(&checkpoint_path);
-    let config = FleetServerConfig {
-        aggregation_k: 2,
-        shards: 2,
-        apply_mode: ApplyMode::PerShard,
-        ..base_config()
-    };
+    let config = base_config()
+        .to_builder()
+        .aggregation_k(2)
+        .shards(2)
+        .apply_mode(ApplyMode::PerShard)
+        .build()
+        .expect("drain config is valid");
     let server = TransportServer::bind(
         &uds_endpoint("drain"),
         fresh_server(config),
-        TransportConfig {
-            checkpoint_path: Some(checkpoint_path.clone()),
-            ..TransportConfig::default()
-        },
+        TransportConfig::builder()
+            .checkpoint_path(checkpoint_path.clone())
+            .build()
+            .expect("checkpoint config is valid"),
     )
     .expect("bind");
     let endpoint = server.endpoint().clone();
@@ -359,10 +361,13 @@ fn concurrent_clients_multiplex_onto_one_core() {
         // Generous leases: this test is about multiplexing, and with four
         // unsynchronised clients a default four-round lease can expire while
         // its worker legitimately computes.
-        fresh_server(FleetServerConfig {
-            lease_min_rounds: 64,
-            ..base_config()
-        }),
+        fresh_server(
+            base_config()
+                .to_builder()
+                .lease_min_rounds(64)
+                .build()
+                .expect("long-lease config is valid"),
+        ),
         TransportConfig::default(),
     )
     .expect("bind");

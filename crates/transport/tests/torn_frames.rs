@@ -52,13 +52,13 @@ fn every_prefix_of_a_valid_frame_leaves_the_server_standing() {
     let server = TransportServer::bind(
         &uds_endpoint("fuzz"),
         fresh_server(base_config()),
-        TransportConfig {
+        TransportConfig::builder()
             // Keep the fuzz loop brisk: a torn prefix parks its connection
             // until the frame deadline lapses, and the deadline threads all
             // resolve concurrently.
-            read_budget: Duration::from_millis(200),
-            ..TransportConfig::default()
-        },
+            .read_budget(Duration::from_millis(200))
+            .build()
+            .expect("fuzz config is valid"),
     )
     .expect("bind");
     let endpoint = server.endpoint().clone();

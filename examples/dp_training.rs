@@ -39,20 +39,21 @@ fn main() {
     println!("privacy               | algorithm | final accuracy");
     for (label, dp) in scenarios {
         for which in ["AdaSGD", "DynSGD"] {
-            let config = SimulationConfig {
-                steps: steps as usize,
-                learning_rate: 0.05,
-                batch_size: 50,
-                staleness: StalenessDistribution::Gaussian {
+            let mut builder = SimulationConfig::builder()
+                .steps(steps as usize)
+                .learning_rate(0.05)
+                .batch_size(50)
+                .staleness(StalenessDistribution::Gaussian {
                     mean: 12.0,
                     std: 4.0,
-                },
-                dp,
-                eval_every: 200,
-                eval_examples: 600,
-                seed: 17,
-                ..SimulationConfig::default()
-            };
+                })
+                .eval_every(200)
+                .eval_examples(600)
+                .seed(17);
+            if let Some((clip_norm, noise_multiplier)) = dp {
+                builder = builder.dp(clip_norm, noise_multiplier);
+            }
+            let config = builder.build().expect("dp config is valid");
             let sim = AsyncSimulation::new(&train, &test, &users, config);
             let mut model = mlp_classifier(32, &[32], 10, 4);
             let history = if which == "AdaSGD" {

@@ -1,0 +1,227 @@
+//! `fleet_load` — the open-loop fleet load harness.
+//!
+//! Boots a real `TransportServer` over a Unix socket, generates a
+//! deterministic open-loop workload from the `fleet-device` models, and
+//! replays it through real worker connections while one shared telemetry
+//! recorder collects latency distributions, queue depths, per-shard apply
+//! rates and protocol counters. Each sweep point becomes one entry of a
+//! `fleet-bench-v2` JSON document (diffable with
+//! `scripts/bench_compare.py`).
+//!
+//! ```text
+//! cargo run --release -p fleet-examples --example fleet_load -- \
+//!     --workers 64,256,1024 --connections 8 --ops 4 --seed 42 \
+//!     --shards 4 --k 2 --json FLEET_load.json
+//! ```
+//!
+//! `--digest-only` prints each sweep point's schedule digest without
+//! driving the server — the CI determinism pin uses this at two
+//! `FLEET_NUM_THREADS` settings and requires identical output.
+
+use fleet_core::ApplyMode;
+use fleet_loadgen::{
+    build_fleet, drive, load_entry, load_report, model_parameters, DriveOptions, FleetShape,
+    Schedule, WorkloadSpec,
+};
+use fleet_server::{FleetServer, FleetServerConfig};
+use fleet_telemetry::{Recorder, ResourceUsage, TelemetryHandle, TelemetrySink};
+use fleet_transport::{Endpoint, TransportConfig, TransportServer};
+use std::sync::Arc;
+
+struct Args {
+    workers: Vec<usize>,
+    connections: usize,
+    ops: usize,
+    seed: u64,
+    shards: usize,
+    aggregation_k: usize,
+    time_scale: f64,
+    json: Option<String>,
+    digest_only: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workers: vec![64, 256, 1024],
+            connections: 8,
+            ops: 4,
+            seed: 42,
+            shards: 4,
+            aggregation_k: 2,
+            time_scale: 0.0,
+            json: None,
+            digest_only: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = value("--workers")
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--workers takes integers"))
+                    .collect();
+            }
+            "--connections" => args.connections = value("--connections").parse().expect("integer"),
+            "--ops" => args.ops = value("--ops").parse().expect("integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("integer"),
+            "--shards" => args.shards = value("--shards").parse().expect("integer"),
+            "--k" => args.aggregation_k = value("--k").parse().expect("integer"),
+            "--scale" => args.time_scale = value("--scale").parse().expect("float"),
+            "--json" => args.json = Some(value("--json")),
+            "--digest-only" => args.digest_only = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: fleet_load [--workers N,N,...] \
+                     [--connections N] [--ops N] [--seed N] [--shards N] [--k N] \
+                     [--scale F] [--json PATH] [--digest-only]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn spec_for(args: &Args, workers: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        workers,
+        ops_per_worker: args.ops,
+        seed: args.seed,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.digest_only {
+        for &workers in &args.workers {
+            let schedule =
+                Schedule::generate(&spec_for(&args, workers)).expect("workload spec is valid");
+            println!(
+                "fleet_load schedule workers={workers} digest: {:#018x}",
+                schedule.digest()
+            );
+        }
+        return;
+    }
+
+    let shape = FleetShape::default();
+    let mut report = load_report();
+    report.meta_str("seed", &args.seed.to_string());
+
+    for &workers in &args.workers {
+        let spec = spec_for(&args, workers);
+        let schedule = Schedule::generate(&spec).expect("workload spec is valid");
+        println!(
+            "fleet_load schedule workers={workers} digest: {:#018x} ({} events, horizon {:.2}s)",
+            schedule.digest(),
+            schedule.events().len(),
+            schedule.horizon_ns() as f64 / 1e9
+        );
+
+        // One recorder per sweep point: server and clients share it, so
+        // the snapshot is one coherent view of the run.
+        let recorder: Arc<Recorder> = Arc::new(Recorder::new());
+        let config = FleetServerConfig::builder()
+            .num_classes(shape.num_classes)
+            .shards(args.shards)
+            .aggregation_k(args.aggregation_k)
+            .apply_mode(ApplyMode::PerShard)
+            .max_pending(64)
+            // Open-loop arrivals have no round structure; generous leases
+            // keep reclaim from racing slow lanes.
+            .lease_min_rounds(1 << 20)
+            .build()
+            .expect("server config is valid");
+        let socket =
+            std::env::temp_dir().join(format!("fleet-load-{}-{workers}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let endpoint = Endpoint::uds(socket);
+        let server = TransportServer::bind(
+            &endpoint,
+            FleetServer::new(model_parameters(&shape), config),
+            TransportConfig::builder()
+                .telemetry(TelemetryHandle::new(
+                    Arc::clone(&recorder) as Arc<dyn TelemetrySink>
+                ))
+                .build()
+                .expect("transport config is valid"),
+        )
+        .expect("bind load socket");
+
+        let fleet = build_fleet(&spec, &shape);
+        let options = DriveOptions {
+            connections: args.connections,
+            time_scale: args.time_scale,
+        };
+        let usage_before = ResourceUsage::capture();
+        let started = recorder.now_ns();
+        let stats = drive(
+            &endpoint,
+            &schedule,
+            fleet,
+            Arc::clone(&recorder) as Arc<dyn TelemetrySink>,
+            &options,
+        );
+        let wall_ns = recorder.now_ns().saturating_sub(started);
+        let _ = server.shutdown().expect("shutdown");
+
+        assert_eq!(
+            stats.transport_errors, 0,
+            "load run hit transport errors: {stats:?}"
+        );
+        let snapshot = recorder.snapshot();
+        let entry = load_entry(
+            format!("fleet_load/workers={workers}/conns={}", options.connections),
+            &schedule,
+            &stats,
+            &snapshot,
+            &usage_before,
+            wall_ns,
+        );
+        println!(
+            "  drove {} requests / {} submits in {:.2}s: {} applied, {} overloaded, \
+             request p50/p99 = {}/{} us",
+            stats.requests,
+            stats.submits,
+            wall_ns as f64 / 1e9,
+            stats.applied,
+            stats.rejected_overloaded,
+            entry_u64(&entry, "request_exchange_p50_ns") / 1_000,
+            entry_u64(&entry, "request_exchange_p99_ns") / 1_000,
+        );
+        report.push(entry);
+    }
+
+    if let Some(path) = &args.json {
+        report
+            .write_to(std::path::Path::new(path))
+            .expect("write report JSON");
+        println!("wrote {path}");
+    } else {
+        println!("{}", report.render());
+    }
+}
+
+/// Reads one extended u64 field back out of an entry (display only).
+fn entry_u64(entry: &fleet_telemetry::BenchEntry, key: &str) -> u64 {
+    entry
+        .fields
+        .iter()
+        .find_map(|(k, v)| match (k == key, v) {
+            (true, fleet_telemetry::FieldValue::U64(v)) => Some(*v),
+            _ => None,
+        })
+        .unwrap_or(0)
+}

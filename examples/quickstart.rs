@@ -26,11 +26,11 @@ fn main() {
     let model = mlp_classifier(32, &[32], 10, 0);
     let mut server = FleetServer::new(
         model.parameters(),
-        FleetServerConfig {
-            num_classes: 10,
-            learning_rate: 0.05,
-            ..FleetServerConfig::default()
-        },
+        FleetServerConfig::builder()
+            .num_classes(10)
+            .learning_rate(0.05)
+            .build()
+            .expect("server config is valid"),
     );
 
     // 3. The workers: one simulated phone per user.

@@ -37,8 +37,8 @@ use fleet_ml::models::mlp_classifier;
 use fleet_server::protocol::{RejectionReason, TaskResponse};
 use fleet_server::{wire, FleetServer, FleetServerConfig, ResultDisposition, RetryPolicy, Worker};
 use fleet_transport::{
-    frame, ClientConfig, DurabilityOptions, Endpoint, FrameKind, Stream, TransportConfig,
-    TransportServer, WorkerClient, MAX_FRAME_LEN,
+    frame, ClientConfig, Endpoint, FrameKind, Stream, TransportConfig, TransportServer,
+    WorkerClient, MAX_FRAME_LEN,
 };
 use std::io::Write as _;
 use std::process::Command;
@@ -73,10 +73,10 @@ fn model_parameters() -> Vec<f32> {
 }
 
 fn base_config() -> FleetServerConfig {
-    FleetServerConfig {
-        num_classes: 4,
-        ..FleetServerConfig::default()
-    }
+    FleetServerConfig::builder()
+        .num_classes(4)
+        .build()
+        .expect("base config is valid")
 }
 
 /// FNV-1a over the parameter bit patterns: equal digests mean bit-for-bit
@@ -366,14 +366,15 @@ fn chaos() {
     // single buffered gradient every shard is "saturated", so overload is
     // easy to provoke; generous leases keep reclaim deliberate (forced by
     // disconnects, never by the clock).
-    let config = FleetServerConfig {
-        apply_mode: fleet_core::ApplyMode::PerShard,
-        shards: 2,
-        aggregation_k: 3,
-        max_pending: 1,
-        lease_min_rounds: 64,
-        ..base_config()
-    };
+    let config = base_config()
+        .to_builder()
+        .apply_mode(fleet_core::ApplyMode::PerShard)
+        .shards(2)
+        .aggregation_k(3)
+        .max_pending(1)
+        .lease_min_rounds(64)
+        .build()
+        .expect("chaos config is valid");
     let endpoint = Endpoint::uds(socket_path("chaos"));
     let server = TransportServer::bind(
         &endpoint,
@@ -539,15 +540,14 @@ fn serve(args: &[String]) {
     };
     // A SIGKILLed predecessor leaves its socket file behind; claim it.
     let _ = std::fs::remove_file(&socket);
-    let mut options = DurabilityOptions::new(dir);
-    options.checkpoint_every = KILL_AT_STEPS;
     let server = TransportServer::bind(
         &Endpoint::uds(socket),
         FleetServer::new(model_parameters(), base_config()),
-        TransportConfig {
-            durability: Some(options),
-            ..TransportConfig::default()
-        },
+        TransportConfig::builder()
+            .durable(dir)
+            .checkpoint_every(KILL_AT_STEPS)
+            .build()
+            .expect("durable config is valid"),
     )
     .expect("bind durable socket");
     let mut polls = 0u32;

@@ -14,19 +14,19 @@ fn main() {
     let (train, test) = data.split(0.2);
     let users = non_iid_shards(&train, 50, 2, 4);
 
-    let config = SimulationConfig {
-        steps: 800,
-        learning_rate: 0.03,
-        batch_size: 50,
-        staleness: StalenessDistribution::Gaussian {
+    let config = SimulationConfig::builder()
+        .steps(800)
+        .learning_rate(0.03)
+        .batch_size(50)
+        .staleness(StalenessDistribution::Gaussian {
             mean: 12.0,
             std: 4.0,
-        },
-        eval_every: 100,
-        eval_examples: 600,
-        seed: 5,
-        ..SimulationConfig::default()
-    };
+        })
+        .eval_every(100)
+        .eval_examples(600)
+        .seed(5)
+        .build()
+        .expect("simulation config is valid");
     println!(
         "Non-IID data over {} users, staleness ~ N(12, 4), {} steps\n",
         users.len(),

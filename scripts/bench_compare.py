@@ -3,11 +3,25 @@
 
 Usage:
     bench_compare.py BASELINE.json FRESH.json [--max-slowdown R]
+                     [--gate-percentiles]
+    bench_compare.py --validate FILE.json
 
 Exits non-zero when any benchmark present in both files slowed down by more
 than the threshold (relative: fresh_mean / baseline_mean > R). Benchmarks
 present on only one side are reported but never fail the gate (they are new
 or retired, not regressed). Stdlib only — this runs inside the CI container.
+
+v2 artifacts (`"schema": "fleet-bench-v2"`) may extend entries with latency
+percentile fields (`<metric>_p50_ns` / `_p99_ns` / `_p999_ns`); whenever both
+sides carry the same percentile field it is diffed and printed under its
+benchmark. Percentile ratios are informational unless --gate-percentiles is
+passed — tail latencies on shared CI hosts are noisy, so the default gate
+stays on the mean.
+
+--validate checks a single artifact against the frozen fleet-bench-v2 shape
+(schema tag, meta object, non-empty benchmarks with the mandatory
+name/mean_ns/iterations triple and well-typed extended fields) without
+comparing anything.
 
 The threshold defaults to 1.5 (50% slowdown) and can be overridden with
 --max-slowdown or the FLEET_BENCH_MAX_SLOWDOWN environment variable; bench
@@ -20,25 +34,115 @@ import json
 import os
 import sys
 
+PERCENTILE_SUFFIXES = ("_p50_ns", "_p99_ns", "_p999_ns")
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
-    benchmarks = {b["name"]: float(b["mean_ns"]) for b in doc.get("benchmarks", [])}
+    benchmarks = {b["name"]: b for b in doc.get("benchmarks", [])}
     return doc, benchmarks
+
+
+def validate(path):
+    """Checks one artifact against the frozen fleet-bench-v2 shape."""
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: FAIL: {path}: unreadable: {exc}")
+        return 1
+
+    if doc.get("schema") != "fleet-bench-v2":
+        errors.append(f"schema is {doc.get('schema')!r}, expected 'fleet-bench-v2'")
+    if not isinstance(doc.get("meta"), dict):
+        errors.append("meta object missing")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append("benchmarks array missing or empty")
+        benchmarks = []
+    seen = set()
+    for i, entry in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing name")
+        elif name in seen:
+            errors.append(f"{where}: duplicate name {name!r}")
+        else:
+            seen.add(name)
+        if not isinstance(entry.get("mean_ns"), (int, float)) or isinstance(
+            entry.get("mean_ns"), bool
+        ):
+            errors.append(f"{where}: mean_ns missing or non-numeric")
+        if not isinstance(entry.get("iterations"), int):
+            errors.append(f"{where}: iterations missing or non-integer")
+        for key, value in entry.items():
+            if key == "name":
+                continue
+            if key.endswith("_ns") and not isinstance(value, (int, float)):
+                errors.append(f"{where}: {key} is not numeric")
+            if (
+                key.endswith(PERCENTILE_SUFFIXES)
+                and isinstance(value, (int, float))
+                and value < 0
+            ):
+                errors.append(f"{where}: {key} is negative")
+
+    if errors:
+        for error in errors:
+            print(f"bench_compare: FAIL: {path}: {error}")
+        return 1
+    print(
+        f"bench_compare: {path}: valid fleet-bench-v2 "
+        f"({len(benchmarks)} benchmark(s))"
+    )
+    return 0
+
+
+def shared_percentile_keys(base_entry, fresh_entry):
+    """Percentile fields carried by both sides, in a stable order."""
+    return sorted(
+        key
+        for key in base_entry
+        if key.endswith(PERCENTILE_SUFFIXES)
+        and isinstance(base_entry.get(key), (int, float))
+        and isinstance(fresh_entry.get(key), (int, float))
+    )
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate a single artifact against the fleet-bench-v2 shape",
+    )
     parser.add_argument(
         "--max-slowdown",
         type=float,
         default=float(os.environ.get("FLEET_BENCH_MAX_SLOWDOWN", "1.5")),
         help="maximum allowed fresh/baseline mean ratio (default 1.5)",
     )
+    parser.add_argument(
+        "--gate-percentiles",
+        action="store_true",
+        help="apply the slowdown threshold to percentile fields too",
+    )
     args = parser.parse_args()
+
+    if args.validate:
+        if args.fresh is not None:
+            parser.error("--validate takes exactly one file")
+        return validate(args.baseline)
+    if args.fresh is None:
+        parser.error("comparison needs BASELINE.json and FRESH.json")
 
     base_doc, base = load(args.baseline)
     fresh_doc, fresh = load(args.fresh)
@@ -64,23 +168,44 @@ def main():
     failures = []
     for name in sorted(set(base) | set(fresh)):
         if name not in base:
-            print(f"bench_compare: new benchmark {name}: {fresh[name]:.1f} ns (no baseline)")
+            fresh_mean = float(fresh[name]["mean_ns"])
+            print(f"bench_compare: new benchmark {name}: {fresh_mean:.1f} ns (no baseline)")
             continue
         if name not in fresh:
-            print(f"bench_compare: benchmark {name} retired (baseline {base[name]:.1f} ns)")
+            base_mean = float(base[name]["mean_ns"])
+            print(f"bench_compare: benchmark {name} retired (baseline {base_mean:.1f} ns)")
             continue
-        if base[name] <= 0.0:
+        base_mean = float(base[name]["mean_ns"])
+        fresh_mean = float(fresh[name]["mean_ns"])
+        if base_mean <= 0.0:
             print(f"bench_compare: skipping {name}: non-positive baseline mean")
             continue
-        ratio = fresh[name] / base[name]
+        ratio = fresh_mean / base_mean
         marker = "OK"
         if ratio > args.max_slowdown:
             marker = "REGRESSION"
             failures.append((name, ratio))
         print(
-            f"bench_compare: {marker:>10} {name}: {base[name]:.1f} -> "
-            f"{fresh[name]:.1f} ns ({ratio:.2f}x)"
+            f"bench_compare: {marker:>10} {name}: {base_mean:.1f} -> "
+            f"{fresh_mean:.1f} ns ({ratio:.2f}x)"
         )
+        for key in shared_percentile_keys(base[name], fresh[name]):
+            base_v = float(base[name][key])
+            fresh_v = float(fresh[name][key])
+            if base_v <= 0.0:
+                continue
+            p_ratio = fresh_v / base_v
+            p_marker = "ok"
+            if p_ratio > args.max_slowdown:
+                if args.gate_percentiles:
+                    p_marker = "REGRESSION"
+                    failures.append((f"{name}:{key}", p_ratio))
+                else:
+                    p_marker = "slower"
+            print(
+                f"bench_compare:     {p_marker:>10} {key}: {base_v:.0f} -> "
+                f"{fresh_v:.0f} ns ({p_ratio:.2f}x)"
+            )
 
     if failures:
         worst = max(failures, key=lambda f: f[1])

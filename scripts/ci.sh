@@ -17,10 +17,16 @@
 #                           process SIGKILLed mid-run, a replacement
 #                           recovers checkpoint + journal from disk; run
 #                           twice, the digest is pinned as chaos_kill and
-#                           must equal the uninterrupted trajectory), bench
-#                           smoke writing BENCH_kernels.json,
-#                           BENCH_shards.json, BENCH_conv.json,
-#                           BENCH_transport.json and BENCH_durability.json
+#                           must equal the uninterrupted trajectory), the
+#                           loadgen smoke (the open-loop workload-schedule
+#                           digest must be bit-identical at two
+#                           FLEET_NUM_THREADS settings and match the pinned
+#                           loadgen value, then a small fleet_load sweep
+#                           writes FLEET_load.json which must validate as
+#                           fleet-bench-v2), bench smoke writing
+#                           BENCH_kernels.json, BENCH_shards.json,
+#                           BENCH_conv.json, BENCH_transport.json and
+#                           BENCH_durability.json
 #   scripts/ci.sh --quick   skip the digest sweep and the bench smoke (the
 #                           scalar-forced parity suites and fleet-lint still
 #                           run: on hosts whose dispatcher auto-selects AVX2,
@@ -136,6 +142,7 @@ if [[ "${1:-}" != "--quick" ]]; then
         chaos_p2_ref=""
         socket_ref=""
         chaos_kill_ref=""
+        loadgen_ref=""
     else
         shard_ref=$(expected_digest shard)
         cnn_ref=$(expected_digest cnn)
@@ -146,10 +153,11 @@ if [[ "${1:-}" != "--quick" ]]; then
         chaos_p2_ref=$(expected_digest chaos_p2)
         socket_ref=$(expected_digest socket)
         chaos_kill_ref=$(expected_digest chaos_kill)
+        loadgen_ref=$(expected_digest loadgen)
         if [[ -z "$shard_ref" || -z "$cnn_ref" || -z "$pershard_ref" ||
               -z "$chaos_l1_ref" || -z "$chaos_p1_ref" ||
               -z "$chaos_l2_ref" || -z "$chaos_p2_ref" || -z "$socket_ref" ||
-              -z "$chaos_kill_ref" ]]; then
+              -z "$chaos_kill_ref" || -z "$loadgen_ref" ]]; then
             echo "FAIL: scripts/expected_digests.txt is missing a pinned digest"
             exit 1
         fi
@@ -287,6 +295,58 @@ if [[ "${1:-}" != "--quick" ]]; then
         exit 1
     fi
 
+    # Open-loop load harness: the workload schedule is a pure function of
+    # the spec — generated through the same deterministic fan-out as the
+    # kernels, so its digest must be bit-identical across thread counts and
+    # match the pinned value (workers=64 ops=2 seed=42). Then a small sweep
+    # drives a real TransportServer over UDS and the resulting
+    # FLEET_load.json must validate against the frozen fleet-bench-v2 shape
+    # (and, with FLEET_BENCH_COMPARE=1, diff cleanly against the committed
+    # artifact — latency percentiles included).
+    echo "==> loadgen schedule digest (FLEET_NUM_THREADS=1 vs 7)"
+    loadgen_digest() {
+        local out
+        out=$(FLEET_NUM_THREADS=$1 cargo run --release -q -p fleet-examples \
+            --example fleet_load -- --digest-only --workers 64 --ops 2) || {
+            echo "FAIL: fleet_load --digest-only at FLEET_NUM_THREADS=$1"
+            exit 1
+        }
+        grep -o 'digest: 0x[0-9a-f]*' <<<"$out" | head -1
+    }
+    load_a=$(loadgen_digest 1)
+    load_b=$(loadgen_digest 7)
+    if [[ -z "$load_a" || "$load_a" != "$load_b" ]]; then
+        echo "FAIL: loadgen digest differs across thread counts ('$load_a' vs '$load_b')"
+        exit 1
+    fi
+    load_a=${load_a##* }
+    echo "    loadgen -> $load_a (identical at 1 and 7 threads)"
+    if [[ -z "$loadgen_ref" ]]; then
+        loadgen_ref="$load_a"
+    elif [[ "$load_a" != "$loadgen_ref" ]]; then
+        echo "FAIL: loadgen digest drifted from $loadgen_ref"
+        exit 1
+    fi
+
+    echo "==> loadgen smoke (fleet_load sweep over uds -> FLEET_load.json)"
+    load_baseline=""
+    if [[ "${FLEET_BENCH_COMPARE:-0}" == "1" && -f FLEET_load.json ]]; then
+        load_baseline="FLEET_load.json.baseline"
+        cp FLEET_load.json "$load_baseline"
+    fi
+    cargo run --release -q -p fleet-examples --example fleet_load -- \
+        --workers 64,256 --ops 2 --connections 4 --json FLEET_load.json || {
+        echo "FAIL: fleet_load sweep"
+        exit 1
+    }
+    echo "==> wrote FLEET_load.json"
+    python3 scripts/bench_compare.py --validate FLEET_load.json
+    if [[ -n "$load_baseline" ]]; then
+        echo "==> bench compare (FLEET_load.json vs committed baseline)"
+        python3 scripts/bench_compare.py "$load_baseline" FLEET_load.json
+        rm -f "$load_baseline"
+    fi
+
     if [[ "${FLEET_PIN_DIGESTS:-0}" == "1" ]]; then
         # Keep the header comments, replace the pinned values.
         tmp=$(mktemp)
@@ -301,6 +361,7 @@ if [[ "${1:-}" != "--quick" ]]; then
             echo "chaos_p2 $chaos_p2_ref"
             echo "socket $socket_ref"
             echo "chaos_kill $chaos_kill_ref"
+            echo "loadgen $loadgen_ref"
         } >> "$tmp"
         mv "$tmp" scripts/expected_digests.txt
         echo "==> re-pinned scripts/expected_digests.txt (commit it deliberately)"

@@ -27,10 +27,10 @@ fn request(worker_id: u64, device_model: &str) -> TaskRequest {
 fn server() -> FleetServer {
     FleetServer::new(
         vec![0.0; 16],
-        FleetServerConfig {
-            num_classes: 4,
-            ..FleetServerConfig::default()
-        },
+        FleetServerConfig::builder()
+            .num_classes(4)
+            .build()
+            .expect("server config is valid"),
     )
 }
 

@@ -18,11 +18,11 @@ fn full_protocol_round_trips_improve_the_model() {
     let train = Arc::new(train);
     let mut server = FleetServer::new(
         small_model(0).parameters(),
-        FleetServerConfig {
-            num_classes: 10,
-            learning_rate: 0.05,
-            ..FleetServerConfig::default()
-        },
+        FleetServerConfig::builder()
+            .num_classes(10)
+            .learning_rate(0.05)
+            .build()
+            .expect("server config is valid"),
     );
     let phones = catalogue();
     let mut workers: Vec<Worker> = users
@@ -89,10 +89,10 @@ fn battery_drain_stays_small_per_task() {
     );
     let mut server = FleetServer::new(
         small_model(0).parameters(),
-        FleetServerConfig {
-            num_classes: 10,
-            ..FleetServerConfig::default()
-        },
+        FleetServerConfig::builder()
+            .num_classes(10)
+            .build()
+            .expect("server config is valid"),
     );
     let request = worker.request();
     if let TaskResponse::Assignment(mut assignment) = server.handle_request(&request) {

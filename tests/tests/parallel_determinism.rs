@@ -42,17 +42,18 @@ fn pin_threads() {
 }
 
 fn config(k: usize, dp: Option<(f32, f32)>) -> SimulationConfig {
-    SimulationConfig {
-        steps: 40,
-        aggregation_k: k,
-        batch_size: 25,
-        staleness: StalenessDistribution::d1(),
-        eval_every: 10,
-        eval_examples: 150,
-        dp,
-        seed: 17,
-        ..SimulationConfig::default()
+    let mut builder = SimulationConfig::builder()
+        .steps(40)
+        .aggregation_k(k)
+        .batch_size(25)
+        .staleness(StalenessDistribution::d1())
+        .eval_every(10)
+        .eval_examples(150)
+        .seed(17);
+    if let Some((clip_norm, noise_multiplier)) = dp {
+        builder = builder.dp(clip_norm, noise_multiplier);
     }
+    builder.build().expect("determinism config is valid")
 }
 
 #[test]
@@ -101,7 +102,7 @@ fn shard_sweep_digests_are_identical() {
     let mut runs = Vec::new();
     for shards in [1usize, 2, 8] {
         let mut cfg = config(4, None);
-        cfg.shards = shards;
+        cfg.core.shards = shards;
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
         let mut model = small_model(2);
         let history = sim.run(&mut model, AdaSgd::new(10, 99.7));
@@ -135,8 +136,8 @@ fn per_shard_digest_is_stable() {
     let (train, test, users) = small_world(800, 12, 5);
     let make = |mode: ApplyMode, flush_every: usize| {
         let mut cfg = config(4, None);
-        cfg.shards = 4;
-        cfg.apply_mode = mode;
+        cfg.core.shards = 4;
+        cfg.core.apply_mode = mode;
         cfg.flush_every = flush_every;
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
         let mut model = small_model(2);
@@ -175,9 +176,9 @@ fn chaos_digests_are_stable() {
     let make = |mode: ApplyMode, fault_seed: u64| {
         let mut cfg = config(4, None);
         cfg.faults = FaultPlan::chaos(fault_seed);
-        cfg.apply_mode = mode;
+        cfg.core.apply_mode = mode;
         if mode == ApplyMode::PerShard {
-            cfg.shards = 4;
+            cfg.core.shards = 4;
             cfg.flush_every = 2;
         }
         let sim = AsyncSimulation::new(&train, &test, &users, cfg);
@@ -228,8 +229,8 @@ fn checkpoint_restart_reproduces_the_digest() {
     // the uninterrupted run's.
     let (train, test, users) = small_world(800, 12, 5);
     let mut cfg = config(4, None);
-    cfg.shards = 4;
-    cfg.apply_mode = ApplyMode::PerShard;
+    cfg.core.shards = 4;
+    cfg.core.apply_mode = ApplyMode::PerShard;
     cfg.flush_every = 2;
     cfg.faults = FaultPlan::chaos(1);
     let sim = AsyncSimulation::new(&train, &test, &users, cfg);

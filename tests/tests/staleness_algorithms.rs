@@ -12,16 +12,16 @@ fn run_with(
     run: impl FnOnce(&AsyncSimulation) -> TrainingHistory,
 ) -> TrainingHistory {
     let (train, test, users) = small_world(2000, 40, 11);
-    let config = SimulationConfig {
-        steps,
-        learning_rate: 0.05,
-        batch_size: 40,
-        staleness,
-        eval_every: steps / 4,
-        eval_examples: 400,
-        seed: 21,
-        ..SimulationConfig::default()
-    };
+    let config = SimulationConfig::builder()
+        .steps(steps)
+        .learning_rate(0.05)
+        .batch_size(40)
+        .staleness(staleness)
+        .eval_every(steps / 4)
+        .eval_examples(400)
+        .seed(21)
+        .build()
+        .expect("staleness config is valid");
     let sim = AsyncSimulation::new(&train, &test, &users, config);
     run(&sim)
 }
